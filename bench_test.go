@@ -1,0 +1,297 @@
+// Benchmark harness: one benchmark per table/figure of the paper's
+// evaluation (Sections 5 and 7). Each benchmark regenerates the figure's
+// data series on the laptop-scale datasets and reports headline values as
+// custom metrics, so `go test -bench=. -benchmem` both times the
+// reproduction and surfaces the reproduced numbers. The full rendered
+// tables are printed by `go run ./cmd/attack -fig all`,
+// `go run ./cmd/defend -fig all`, and `go run ./cmd/ddfsbench`.
+package freqdedup
+
+import (
+	"testing"
+
+	"freqdedup/internal/core"
+	"freqdedup/internal/defense"
+	"freqdedup/internal/eval"
+	"freqdedup/internal/trace"
+)
+
+// lastY returns the final value of the named series, or -1.
+func lastY(figs []eval.Figure, figIdx int, series string) float64 {
+	if figIdx >= len(figs) {
+		return -1
+	}
+	for _, s := range figs[figIdx].Series {
+		if s.Name == series {
+			if len(s.Y) == 0 {
+				return -1
+			}
+			return s.Y[len(s.Y)-1]
+		}
+	}
+	return -1
+}
+
+func BenchmarkFig1FrequencyDistribution(b *testing.B) {
+	ds := eval.Generate()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		figs := eval.Fig1FrequencyDistribution(ds)
+		b.ReportMetric(lastY(figs, 0, "frequency"), "fsl_max_freq")
+		b.ReportMetric(lastY(figs, 1, "frequency"), "vm_max_freq")
+	}
+}
+
+func BenchmarkFig4ParamSweep(b *testing.B) {
+	ds := eval.Generate()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		figs := eval.Fig4ParamSweep(ds)
+		// Inference rate at the largest w (plateau) for FSL.
+		b.ReportMetric(lastY(figs, 2, "FSL")*100, "fsl_rate_at_wmax_pct")
+	}
+}
+
+func BenchmarkFig5VaryAux(b *testing.B) {
+	ds := eval.Generate()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		figs := eval.Fig5VaryAux(ds)
+		// Most recent auxiliary backup, FSL: the paper's headline numbers
+		// (basic ~0%, locality 23.2%, advanced 33.6%).
+		b.ReportMetric(lastY(figs, 0, "Basic")*100, "fsl_basic_pct")
+		b.ReportMetric(lastY(figs, 0, "Locality")*100, "fsl_locality_pct")
+		b.ReportMetric(lastY(figs, 0, "Advanced")*100, "fsl_advanced_pct")
+	}
+}
+
+func BenchmarkFig6VaryTarget(b *testing.B) {
+	ds := eval.Generate()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		figs := eval.Fig6VaryTarget(ds)
+		b.ReportMetric(lastY(figs, 0, "Locality")*100, "fsl_locality_last_tgt_pct")
+	}
+}
+
+func BenchmarkFig7SlidingWindow(b *testing.B) {
+	ds := eval.Generate()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		figs := eval.Fig7SlidingWindow(ds)
+		b.ReportMetric(lastY(figs, 0, "s=1")*100, "fsl_s1_last_pct")
+	}
+}
+
+func BenchmarkFig8KnownPlaintext(b *testing.B) {
+	ds := eval.Generate()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fig := eval.Fig8KnownPlaintext(ds)
+		b.ReportMetric(lastY([]eval.Figure{fig}, 0, "FSL (Locality)")*100, "fsl_locality_leak02_pct")
+		b.ReportMetric(lastY([]eval.Figure{fig}, 0, "FSL (Advanced)")*100, "fsl_advanced_leak02_pct")
+	}
+}
+
+func BenchmarkFig9KPVaryAux(b *testing.B) {
+	ds := eval.Generate()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		figs := eval.Fig9KPVaryAux(ds)
+		b.ReportMetric(lastY(figs, 0, "Locality")*100, "fsl_locality_recent_aux_pct")
+	}
+}
+
+func BenchmarkFig10Defense(b *testing.B) {
+	ds := eval.Generate()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		figs, err := eval.Fig10Defense(ds)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(lastY(figs, 0, "MLE (undefended)")*100, "fsl_undefended_pct")
+		b.ReportMetric(lastY(figs, 0, "MinHash only")*100, "fsl_minhash_pct")
+		b.ReportMetric(lastY(figs, 0, "Combined")*100, "fsl_combined_pct")
+	}
+}
+
+func BenchmarkFig11StorageSaving(b *testing.B) {
+	ds := eval.Generate()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		figs, err := eval.Fig11StorageSaving(ds)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(lastY(figs, 0, "MLE")*100, "fsl_mle_saving_pct")
+		b.ReportMetric(lastY(figs, 0, "Combined")*100, "fsl_combined_saving_pct")
+	}
+}
+
+func BenchmarkFig13Metadata512MB(b *testing.B) {
+	ds := eval.Generate()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		figs, err := eval.Fig13Metadata512(ds)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(lastY(figs, 0, "MLE"), "mle_meta_mb_last")
+		b.ReportMetric(lastY(figs, 0, "Combined"), "combined_meta_mb_last")
+	}
+}
+
+func BenchmarkFig14Metadata4GB(b *testing.B) {
+	ds := eval.Generate()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		figs, err := eval.Fig14Metadata4G(ds)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(lastY(figs, 0, "MLE"), "mle_meta_mb_last")
+		b.ReportMetric(lastY(figs, 0, "Combined"), "combined_meta_mb_last")
+	}
+}
+
+func BenchmarkAttackScaling(b *testing.B) {
+	ds := eval.Generate()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fig := eval.AttackScaling(ds.FSL)
+		b.ReportMetric(lastY([]eval.Figure{fig}, 0, "inferred pairs"), "inferred_pairs_full")
+	}
+}
+
+// --- Micro-benchmarks of the core attack and defense primitives on the
+// --- FSL dataset's most recent (aux, target) pair.
+
+func fslPair(b *testing.B) (aux, target *trace.Backup) {
+	b.Helper()
+	d := eval.Generate().FSL
+	return d.Backups[len(d.Backups)-2], d.Backups[len(d.Backups)-1]
+}
+
+func BenchmarkBasicAttackFSL(b *testing.B) {
+	aux, target := fslPair(b)
+	enc := defense.EncryptMLE(target)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		core.BasicAttack(enc.Backup, aux)
+	}
+}
+
+func BenchmarkLocalityAttackFSL(b *testing.B) {
+	aux, target := fslPair(b)
+	enc := defense.EncryptMLE(target)
+	cfg := core.DefaultLocalityConfig()
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		core.LocalityAttack(enc.Backup, aux, cfg)
+	}
+}
+
+func BenchmarkAdvancedAttackFSL(b *testing.B) {
+	aux, target := fslPair(b)
+	enc := defense.EncryptMLE(target)
+	cfg := core.DefaultLocalityConfig()
+	cfg.SizeAware = true
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		core.LocalityAttack(enc.Backup, aux, cfg)
+	}
+}
+
+func BenchmarkEncryptMLETrace(b *testing.B) {
+	_, target := fslPair(b)
+	b.SetBytes(int64(target.LogicalSize()))
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		defense.EncryptMLE(target)
+	}
+}
+
+func BenchmarkEncryptCombinedTrace(b *testing.B) {
+	_, target := fslPair(b)
+	b.SetBytes(int64(target.LogicalSize()))
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := defense.Encrypt(target, defense.SchemeCombined, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGenerateFSL(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		trace.GenerateFSL(trace.DefaultFSLParams())
+	}
+}
+
+func BenchmarkGenerateVM(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		trace.GenerateVM(trace.DefaultVMParams())
+	}
+}
+
+// --- Ablation benchmarks (design-choice decompositions; see DESIGN.md).
+
+func BenchmarkAblationDefenseComponents(b *testing.B) {
+	ds := eval.Generate()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fig, err := eval.AblationDefenseComponents(ds)
+		if err != nil {
+			b.Fatal(err)
+		}
+		y := fig.Series[0].Y
+		b.ReportMetric(y[0]*100, "mle_pct")
+		b.ReportMetric(y[2]*100, "scramble_only_pct")
+		b.ReportMetric(y[4]*100, "combined_pct")
+	}
+}
+
+func BenchmarkAblationSegmentSize(b *testing.B) {
+	ds := eval.Generate()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fig, err := eval.AblationSegmentSize(ds)
+		if err != nil {
+			b.Fatal(err)
+		}
+		loss := fig.Series[1].Y
+		b.ReportMetric(loss[0]*100, "loss_small_seg_pct")
+		b.ReportMetric(loss[len(loss)-1]*100, "loss_paper_seg_pct")
+	}
+}
+
+func BenchmarkAblationTieBreaking(b *testing.B) {
+	ds := eval.Generate()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fig := eval.AblationTieBreaking(ds)
+		b.ReportMetric(fig.Series[0].Y[0]*100, "fsl_position_ties_pct")
+		b.ReportMetric(fig.Series[1].Y[0]*100, "fsl_arbitrary_ties_pct")
+	}
+}
+
+func BenchmarkRestoreLocality(b *testing.B) {
+	ds := eval.Generate()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fig, err := eval.RestoreLocality(ds)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(lastY([]eval.Figure{fig}, 0, "MLE"), "mle_reads_last_backup")
+		b.ReportMetric(lastY([]eval.Figure{fig}, 0, "Combined"), "combined_reads_last_backup")
+	}
+}

@@ -1,0 +1,108 @@
+// Command defend evaluates the paper's defenses (Section 7): MinHash
+// encryption and scrambling.
+//
+//	defend -fig 10          # defense effectiveness vs leakage rate
+//	defend -fig 11          # storage saving MLE vs combined
+//	defend -fig all
+//	defend -trace fsl.trace -scheme combined   # savings on a trace file
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"freqdedup/internal/defense"
+	"freqdedup/internal/eval"
+	"freqdedup/internal/trace"
+)
+
+func main() {
+	figFlag := flag.String("fig", "", "reproduce figures: 10, 11, ablations, or all")
+	tracePath := flag.String("trace", "", "trace file to evaluate (single-run mode)")
+	schemeName := flag.String("scheme", "combined", "scheme: mle, minhash, or combined")
+	flag.Parse()
+
+	switch {
+	case *figFlag != "":
+		runFigures(*figFlag)
+	case *tracePath != "":
+		runSingle(*tracePath, *schemeName)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func runFigures(which string) {
+	ds := eval.Generate()
+	all := which == "all"
+	if all || which == "10" {
+		figs, err := eval.Fig10Defense(ds)
+		if err != nil {
+			fatal(err)
+		}
+		for i := range figs {
+			figs[i].Render(os.Stdout)
+		}
+	}
+	if all || which == "11" {
+		figs, err := eval.Fig11StorageSaving(ds)
+		if err != nil {
+			fatal(err)
+		}
+		for i := range figs {
+			figs[i].Render(os.Stdout)
+		}
+	}
+	if all || which == "ablations" {
+		a1, err := eval.AblationDefenseComponents(ds)
+		if err != nil {
+			fatal(err)
+		}
+		a1.Render(os.Stdout)
+		a2, err := eval.AblationSegmentSize(ds)
+		if err != nil {
+			fatal(err)
+		}
+		a2.Render(os.Stdout)
+		a3 := eval.AblationTieBreaking(ds)
+		a3.Render(os.Stdout)
+	}
+}
+
+func runSingle(path, schemeName string) {
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	d, err := trace.Read(f)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+	var scheme defense.Scheme
+	switch schemeName {
+	case "mle":
+		scheme = defense.SchemeMLE
+	case "minhash":
+		scheme = defense.SchemeMinHash
+	case "combined":
+		scheme = defense.SchemeCombined
+	default:
+		fatal(fmt.Errorf("unknown scheme %q", schemeName))
+	}
+	savings, err := defense.StorageSavings(d, scheme, 1)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("dataset: %s, scheme: %s\n", d.Name, scheme)
+	for i, b := range d.Backups {
+		fmt.Printf("  after %-8s storage saving %.2f%%\n", b.Label+":", savings[i]*100)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "defend:", err)
+	os.Exit(1)
+}

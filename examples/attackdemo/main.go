@@ -1,0 +1,47 @@
+// Attackdemo: generate the synthetic backup chain (the paper's
+// Lillibridge-style dataset), encrypt the latest backup with baseline MLE,
+// and run all three inference attacks against it using each prior backup
+// as the auxiliary information — a compact version of Figure 5(b).
+package main
+
+import (
+	"fmt"
+
+	"freqdedup"
+)
+
+func main() {
+	params := freqdedup.DefaultSyntheticParams()
+	params.Snapshots = 6 // keep the demo quick
+	dataset := freqdedup.GenerateSynthetic(params)
+
+	stats := dataset.Stats()
+	fmt.Printf("synthetic dataset: %d backups, %d chunks (%d unique), %.1fx dedup\n\n",
+		len(dataset.Backups), stats.LogicalChunks, stats.UniqueChunks, stats.Ratio())
+
+	target := dataset.Backups[len(dataset.Backups)-1]
+	enc := freqdedup.EncryptMLE(target)
+	fmt.Printf("target: backup %s (%d unique ciphertext chunks)\n\n",
+		target.Label, enc.Backup.UniqueCount())
+
+	fmt.Printf("%-10s | %-8s | %-9s | %-9s\n", "auxiliary", "basic", "locality", "advanced")
+	fmt.Println("-----------+----------+-----------+----------")
+	for _, aux := range dataset.Backups[:len(dataset.Backups)-1] {
+		basic := freqdedup.InferenceRate(
+			freqdedup.BasicAttack(enc.Backup, aux), enc.Truth, enc.Backup)
+
+		cfg := freqdedup.DefaultLocalityConfig()
+		locality := freqdedup.InferenceRate(
+			freqdedup.LocalityAttack(enc.Backup, aux, cfg), enc.Truth, enc.Backup)
+
+		cfg.SizeAware = true
+		advanced := freqdedup.InferenceRate(
+			freqdedup.LocalityAttack(enc.Backup, aux, cfg), enc.Truth, enc.Backup)
+
+		fmt.Printf("%-10s | %7.3f%% | %8.2f%% | %8.2f%%\n",
+			aux.Label, basic*100, locality*100, advanced*100)
+	}
+	fmt.Println("\nThe locality-based attack exploits chunk co-occurrence to infer")
+	fmt.Println("far more chunks than classical frequency analysis; the advanced")
+	fmt.Println("variant adds chunk-size classification on top.")
+}

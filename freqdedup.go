@@ -1,0 +1,260 @@
+// Package freqdedup reproduces "Information Leakage in Encrypted
+// Deduplication via Frequency Analysis" (Li, Qin, Lee, Zhang — DSN 2017;
+// extended TR arXiv:1904.05736): frequency-analysis inference attacks
+// against encrypted deduplication, the MinHash-encryption and scrambling
+// defenses, and every substrate they run on — content-defined chunking,
+// message-locked encryption, a DupLESS-style key manager, a deduplicating
+// store, and a DDFS-like metadata pipeline.
+//
+// This package is the public facade: it re-exports the stable API from the
+// internal packages so downstream users have a single import. The building
+// blocks:
+//
+//   - Attacks: BasicAttack, LocalityAttack (with LocalityConfig;
+//     SizeAware selects the advanced variant), scored by InferenceRate.
+//   - Defenses: EncryptMLE / EncryptMinHash / scheme-driven Encrypt, plus
+//     StorageSavings for the efficiency evaluation.
+//   - Workloads: Dataset / Backup and the three generators
+//     (GenerateFSL, GenerateSynthetic, GenerateVM).
+//   - Byte-level pipeline: NewStore / NewClient back a real
+//     chunk-encrypt-dedup-restore flow; NewKeyServer / DialKeyManager
+//     provide server-aided MLE over TCP.
+//   - Experiments: the eval runners regenerate each of the paper's
+//     figures (see package internal/eval via the Fig* wrappers).
+//
+// See the runnable programs under examples/ for end-to-end usage.
+package freqdedup
+
+import (
+	"freqdedup/internal/chunker"
+	"freqdedup/internal/core"
+	"freqdedup/internal/dedup"
+	"freqdedup/internal/defense"
+	"freqdedup/internal/eval"
+	"freqdedup/internal/fphash"
+	"freqdedup/internal/keymgr"
+	"freqdedup/internal/mle"
+	"freqdedup/internal/trace"
+)
+
+// Fingerprint identifies a chunk by content.
+type Fingerprint = fphash.Fingerprint
+
+// FingerprintOf computes the fingerprint of chunk content.
+func FingerprintOf(content []byte) Fingerprint { return fphash.FromBytes(content) }
+
+// Chunking.
+type (
+	// Chunk is one chunk cut from an input stream.
+	Chunk = chunker.Chunk
+	// Chunker cuts a stream into chunks.
+	Chunker = chunker.Chunker
+	// ChunkingParams configures content-defined chunking.
+	ChunkingParams = chunker.Params
+)
+
+// NewFixedChunker returns a fixed-size chunker (the paper's VM dataset
+// uses 4 KB fixed chunks).
+var NewFixedChunker = chunker.NewFixed
+
+// NewContentDefinedChunker returns a Rabin-fingerprint content-defined
+// chunker (the paper's FSL and synthetic datasets use 8 KB average).
+var NewContentDefinedChunker = chunker.NewContentDefined
+
+// DefaultChunkingParams mirrors the paper's FSL chunking configuration.
+var DefaultChunkingParams = chunker.DefaultParams
+
+// Encryption.
+type (
+	// Key is a chunk encryption key.
+	Key = mle.Key
+	// KeyDeriver derives chunk keys from fingerprints (implemented by the
+	// key-manager client and by NewLocalDeriver).
+	KeyDeriver = mle.KeyDeriver
+	// Recipe is a file's combined file/key recipe.
+	Recipe = mle.Recipe
+)
+
+// ConvergentKey derives the convergent-encryption key of a chunk.
+var ConvergentKey = mle.ConvergentKey
+
+// EncryptDeterministic encrypts with AES-256-CTR under a key-derived IV:
+// identical (key, plaintext) pairs give identical ciphertexts, the MLE
+// property deduplication requires and frequency analysis exploits.
+var EncryptDeterministic = mle.EncryptDeterministic
+
+// DecryptDeterministic inverts EncryptDeterministic.
+var DecryptDeterministic = mle.DecryptDeterministic
+
+// NewLocalDeriver derives keys locally from a system-wide secret.
+var NewLocalDeriver = mle.NewLocalDeriver
+
+// NewServerAidedMLE returns the DupLESS-style encryption scheme.
+var NewServerAidedMLE = mle.NewServerAided
+
+// NewMinHashEncryption returns the MinHash encryption scheme (Algorithm 4).
+var NewMinHashEncryption = mle.NewMinHash
+
+// OpenRecipe decrypts and decodes a recipe sealed with Recipe.Seal.
+var OpenRecipe = mle.OpenRecipe
+
+// BruteForce mounts the offline brute-force attack against convergent
+// encryption on a predictable candidate set (Section 2.2).
+var BruteForce = mle.BruteForce
+
+// Key manager (server-aided MLE over TCP).
+type (
+	// KeyServerConfig configures a key manager server.
+	KeyServerConfig = keymgr.ServerConfig
+	// KeyServer is the DupLESS-style key manager.
+	KeyServer = keymgr.Server
+	// KeyClient talks to a key manager and implements KeyDeriver.
+	KeyClient = keymgr.Client
+)
+
+// NewKeyServer constructs a key manager server.
+var NewKeyServer = keymgr.NewServer
+
+// DialKeyManager connects and authenticates to a key manager.
+var DialKeyManager = keymgr.Dial
+
+// NewTokenBucket builds the rate limiter used to slow online brute force.
+var NewTokenBucket = keymgr.NewTokenBucket
+
+// ErrRateLimited is returned by the key-manager client when the server
+// throttles a key request.
+var ErrRateLimited = keymgr.ErrRateLimited
+
+// Deduplicated storage (byte-level pipeline of Figure 2).
+type (
+	// Store is a deduplicated ciphertext-chunk store.
+	Store = dedup.Store
+	// Client chunks, encrypts, and uploads backup streams.
+	Client = dedup.Client
+	// ClientConfig configures a Client.
+	ClientConfig = dedup.Config
+)
+
+// Client encryption pipeline selectors.
+const (
+	EncConvergent  = dedup.EncConvergent
+	EncServerAided = dedup.EncServerAided
+	EncMinHash     = dedup.EncMinHash
+)
+
+// NewStore returns an empty deduplicated store.
+var NewStore = dedup.NewStore
+
+// NewClient returns a backup/restore client for a store.
+var NewClient = dedup.NewClient
+
+// GCStats reports what a garbage-collection pass reclaimed.
+type GCStats = dedup.GCStats
+
+// Workload model and generators (Section 5.1).
+type (
+	// Backup is one full backup's chunk stream in logical order.
+	Backup = trace.Backup
+	// ChunkRef is one chunk occurrence (fingerprint and size).
+	ChunkRef = trace.ChunkRef
+	// Dataset is a series of backups of the same primary data.
+	Dataset = trace.Dataset
+)
+
+// Dataset generators and their parameter types.
+var (
+	GenerateFSL            = trace.GenerateFSL
+	GenerateSynthetic      = trace.GenerateSynthetic
+	GenerateVM             = trace.GenerateVM
+	DefaultFSLParams       = trace.DefaultFSLParams
+	DefaultSyntheticParams = trace.DefaultSyntheticParams
+	DefaultVMParams        = trace.DefaultVMParams
+	ReadDataset            = trace.Read
+	WriteDataset           = trace.Write
+)
+
+// Attacks (Section 4).
+type (
+	// Pair is one inferred ciphertext-plaintext chunk pair.
+	Pair = core.Pair
+	// LocalityConfig parameterizes the locality-based attack.
+	LocalityConfig = core.LocalityConfig
+	// GroundTruth maps ciphertext to true plaintext fingerprints.
+	GroundTruth = core.GroundTruth
+	// AttackMode selects ciphertext-only or known-plaintext seeding.
+	AttackMode = core.Mode
+)
+
+// Attack modes.
+const (
+	CiphertextOnly = core.CiphertextOnly
+	KnownPlaintext = core.KnownPlaintext
+)
+
+// AttackStats reports the internals of one locality-attack run.
+type AttackStats = core.AttackStats
+
+// Attack entry points and scoring.
+var (
+	BasicAttack             = core.BasicAttack
+	LocalityAttack          = core.LocalityAttack
+	LocalityAttackWithStats = core.LocalityAttackWithStats
+	DefaultLocalityConfig   = core.DefaultLocalityConfig
+	InferenceRate           = core.InferenceRate
+	SampleLeaked            = core.SampleLeaked
+)
+
+// Defenses (Section 6), simulated at trace level as in Section 7.1.
+type (
+	// Encrypted is a ciphertext stream plus ground truth.
+	Encrypted = defense.Encrypted
+	// DefenseScheme selects MLE, MinHash, or the combined scheme.
+	DefenseScheme = defense.Scheme
+	// DefenseOptions configures segmentation and scrambling.
+	DefenseOptions = defense.Options
+)
+
+// Defense schemes.
+const (
+	SchemeMLE      = defense.SchemeMLE
+	SchemeMinHash  = defense.SchemeMinHash
+	SchemeCombined = defense.SchemeCombined
+)
+
+// Defense entry points.
+var (
+	EncryptMLE            = defense.EncryptMLE
+	EncryptMinHash        = defense.EncryptMinHash
+	EncryptWithScheme     = defense.Encrypt
+	StorageSavings        = defense.StorageSavings
+	DefaultDefenseOptions = defense.DefaultOptions
+)
+
+// Experiments: the per-figure runners of the paper's evaluation.
+type (
+	// Figure is one reproduced table/figure.
+	Figure = eval.Figure
+	// EvalDatasets bundles the three evaluation datasets.
+	EvalDatasets = eval.Datasets
+)
+
+// Figure runners (Sections 5 and 7), the Section 6.2 restore-locality
+// check, and the ablations (DESIGN.md).
+var (
+	GenerateEvalDatasets      = eval.Generate
+	Fig1                      = eval.Fig1FrequencyDistribution
+	Fig4                      = eval.Fig4ParamSweep
+	Fig5                      = eval.Fig5VaryAux
+	Fig6                      = eval.Fig6VaryTarget
+	Fig7                      = eval.Fig7SlidingWindow
+	Fig8                      = eval.Fig8KnownPlaintext
+	Fig9                      = eval.Fig9KPVaryAux
+	Fig10                     = eval.Fig10Defense
+	Fig11                     = eval.Fig11StorageSaving
+	Fig13                     = eval.Fig13Metadata512
+	Fig14                     = eval.Fig14Metadata4G
+	RestoreLocality           = eval.RestoreLocality
+	AblationDefenseComponents = eval.AblationDefenseComponents
+	AblationSegmentSize       = eval.AblationSegmentSize
+	AblationTieBreaking       = eval.AblationTieBreaking
+)

@@ -1,0 +1,111 @@
+// Package bloom implements the Bloom filter used by the DDFS-like
+// deduplication prototype (Section 7.4, step S2) to avoid on-disk index
+// lookups for chunks that are certainly new.
+//
+// The filter uses the standard double-hashing construction g_i(x) = h1(x) +
+// i*h2(x), which preserves the asymptotic false-positive rate of k
+// independent hash functions while needing only two.
+package bloom
+
+import (
+	"fmt"
+	"math"
+
+	"freqdedup/internal/fphash"
+)
+
+// Filter is a Bloom filter over chunk fingerprints. The zero value is not
+// usable; construct with New or NewWithEstimates.
+type Filter struct {
+	bits  []uint64
+	m     uint64 // number of bits
+	k     int    // number of hash functions
+	count uint64 // number of Add calls (approximate element count)
+}
+
+// New creates a filter with m bits and k hash functions. It panics if m or
+// k is not positive.
+func New(m uint64, k int) *Filter {
+	if m == 0 || k <= 0 {
+		panic(fmt.Sprintf("bloom: invalid parameters m=%d k=%d", m, k))
+	}
+	return &Filter{bits: make([]uint64, (m+63)/64), m: m, k: k}
+}
+
+// NewWithEstimates sizes a filter for n expected elements and a target
+// false-positive probability p, using the standard optimal formulas
+// m = -n ln p / (ln 2)^2 and k = (m/n) ln 2. The paper's prototype uses
+// p = 0.01, which yields ~9.6 bits per fingerprint and k = 7.
+func NewWithEstimates(n uint64, p float64) *Filter {
+	if n == 0 {
+		n = 1
+	}
+	if p <= 0 || p >= 1 {
+		panic(fmt.Sprintf("bloom: false-positive rate %v out of (0,1)", p))
+	}
+	m := uint64(math.Ceil(-float64(n) * math.Log(p) / (math.Ln2 * math.Ln2)))
+	if m == 0 {
+		m = 1
+	}
+	k := int(math.Round(float64(m) / float64(n) * math.Ln2))
+	if k < 1 {
+		k = 1
+	}
+	return New(m, k)
+}
+
+// Add inserts a fingerprint.
+func (f *Filter) Add(fp fphash.Fingerprint) {
+	h1, h2 := f.hashes(fp)
+	for i := 0; i < f.k; i++ {
+		pos := (h1 + uint64(i)*h2) % f.m
+		f.bits[pos/64] |= 1 << (pos % 64)
+	}
+	f.count++
+}
+
+// Contains reports whether fp may have been added. False positives are
+// possible; false negatives are not.
+func (f *Filter) Contains(fp fphash.Fingerprint) bool {
+	h1, h2 := f.hashes(fp)
+	for i := 0; i < f.k; i++ {
+		pos := (h1 + uint64(i)*h2) % f.m
+		if f.bits[pos/64]&(1<<(pos%64)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func (f *Filter) hashes(fp fphash.Fingerprint) (uint64, uint64) {
+	h1 := fp.Mix(0x5bf03635)
+	h2 := fp.Mix(0xc2b2ae35) | 1 // odd so that strides cover the table
+	return h1, h2
+}
+
+// Count returns the number of Add calls made (duplicates counted twice).
+func (f *Filter) Count() uint64 { return f.count }
+
+// Bits returns the filter size in bits.
+func (f *Filter) Bits() uint64 { return f.m }
+
+// K returns the number of hash functions.
+func (f *Filter) K() int { return f.k }
+
+// SizeBytes returns the memory footprint of the bit array in bytes.
+func (f *Filter) SizeBytes() uint64 { return uint64(len(f.bits)) * 8 }
+
+// EstimatedFPP returns the expected false-positive probability at the
+// current fill, (1 - e^(-kn/m))^k.
+func (f *Filter) EstimatedFPP() float64 {
+	exp := -float64(f.k) * float64(f.count) / float64(f.m)
+	return math.Pow(1-math.Exp(exp), float64(f.k))
+}
+
+// Reset clears the filter.
+func (f *Filter) Reset() {
+	for i := range f.bits {
+		f.bits[i] = 0
+	}
+	f.count = 0
+}

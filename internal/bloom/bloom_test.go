@@ -1,0 +1,153 @@
+package bloom
+
+import (
+	"testing"
+	"testing/quick"
+
+	"freqdedup/internal/fphash"
+)
+
+func TestNoFalseNegatives(t *testing.T) {
+	f := NewWithEstimates(10000, 0.01)
+	for i := uint64(0); i < 10000; i++ {
+		f.Add(fphash.FromUint64(i))
+	}
+	for i := uint64(0); i < 10000; i++ {
+		if !f.Contains(fphash.FromUint64(i)) {
+			t.Fatalf("false negative for element %d", i)
+		}
+	}
+}
+
+func TestNoFalseNegativesProperty(t *testing.T) {
+	f := NewWithEstimates(1000, 0.01)
+	prop := func(v uint64) bool {
+		fp := fphash.FromUint64(v)
+		f.Add(fp)
+		return f.Contains(fp)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFalsePositiveRateNearTarget(t *testing.T) {
+	const n = 50000
+	const target = 0.01
+	f := NewWithEstimates(n, target)
+	for i := uint64(0); i < n; i++ {
+		f.Add(fphash.FromUint64(i))
+	}
+	var fps int
+	const probes = 100000
+	for i := uint64(0); i < probes; i++ {
+		if f.Contains(fphash.FromUint64(1<<32 + i)) {
+			fps++
+		}
+	}
+	rate := float64(fps) / probes
+	if rate > 3*target {
+		t.Fatalf("false positive rate %.4f, target %.4f", rate, target)
+	}
+	if est := f.EstimatedFPP(); est > 3*target {
+		t.Fatalf("estimated FPP %.4f far above target %.4f", est, target)
+	}
+}
+
+func TestEmptyFilterContainsNothing(t *testing.T) {
+	f := NewWithEstimates(100, 0.01)
+	for i := uint64(0); i < 1000; i++ {
+		if f.Contains(fphash.FromUint64(i)) {
+			t.Fatalf("empty filter claims to contain %d", i)
+		}
+	}
+}
+
+func TestReset(t *testing.T) {
+	f := NewWithEstimates(100, 0.01)
+	fp := fphash.FromUint64(42)
+	f.Add(fp)
+	if !f.Contains(fp) {
+		t.Fatal("missing element before reset")
+	}
+	f.Reset()
+	if f.Contains(fp) {
+		t.Fatal("element survived reset")
+	}
+	if f.Count() != 0 {
+		t.Fatalf("count after reset = %d, want 0", f.Count())
+	}
+}
+
+func TestEstimateSizing(t *testing.T) {
+	// Paper configuration: ~65M fingerprints, FPP 0.01 => ~74 MB and 7
+	// hashes (Section 7.4.2). Verify our formulas reproduce that.
+	f := NewWithEstimates(65_000_000, 0.01)
+	mb := float64(f.SizeBytes()) / (1 << 20)
+	if mb < 70 || mb > 80 {
+		t.Fatalf("filter size %.1f MB, paper reports ~74 MB", mb)
+	}
+	if f.K() != 7 {
+		t.Fatalf("k = %d, paper reports 7 hash functions", f.K())
+	}
+}
+
+func TestNewPanics(t *testing.T) {
+	cases := []struct {
+		m uint64
+		k int
+	}{{0, 1}, {10, 0}, {10, -1}}
+	for _, c := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d,%d) did not panic", c.m, c.k)
+				}
+			}()
+			New(c.m, c.k)
+		}()
+	}
+}
+
+func TestNewWithEstimatesPanicsOnBadP(t *testing.T) {
+	for _, p := range []float64{0, 1, -0.5, 2} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewWithEstimates(_, %v) did not panic", p)
+				}
+			}()
+			NewWithEstimates(10, p)
+		}()
+	}
+}
+
+func TestCountTracksAdds(t *testing.T) {
+	f := NewWithEstimates(10, 0.01)
+	for i := 0; i < 5; i++ {
+		f.Add(fphash.FromUint64(7)) // duplicates still counted
+	}
+	if f.Count() != 5 {
+		t.Fatalf("Count = %d, want 5", f.Count())
+	}
+}
+
+func BenchmarkAdd(b *testing.B) {
+	f := NewWithEstimates(uint64(b.N)+1, 0.01)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		f.Add(fphash.FromUint64(uint64(i)))
+	}
+}
+
+func BenchmarkContains(b *testing.B) {
+	f := NewWithEstimates(100000, 0.01)
+	for i := uint64(0); i < 100000; i++ {
+		f.Add(fphash.FromUint64(i))
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		f.Contains(fphash.FromUint64(uint64(i)))
+	}
+}

@@ -1,0 +1,242 @@
+// Package chunker partitions byte streams into chunks, the first stage of
+// the deduplication pipeline (Section 2.1 of the paper).
+//
+// Two chunkers are provided:
+//
+//   - Fixed: fixed-size chunking, as used by the paper's VM dataset (4 KB
+//     chunks of virtual machine images).
+//   - ContentDefined: variable-size content-defined chunking driven by a
+//     rolling Rabin fingerprint, with configurable minimum, average, and
+//     maximum chunk sizes, as used by the FSL and synthetic datasets (8 KB
+//     average).
+//
+// Both implement the Chunker interface and stream from an io.Reader, so
+// arbitrarily large inputs can be chunked with bounded memory.
+package chunker
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"freqdedup/internal/fphash"
+	"freqdedup/internal/rabin"
+)
+
+// Chunk is one chunk cut from an input stream.
+type Chunk struct {
+	// Data is the chunk content. The slice is owned by the caller after
+	// Next returns; chunkers do not reuse it.
+	Data []byte
+	// Offset is the byte offset of the chunk within the input stream.
+	Offset int64
+	// Fingerprint identifies the chunk content (SHA-256 truncated; see
+	// package fphash).
+	Fingerprint fphash.Fingerprint
+}
+
+// Size returns the chunk size in bytes.
+func (c Chunk) Size() int { return len(c.Data) }
+
+// Chunker cuts a stream into chunks.
+type Chunker interface {
+	// Next returns the next chunk, or io.EOF after the final chunk has been
+	// returned. A trailing partial chunk (shorter than the minimum size) is
+	// returned as a final chunk rather than discarded.
+	Next() (Chunk, error)
+}
+
+// Fixed cuts the input into fixed-size chunks. The last chunk may be short.
+type Fixed struct {
+	r      io.Reader
+	size   int
+	offset int64
+	done   bool
+}
+
+var _ Chunker = (*Fixed)(nil)
+
+// NewFixed returns a fixed-size chunker reading from r. NewFixed panics if
+// size is not positive.
+func NewFixed(r io.Reader, size int) *Fixed {
+	if size <= 0 {
+		panic(fmt.Sprintf("chunker: fixed chunk size must be positive, got %d", size))
+	}
+	return &Fixed{r: r, size: size}
+}
+
+// Next implements Chunker.
+func (f *Fixed) Next() (Chunk, error) {
+	if f.done {
+		return Chunk{}, io.EOF
+	}
+	buf := make([]byte, f.size)
+	n, err := io.ReadFull(f.r, buf)
+	switch {
+	case err == nil:
+		// full chunk
+	case errors.Is(err, io.ErrUnexpectedEOF):
+		f.done = true
+		buf = buf[:n]
+	case errors.Is(err, io.EOF):
+		f.done = true
+		return Chunk{}, io.EOF
+	default:
+		return Chunk{}, fmt.Errorf("chunker: read: %w", err)
+	}
+	c := Chunk{Data: buf, Offset: f.offset, Fingerprint: fphash.FromBytes(buf)}
+	f.offset += int64(n)
+	return c, nil
+}
+
+// Params configures a content-defined chunker.
+type Params struct {
+	// Min is the minimum chunk size in bytes. No boundary is considered
+	// before Min bytes have accumulated.
+	Min int
+	// Avg is the target average chunk size in bytes. It must be a power of
+	// two; boundaries are declared where the rolling fingerprint matches a
+	// fixed pattern in its low log2(Avg) bits.
+	Avg int
+	// Max is the maximum chunk size in bytes. A boundary is forced at Max.
+	Max int
+	// Window is the rolling-hash window size in bytes. Zero selects
+	// rabin.DefaultWindow.
+	Window int
+}
+
+// DefaultParams mirrors the paper's FSL configuration: 8 KB average chunks
+// with 2 KB minimum and 16 KB maximum.
+func DefaultParams() Params {
+	return Params{Min: 2 * 1024, Avg: 8 * 1024, Max: 16 * 1024}
+}
+
+// Validate reports whether the parameters are usable.
+func (p Params) Validate() error {
+	if p.Min <= 0 || p.Avg <= 0 || p.Max <= 0 {
+		return errors.New("chunker: sizes must be positive")
+	}
+	if p.Min > p.Avg || p.Avg > p.Max {
+		return fmt.Errorf("chunker: need Min <= Avg <= Max, got %d/%d/%d", p.Min, p.Avg, p.Max)
+	}
+	if p.Avg&(p.Avg-1) != 0 {
+		return fmt.Errorf("chunker: Avg must be a power of two, got %d", p.Avg)
+	}
+	if p.Window < 0 {
+		return fmt.Errorf("chunker: negative window %d", p.Window)
+	}
+	return nil
+}
+
+// ContentDefined cuts the input at content-defined boundaries using a
+// rolling Rabin fingerprint: a boundary is declared at the first position
+// past Min where fp mod Avg == Avg-1 (the paper's "fingerprint modulo a
+// pre-defined divisor equals some constant"), or at Max bytes.
+type ContentDefined struct {
+	r       io.Reader
+	p       Params
+	mask    uint64
+	magic   uint64
+	hash    *rabin.Hash
+	readBuf []byte
+	buf     []byte // unconsumed bytes read ahead of the current chunk
+	offset  int64
+	eof     bool
+}
+
+var _ Chunker = (*ContentDefined)(nil)
+
+// NewContentDefined returns a content-defined chunker reading from r.
+func NewContentDefined(r io.Reader, p Params) (*ContentDefined, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	window := p.Window
+	if window == 0 {
+		window = rabin.DefaultWindow
+	}
+	return &ContentDefined{
+		r:       r,
+		p:       p,
+		mask:    uint64(p.Avg - 1),
+		magic:   uint64(p.Avg - 1),
+		hash:    rabin.New(window),
+		readBuf: make([]byte, 64*1024),
+	}, nil
+}
+
+// fill reads more data into the lookahead buffer. It returns false when the
+// underlying reader is exhausted and the buffer is empty.
+func (c *ContentDefined) fill() (bool, error) {
+	if c.eof {
+		return len(c.buf) > 0, nil
+	}
+	n, err := c.r.Read(c.readBuf)
+	if n > 0 {
+		c.buf = append(c.buf, c.readBuf[:n]...)
+	}
+	if err != nil {
+		if errors.Is(err, io.EOF) {
+			c.eof = true
+			return len(c.buf) > 0, nil
+		}
+		return false, fmt.Errorf("chunker: read: %w", err)
+	}
+	return true, nil
+}
+
+// Next implements Chunker.
+func (c *ContentDefined) Next() (Chunk, error) {
+	c.hash.Reset()
+	cut := -1
+	pos := 0
+	for cut < 0 {
+		// Ensure at least one unprocessed byte is available.
+		for pos >= len(c.buf) {
+			ok, err := c.fill()
+			if err != nil {
+				return Chunk{}, err
+			}
+			if !ok || (c.eof && pos >= len(c.buf)) {
+				// Stream exhausted: emit the remainder, if any.
+				if pos == 0 {
+					return Chunk{}, io.EOF
+				}
+				cut = pos
+				break
+			}
+		}
+		if cut >= 0 {
+			break
+		}
+		fp := c.hash.Roll(c.buf[pos])
+		pos++
+		if pos >= c.p.Max {
+			cut = pos
+		} else if pos >= c.p.Min && fp&c.mask == c.magic {
+			cut = pos
+		}
+	}
+	data := make([]byte, cut)
+	copy(data, c.buf[:cut])
+	c.buf = c.buf[:copy(c.buf, c.buf[cut:])]
+	ch := Chunk{Data: data, Offset: c.offset, Fingerprint: fphash.FromBytes(data)}
+	c.offset += int64(cut)
+	return ch, nil
+}
+
+// All drains a chunker, returning every chunk. It is a convenience for
+// tests and small inputs; large streams should iterate Next directly.
+func All(c Chunker) ([]Chunk, error) {
+	var out []Chunk
+	for {
+		ch, err := c.Next()
+		if errors.Is(err, io.EOF) {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ch)
+	}
+}

@@ -1,0 +1,133 @@
+// Package container implements the container abstraction of deduplicated
+// storage systems (Section 6.2 and 7.4.1): unique chunks are packed into
+// multi-megabyte containers, the basic read/write units, in logical order.
+// Grouping logically-adjacent chunks per container is what lets the DDFS
+// prefetching strategy (load a whole container's fingerprints on an index
+// hit) exploit chunk locality.
+package container
+
+import (
+	"fmt"
+
+	"freqdedup/internal/fphash"
+)
+
+// DefaultBytes is the paper's container size (4 MB).
+const DefaultBytes = 4 << 20
+
+// Entry is one chunk stored in a container. Data may be nil for
+// metadata-only simulations (package ddfs); Size is always set.
+type Entry struct {
+	FP   fphash.Fingerprint
+	Size uint32
+	Data []byte
+}
+
+// Location addresses a stored chunk.
+type Location struct {
+	Container int // container ID
+	Index     int // entry index within the container
+}
+
+// Container is one sealed or in-progress container.
+type Container struct {
+	ID      int
+	Entries []Entry
+	Bytes   int
+}
+
+// Store accumulates chunks into fixed-capacity containers. The zero value
+// is not usable; construct with New.
+type Store struct {
+	capacity int
+	sealed   []*Container
+	current  *Container
+	nextID   int
+}
+
+// New returns a store with the given container byte capacity. It panics if
+// capacity is not positive.
+func New(capacity int) *Store {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("container: capacity must be positive, got %d", capacity))
+	}
+	return &Store{capacity: capacity}
+}
+
+// Append adds a chunk to the current container, sealing it first if the
+// chunk would not fit. It returns the chunk's location. The returned
+// location is stable: containers are never compacted.
+func (s *Store) Append(e Entry) Location {
+	if s.current == nil {
+		s.current = &Container{ID: s.nextID}
+		s.nextID++
+	}
+	if s.current.Bytes > 0 && s.current.Bytes+int(e.Size) > s.capacity {
+		s.Flush()
+		s.current = &Container{ID: s.nextID}
+		s.nextID++
+	}
+	loc := Location{Container: s.current.ID, Index: len(s.current.Entries)}
+	s.current.Entries = append(s.current.Entries, e)
+	s.current.Bytes += int(e.Size)
+	return loc
+}
+
+// Flush seals the current container, if any. It returns the sealed
+// container, or nil if the current container is empty.
+func (s *Store) Flush() *Container {
+	if s.current == nil || len(s.current.Entries) == 0 {
+		return nil
+	}
+	c := s.current
+	s.sealed = append(s.sealed, c)
+	s.current = nil
+	return c
+}
+
+// Get returns the entry at loc. The boolean reports whether the location
+// exists (in a sealed or the in-progress container).
+func (s *Store) Get(loc Location) (Entry, bool) {
+	c, ok := s.container(loc.Container)
+	if !ok || loc.Index < 0 || loc.Index >= len(c.Entries) {
+		return Entry{}, false
+	}
+	return c.Entries[loc.Index], true
+}
+
+// Container returns the container with the given ID, if it exists.
+func (s *Store) Container(id int) (*Container, bool) {
+	return s.container(id)
+}
+
+func (s *Store) container(id int) (*Container, bool) {
+	if id >= 0 && id < len(s.sealed) {
+		// Sealed containers are appended in ID order.
+		return s.sealed[id], true
+	}
+	if s.current != nil && s.current.ID == id {
+		return s.current, true
+	}
+	return nil, false
+}
+
+// Count returns the number of containers, including the in-progress one.
+func (s *Store) Count() int {
+	n := len(s.sealed)
+	if s.current != nil && len(s.current.Entries) > 0 {
+		n++
+	}
+	return n
+}
+
+// Bytes returns the total stored bytes across all containers.
+func (s *Store) Bytes() int {
+	var n int
+	for _, c := range s.sealed {
+		n += c.Bytes
+	}
+	if s.current != nil {
+		n += s.current.Bytes
+	}
+	return n
+}

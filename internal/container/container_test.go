@@ -1,0 +1,118 @@
+package container
+
+import (
+	"testing"
+
+	"freqdedup/internal/fphash"
+)
+
+func entry(id uint64, size uint32) Entry {
+	return Entry{FP: fphash.FromUint64(id), Size: size}
+}
+
+func TestAppendAndGet(t *testing.T) {
+	s := New(100)
+	loc := s.Append(entry(1, 40))
+	if loc.Container != 0 || loc.Index != 0 {
+		t.Fatalf("first location = %+v", loc)
+	}
+	got, ok := s.Get(loc)
+	if !ok || got.FP != fphash.FromUint64(1) {
+		t.Fatalf("Get = %+v, %v", got, ok)
+	}
+}
+
+func TestSealOnCapacity(t *testing.T) {
+	s := New(100)
+	s.Append(entry(1, 60))
+	loc := s.Append(entry(2, 60)) // does not fit: previous sealed
+	if loc.Container != 1 {
+		t.Fatalf("second chunk in container %d, want 1", loc.Container)
+	}
+	if s.Count() != 2 {
+		t.Fatalf("Count = %d, want 2", s.Count())
+	}
+	c, ok := s.Container(0)
+	if !ok || len(c.Entries) != 1 {
+		t.Fatalf("sealed container wrong: %+v %v", c, ok)
+	}
+}
+
+func TestOversizedEntryGetsOwnContainer(t *testing.T) {
+	s := New(100)
+	loc := s.Append(entry(1, 500)) // larger than capacity: stored alone
+	if loc.Container != 0 {
+		t.Fatalf("oversized chunk location %+v", loc)
+	}
+	loc2 := s.Append(entry(2, 10))
+	if loc2.Container != 1 {
+		t.Fatalf("chunk after oversized should start container 1, got %d", loc2.Container)
+	}
+}
+
+func TestFlush(t *testing.T) {
+	s := New(1000)
+	if s.Flush() != nil {
+		t.Fatal("flushing empty store should return nil")
+	}
+	s.Append(entry(1, 10))
+	c := s.Flush()
+	if c == nil || c.ID != 0 || len(c.Entries) != 1 {
+		t.Fatalf("flushed container = %+v", c)
+	}
+	if s.Flush() != nil {
+		t.Fatal("double flush should return nil")
+	}
+	// New appends go into a fresh container.
+	loc := s.Append(entry(2, 10))
+	if loc.Container != 1 {
+		t.Fatalf("post-flush container = %d, want 1", loc.Container)
+	}
+}
+
+func TestLocationsStable(t *testing.T) {
+	s := New(256)
+	locs := make([]Location, 0, 100)
+	for i := uint64(0); i < 100; i++ {
+		locs = append(locs, s.Append(entry(i, 32)))
+	}
+	for i, loc := range locs {
+		got, ok := s.Get(loc)
+		if !ok || got.FP != fphash.FromUint64(uint64(i)) {
+			t.Fatalf("location %d no longer resolves", i)
+		}
+	}
+}
+
+func TestGetMissing(t *testing.T) {
+	s := New(100)
+	if _, ok := s.Get(Location{Container: 5, Index: 0}); ok {
+		t.Fatal("Get of absent container succeeded")
+	}
+	s.Append(entry(1, 10))
+	if _, ok := s.Get(Location{Container: 0, Index: 7}); ok {
+		t.Fatal("Get of absent index succeeded")
+	}
+	if _, ok := s.Get(Location{Container: -1, Index: 0}); ok {
+		t.Fatal("Get of negative container succeeded")
+	}
+}
+
+func TestBytes(t *testing.T) {
+	s := New(100)
+	s.Append(entry(1, 60))
+	s.Append(entry(2, 60))
+	s.Append(entry(3, 10))
+	if got := s.Bytes(); got != 130 {
+		t.Fatalf("Bytes = %d, want 130", got)
+	}
+}
+
+func TestNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(0) did not panic")
+		}
+	}()
+	New(0)
+}

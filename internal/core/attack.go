@@ -1,0 +1,241 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"freqdedup/internal/fphash"
+	"freqdedup/internal/trace"
+)
+
+// Mode selects how the locality-based attack initializes its inferred set
+// (Section 3.3).
+type Mode int
+
+const (
+	// CiphertextOnly models an adversary with only the ciphertext stream
+	// and the auxiliary prior backup: the inferred set is seeded by
+	// frequency analysis.
+	CiphertextOnly Mode = iota + 1
+	// KnownPlaintext models an adversary that additionally knows some
+	// leaked ciphertext-plaintext pairs of the latest backup.
+	KnownPlaintext
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case CiphertextOnly:
+		return "ciphertext-only"
+	case KnownPlaintext:
+		return "known-plaintext"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// LocalityConfig parameterizes the locality-based attack (Algorithm 2).
+type LocalityConfig struct {
+	// U is the number of seed pairs taken from whole-stream frequency
+	// analysis in ciphertext-only mode (paper default 1).
+	U int
+	// V is the number of pairs returned by each per-neighbor frequency
+	// analysis (paper default 15).
+	V int
+	// W bounds the size of the inferred FIFO set G (paper default 200,000;
+	// scale with dataset size). W <= 0 means unbounded.
+	W int
+	// Mode selects the initialization (default CiphertextOnly).
+	Mode Mode
+	// Leaked supplies the known ciphertext-plaintext pairs for
+	// KnownPlaintext mode. Pairs whose chunks do not appear in both streams
+	// are ignored, as in the paper.
+	Leaked []Pair
+	// SizeAware enables the advanced locality-based attack (Algorithm 3):
+	// every frequency analysis is refined by chunk-size classification.
+	SizeAware bool
+	// ArbitraryTies makes the per-neighbor frequency analyses break ties
+	// arbitrarily (by fingerprint) instead of by first stream position.
+	// The default (false) is the stronger attack; this knob exists for the
+	// tie-breaking ablation (see the package comment).
+	ArbitraryTies bool
+}
+
+// DefaultLocalityConfig returns the paper's default parameters (u=1, v=15,
+// w=200,000, ciphertext-only).
+func DefaultLocalityConfig() LocalityConfig {
+	return LocalityConfig{U: 1, V: 15, W: 200000, Mode: CiphertextOnly}
+}
+
+// BasicAttack runs classical frequency analysis (Algorithm 1): it ranks
+// the chunks of the ciphertext stream c and the plaintext stream m by
+// frequency and pairs them rank-for-rank. The returned pairs cover
+// min(|F_C|, |F_M|) chunks.
+func BasicAttack(c, m *trace.Backup) []Pair {
+	fc := make(counts, len(c.Chunks))
+	for i, ch := range c.Chunks {
+		fc.bump(ch.FP, i)
+	}
+	fm := make(counts, len(m.Chunks))
+	for i, ch := range m.Chunks {
+		fm.bump(ch.FP, i)
+	}
+	return freqAnalysis(fc, fm, 0, c.Sizes(), m.Sizes(), false, false)
+}
+
+// AttackStats reports the internals of one locality-attack run — the
+// quantities behind the paper's Section 5.2 cost discussion (the inferred
+// set G drives both memory use and running time).
+type AttackStats struct {
+	// Seeds is the number of pairs the inferred set was initialized with.
+	Seeds int
+	// Iterations is the number of pairs popped from G and processed.
+	Iterations int
+	// PeakQueue is the maximum number of pending pairs in G.
+	PeakQueue int
+	// DroppedByW is the number of inferred pairs not enqueued because G
+	// was at its w bound (they still count as inferred).
+	DroppedByW int
+	// Inferred is the number of ciphertext-plaintext pairs returned.
+	Inferred int
+}
+
+// LocalityAttack runs the locality-based attack (Algorithm 2), or the
+// advanced locality-based attack (Algorithm 3) when cfg.SizeAware is set.
+// c is the ciphertext stream of the latest (target) backup; m is the
+// plaintext stream of a prior backup (the auxiliary information). It
+// returns all inferred ciphertext-plaintext pairs, including the seeds.
+func LocalityAttack(c, m *trace.Backup, cfg LocalityConfig) []Pair {
+	pairs, _ := LocalityAttackWithStats(c, m, cfg)
+	return pairs
+}
+
+// LocalityAttackWithStats is LocalityAttack with run statistics.
+func LocalityAttackWithStats(c, m *trace.Backup, cfg LocalityConfig) ([]Pair, AttackStats) {
+	if cfg.Mode == 0 {
+		cfg.Mode = CiphertextOnly
+	}
+	fc, lc, rc := countStream(c)
+	fm, lm, rm := countStream(m)
+	cSizes, mSizes := c.Sizes(), m.Sizes()
+
+	// Initialize the inferred set G (FIFO queue) and the result set T.
+	var g []Pair
+	switch cfg.Mode {
+	case KnownPlaintext:
+		for _, p := range cfg.Leaked {
+			if _, inC := fc[p.C]; !inC {
+				continue
+			}
+			if _, inM := fm[p.M]; !inM {
+				continue
+			}
+			g = append(g, p)
+		}
+	default:
+		g = freqAnalysis(fc, fm, cfg.U, cSizes, mSizes, cfg.SizeAware, false)
+	}
+
+	stats := AttackStats{Seeds: len(g)}
+
+	t := make(map[fphash.Fingerprint]fphash.Fingerprint, len(g))
+	for _, p := range g {
+		if _, ok := t[p.C]; !ok {
+			t[p.C] = p.M
+		}
+	}
+
+	// Main loop: pop a pair, infer through left and right neighbors.
+	for head := 0; head < len(g); head++ {
+		cur := g[head]
+		stats.Iterations++
+		tl := freqAnalysis(lc[cur.C], lm[cur.M], cfg.V, cSizes, mSizes, cfg.SizeAware, !cfg.ArbitraryTies)
+		tr := freqAnalysis(rc[cur.C], rm[cur.M], cfg.V, cSizes, mSizes, cfg.SizeAware, !cfg.ArbitraryTies)
+		for _, p := range append(tl, tr...) {
+			if _, seen := t[p.C]; seen {
+				continue
+			}
+			t[p.C] = p.M
+			if cfg.W <= 0 || len(g)-head <= cfg.W {
+				g = append(g, p)
+			} else {
+				stats.DroppedByW++
+			}
+		}
+		if pending := len(g) - head - 1; pending > stats.PeakQueue {
+			stats.PeakQueue = pending
+		}
+	}
+
+	out := make([]Pair, 0, len(t))
+	for cf, mf := range t {
+		out = append(out, Pair{C: cf, M: mf})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].C.Less(out[j].C) })
+	stats.Inferred = len(out)
+	return out, stats
+}
+
+// GroundTruth maps each ciphertext chunk fingerprint to the fingerprint of
+// the plaintext chunk it encrypts. Trace-level encryption simulations
+// (package defense) produce it alongside the ciphertext stream.
+type GroundTruth map[fphash.Fingerprint]fphash.Fingerprint
+
+// InferenceRate computes the paper's severity metric: the number of unique
+// ciphertext chunks of the target backup whose plaintext was inferred
+// correctly, over the total number of unique ciphertext chunks in the
+// target backup.
+func InferenceRate(inferred []Pair, truth GroundTruth, target *trace.Backup) float64 {
+	unique := make(map[fphash.Fingerprint]struct{}, len(target.Chunks))
+	for _, ch := range target.Chunks {
+		unique[ch.FP] = struct{}{}
+	}
+	if len(unique) == 0 {
+		return 0
+	}
+	var correct int
+	for _, p := range inferred {
+		if _, inTarget := unique[p.C]; !inTarget {
+			continue
+		}
+		if truth[p.C] == p.M {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(unique))
+}
+
+// SampleLeaked draws leaked ciphertext-plaintext pairs for known-plaintext
+// mode: a uniform sample of unique ciphertext chunks of the target backup,
+// paired with their true plaintexts, sized so that
+// len(result)/unique(target) equals leakageRate (Section 5.3.3). The seed
+// makes the sample reproducible.
+func SampleLeaked(target *trace.Backup, truth GroundTruth, leakageRate float64, seed int64) []Pair {
+	if leakageRate <= 0 {
+		return nil
+	}
+	seen := make(map[fphash.Fingerprint]struct{}, len(target.Chunks))
+	uniq := make([]fphash.Fingerprint, 0, len(target.Chunks))
+	for _, ch := range target.Chunks {
+		if _, ok := seen[ch.FP]; ok {
+			continue
+		}
+		seen[ch.FP] = struct{}{}
+		uniq = append(uniq, ch.FP)
+	}
+	sort.Slice(uniq, func(i, j int) bool { return uniq[i].Less(uniq[j]) })
+	n := int(float64(len(uniq))*leakageRate + 0.5)
+	if n > len(uniq) {
+		n = len(uniq)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(len(uniq), func(i, j int) { uniq[i], uniq[j] = uniq[j], uniq[i] })
+	out := make([]Pair, 0, n)
+	for _, cf := range uniq[:n] {
+		if mf, ok := truth[cf]; ok {
+			out = append(out, Pair{C: cf, M: mf})
+		}
+	}
+	return out
+}

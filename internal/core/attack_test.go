@@ -1,0 +1,370 @@
+package core
+
+import (
+	"testing"
+
+	"freqdedup/internal/fphash"
+	"freqdedup/internal/trace"
+)
+
+// fp builds fingerprints for compact test streams.
+func fp(v uint64) fphash.Fingerprint { return fphash.FromUint64(v) }
+
+// stream builds a backup from fingerprint IDs with uniform size.
+func stream(label string, size uint32, ids ...uint64) *trace.Backup {
+	b := &trace.Backup{Label: label}
+	for _, id := range ids {
+		b.Chunks = append(b.Chunks, trace.ChunkRef{FP: fp(id), Size: size})
+	}
+	return b
+}
+
+// paperExample reproduces the worked example of Figure 3:
+//
+//	M = <M1, M2, M1, M2, M3, M4, M2, M3, M4>
+//	C = <C1, C2, C5, C2, C1, C2, C3, C4, C2, C3, C4, C4>
+//
+// with ground truth Ci <-> Mi for i = 1..4 and C5 new. Ciphertext IDs are
+// 1..5, plaintext IDs are 101..104.
+func paperExample() (c, m *trace.Backup, truth GroundTruth) {
+	m = stream("prior", 4096, 101, 102, 101, 102, 103, 104, 102, 103, 104)
+	c = stream("latest", 4096, 1, 2, 5, 2, 1, 2, 3, 4, 2, 3, 4, 4)
+	truth = GroundTruth{
+		fp(1): fp(101), fp(2): fp(102), fp(3): fp(103), fp(4): fp(104),
+		// fp(5) encrypts a plaintext chunk absent from M.
+		fp(5): fp(999),
+	}
+	return c, m, truth
+}
+
+func TestLocalityAttackPaperExample(t *testing.T) {
+	c, m, truth := paperExample()
+	cfg := LocalityConfig{U: 1, V: 1, W: 0, Mode: CiphertextOnly}
+	pairs := LocalityAttack(c, m, cfg)
+
+	inferred := make(map[fphash.Fingerprint]fphash.Fingerprint)
+	for _, p := range pairs {
+		inferred[p.C] = p.M
+	}
+	// The paper's walk-through: C1..C4 are all inferred correctly, C5 is
+	// not inferable because its plaintext does not appear in M.
+	for i := uint64(1); i <= 4; i++ {
+		if inferred[fp(i)] != truth[fp(i)] {
+			t.Errorf("C%d inferred as %v, want M%d", i, inferred[fp(i)], i)
+		}
+	}
+	if got, ok := inferred[fp(5)]; ok && got == truth[fp(5)] {
+		t.Error("C5 must not be correctly inferable (plaintext not in M)")
+	}
+	if rate := InferenceRate(pairs, truth, c); rate != 0.8 {
+		t.Errorf("inference rate = %.2f, want 0.80 (4 of 5 unique chunks)", rate)
+	}
+}
+
+func TestBasicAttackWeakOnPaperExample(t *testing.T) {
+	c, m, truth := paperExample()
+	basic := InferenceRate(BasicAttack(c, m), truth, c)
+	locality := InferenceRate(LocalityAttack(c, m, LocalityConfig{U: 1, V: 1}), truth, c)
+	if basic >= locality {
+		t.Fatalf("basic attack (%.2f) should be weaker than locality attack (%.2f)", basic, locality)
+	}
+	// The top-frequency pair (C2, M2) is matched even by the basic attack.
+	pairs := BasicAttack(c, m)
+	if pairs[0].C != fp(2) || pairs[0].M != fp(102) {
+		t.Fatalf("top-frequency pair = %v, want (C2, M2)", pairs[0])
+	}
+}
+
+func TestBasicAttackPairsUnique(t *testing.T) {
+	c, m, _ := paperExample()
+	pairs := BasicAttack(c, m)
+	seenC := make(map[fphash.Fingerprint]bool)
+	seenM := make(map[fphash.Fingerprint]bool)
+	for _, p := range pairs {
+		if seenC[p.C] || seenM[p.M] {
+			t.Fatal("basic attack repeated a chunk in its matching")
+		}
+		seenC[p.C], seenM[p.M] = true, true
+	}
+	// min(|F_C|, |F_M|) = min(5, 4) = 4 pairs.
+	if len(pairs) != 4 {
+		t.Fatalf("got %d pairs, want 4", len(pairs))
+	}
+}
+
+func TestLocalityAttackInferredCUnique(t *testing.T) {
+	c, m, _ := paperExample()
+	pairs := LocalityAttack(c, m, DefaultLocalityConfig())
+	seen := make(map[fphash.Fingerprint]bool)
+	for _, p := range pairs {
+		if seen[p.C] {
+			t.Fatalf("ciphertext chunk %v inferred twice", p.C)
+		}
+		seen[p.C] = true
+	}
+}
+
+func TestLocalityAttackDeterministic(t *testing.T) {
+	c, m, _ := paperExample()
+	a := LocalityAttack(c, m, DefaultLocalityConfig())
+	b := LocalityAttack(c, m, DefaultLocalityConfig())
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic result size")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic pair %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestKnownPlaintextSeeding(t *testing.T) {
+	// Without any frequency skew, ciphertext-only seeding can fail; leaked
+	// pairs must still drive inference. Build two identical chains with
+	// all-distinct chunks (every frequency 1).
+	ids := make([]uint64, 50)
+	mids := make([]uint64, 50)
+	for i := range ids {
+		ids[i] = uint64(i + 1)
+		mids[i] = uint64(i + 1001)
+	}
+	c := stream("latest", 4096, ids...)
+	m := stream("prior", 4096, mids...)
+	truth := make(GroundTruth)
+	for i := range ids {
+		truth[fp(ids[i])] = fp(mids[i])
+	}
+	leak := []Pair{{C: fp(25), M: fp(1025)}} // one correct leaked pair mid-stream
+	cfg := LocalityConfig{U: 1, V: 5, W: 0, Mode: KnownPlaintext, Leaked: leak}
+	rate := InferenceRate(LocalityAttack(c, m, cfg), truth, c)
+	if rate < 0.95 {
+		t.Fatalf("known-plaintext on identical chains inferred only %.2f", rate)
+	}
+}
+
+func TestKnownPlaintextIgnoresForeignLeaks(t *testing.T) {
+	c, m, _ := paperExample()
+	cfg := LocalityConfig{
+		U: 1, V: 1, Mode: KnownPlaintext,
+		Leaked: []Pair{
+			{C: fp(777), M: fp(102)}, // C not in stream
+			{C: fp(2), M: fp(888)},   // M not in aux
+		},
+	}
+	pairs := LocalityAttack(c, m, cfg)
+	if len(pairs) != 0 {
+		t.Fatalf("foreign leaked pairs should seed nothing, got %d pairs", len(pairs))
+	}
+}
+
+func TestLocalityAttackWBoundLimitsQueue(t *testing.T) {
+	// A tiny w must not break correctness of already-inferred pairs, only
+	// limit propagation; with w=1 on the paper example propagation is
+	// throttled but the seed remains.
+	c, m, truth := paperExample()
+	pairs := LocalityAttack(c, m, LocalityConfig{U: 1, V: 1, W: 1})
+	if len(pairs) == 0 {
+		t.Fatal("no pairs inferred with bounded queue")
+	}
+	full := LocalityAttack(c, m, LocalityConfig{U: 1, V: 1, W: 0})
+	if len(pairs) > len(full) {
+		t.Fatal("bounded queue inferred more than unbounded")
+	}
+	_ = truth
+}
+
+func TestAdvancedAttackUsesSizes(t *testing.T) {
+	// Two chunks with equal frequencies but different sizes: plain
+	// frequency analysis can confuse them (tie), the size-aware variant
+	// cannot.
+	//
+	// C stream: A A B B  (A size 1000, B size 2000)
+	// M stream: a a b b  (a size 1000, b size 2000)
+	c := &trace.Backup{Label: "c", Chunks: []trace.ChunkRef{
+		{FP: fp(1), Size: 1000}, {FP: fp(1), Size: 1000},
+		{FP: fp(2), Size: 2000}, {FP: fp(2), Size: 2000},
+	}}
+	m := &trace.Backup{Label: "m", Chunks: []trace.ChunkRef{
+		{FP: fp(101), Size: 1000}, {FP: fp(101), Size: 1000},
+		{FP: fp(102), Size: 2000}, {FP: fp(102), Size: 2000},
+	}}
+	truth := GroundTruth{fp(1): fp(101), fp(2): fp(102)}
+	cfg := LocalityConfig{U: 2, V: 2, SizeAware: true}
+	rate := InferenceRate(LocalityAttack(c, m, cfg), truth, c)
+	if rate != 1.0 {
+		t.Fatalf("size-aware attack rate = %.2f, want 1.0 on size-separable chunks", rate)
+	}
+}
+
+func TestBlocksClassification(t *testing.T) {
+	cases := []struct {
+		size uint32
+		want uint32
+	}{{1, 1}, {16, 1}, {17, 2}, {4096, 256}, {4097, 257}}
+	for _, c := range cases {
+		if got := blocks(c.size); got != c.want {
+			t.Errorf("blocks(%d) = %d, want %d", c.size, got, c.want)
+		}
+	}
+}
+
+func TestInferenceRate(t *testing.T) {
+	target := stream("t", 4096, 1, 2, 3, 3)
+	truth := GroundTruth{fp(1): fp(101), fp(2): fp(102), fp(3): fp(103)}
+	pairs := []Pair{
+		{C: fp(1), M: fp(101)}, // correct
+		{C: fp(2), M: fp(999)}, // wrong
+		{C: fp(9), M: fp(103)}, // not in target: must not count
+	}
+	if got := InferenceRate(pairs, truth, target); got != 1.0/3.0 {
+		t.Fatalf("rate = %v, want 1/3", got)
+	}
+	if got := InferenceRate(nil, truth, target); got != 0 {
+		t.Fatalf("empty inference rate = %v, want 0", got)
+	}
+}
+
+func TestSampleLeaked(t *testing.T) {
+	ids := make([]uint64, 1000)
+	for i := range ids {
+		ids[i] = uint64(i + 1)
+	}
+	target := stream("t", 4096, ids...)
+	truth := make(GroundTruth, len(ids))
+	for _, id := range ids {
+		truth[fp(id)] = fp(id + 10000)
+	}
+	leaked := SampleLeaked(target, truth, 0.05, 7)
+	if len(leaked) != 50 {
+		t.Fatalf("leaked %d pairs, want 50 (5%% of 1000 unique)", len(leaked))
+	}
+	for _, p := range leaked {
+		if truth[p.C] != p.M {
+			t.Fatal("leaked pair is not ground truth")
+		}
+	}
+	// Reproducible under the same seed, different under another.
+	again := SampleLeaked(target, truth, 0.05, 7)
+	if len(again) != len(leaked) || again[0] != leaked[0] {
+		t.Fatal("SampleLeaked not reproducible for fixed seed")
+	}
+	if SampleLeaked(target, truth, 0, 7) != nil {
+		t.Fatal("zero leakage should return nil")
+	}
+	if got := SampleLeaked(target, truth, 2.0, 7); len(got) != 1000 {
+		t.Fatalf("leakage >1 should clamp to all uniques, got %d", len(got))
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if CiphertextOnly.String() != "ciphertext-only" || KnownPlaintext.String() != "known-plaintext" {
+		t.Fatal("mode strings wrong")
+	}
+	if Mode(9).String() == "" {
+		t.Fatal("unknown mode should still print")
+	}
+}
+
+func TestCountStream(t *testing.T) {
+	b := stream("b", 4096, 1, 2, 1, 3)
+	f, l, r := countStream(b)
+	if f[fp(1)].count != 2 || f[fp(2)].count != 1 || f[fp(3)].count != 1 {
+		t.Fatalf("frequencies wrong: %v", f)
+	}
+	// First-seen positions for tie-breaking.
+	if f[fp(1)].first != 0 || f[fp(2)].first != 1 || f[fp(3)].first != 3 {
+		t.Fatalf("first positions wrong: %v", f)
+	}
+	if l[fp(2)][fp(1)].count != 1 || l[fp(1)][fp(2)].count != 1 || l[fp(3)][fp(1)].count != 1 {
+		t.Fatalf("left neighbors wrong: %v", l)
+	}
+	if r[fp(1)][fp(2)].count != 1 || r[fp(2)][fp(1)].count != 1 || r[fp(1)][fp(3)].count != 1 {
+		t.Fatalf("right neighbors wrong: %v", r)
+	}
+	if len(l[fp(1)]) != 1 { // first occurrence has no left neighbor
+		t.Fatalf("left table for first chunk wrong: %v", l[fp(1)])
+	}
+}
+
+// TestIdenticalBackupsHighInference is the best-case sanity check: when the
+// auxiliary backup equals the target's plaintext and frequencies are
+// skewed, the locality attack should recover most of the stream.
+func TestIdenticalBackupsHighInference(t *testing.T) {
+	// Build a stream with several recurring anchor chunks and unique
+	// filler. Each anchor recurs 5 times, so its neighbor sets fit within
+	// v=15 and propagation reaches every block; a single over-popular
+	// anchor would throttle coverage (its tie set exceeds v), which is the
+	// coverage-limiting behaviour the paper observes on real traces.
+	var ids []uint64
+	next := uint64(100)
+	for i := 0; i < 40; i++ {
+		ids = append(ids, uint64(1+i%8)) // anchors 1..8, 5 occurrences each
+		for j := 0; j < 20; j++ {
+			next++
+			ids = append(ids, next)
+		}
+	}
+	m := stream("prior", 4096, func() []uint64 {
+		out := make([]uint64, len(ids))
+		for i, id := range ids {
+			out[i] = id + 100000
+		}
+		return out
+	}()...)
+	c := stream("latest", 4096, ids...)
+	truth := make(GroundTruth)
+	for _, id := range ids {
+		truth[fp(id)] = fp(id + 100000)
+	}
+	rate := InferenceRate(LocalityAttack(c, m, DefaultLocalityConfig()), truth, c)
+	if rate < 0.9 {
+		t.Fatalf("identical-content inference rate %.2f, want >= 0.9", rate)
+	}
+}
+
+func TestLocalityAttackStats(t *testing.T) {
+	c, m, _ := paperExample()
+	pairs, stats := LocalityAttackWithStats(c, m, LocalityConfig{U: 1, V: 1, W: 0})
+	if stats.Seeds != 1 {
+		t.Fatalf("seeds = %d, want 1 (u=1)", stats.Seeds)
+	}
+	if stats.Inferred != len(pairs) {
+		t.Fatalf("stats.Inferred = %d, pairs = %d", stats.Inferred, len(pairs))
+	}
+	if stats.Iterations < stats.Seeds || stats.Iterations > stats.Inferred {
+		t.Fatalf("iterations %d outside [seeds, inferred] = [%d, %d]",
+			stats.Iterations, stats.Seeds, stats.Inferred)
+	}
+	if stats.PeakQueue < 1 {
+		t.Fatalf("peak queue = %d, expected >= 1", stats.PeakQueue)
+	}
+	if stats.DroppedByW != 0 {
+		t.Fatalf("unbounded queue dropped %d pairs", stats.DroppedByW)
+	}
+}
+
+func TestLocalityAttackStatsWBound(t *testing.T) {
+	// Force drops with a frequent-anchor stream and w=1.
+	var ids []uint64
+	next := uint64(100)
+	for i := 0; i < 20; i++ {
+		ids = append(ids, uint64(1+i%4))
+		for j := 0; j < 5; j++ {
+			next++
+			ids = append(ids, next)
+		}
+	}
+	mids := make([]uint64, len(ids))
+	for i, id := range ids {
+		mids[i] = id + 100000
+	}
+	c := stream("c", 4096, ids...)
+	m := stream("m", 4096, mids...)
+	_, stats := LocalityAttackWithStats(c, m, LocalityConfig{U: 1, V: 15, W: 1})
+	if stats.DroppedByW == 0 {
+		t.Fatal("w=1 should drop pairs on a branching stream")
+	}
+	if stats.PeakQueue > 2 {
+		t.Fatalf("peak queue %d exceeds w=1 bound (+1 in-flight)", stats.PeakQueue)
+	}
+}

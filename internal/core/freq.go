@@ -1,0 +1,210 @@
+// Package core implements the paper's primary contribution: frequency
+// analysis inference attacks against encrypted deduplication.
+//
+//   - Basic attack (Algorithm 1): classical frequency analysis, matching
+//     ciphertext and plaintext chunks rank-for-rank by frequency.
+//   - Locality-based attack (Algorithm 2): seeds an inferred set with the
+//     most frequent pairs (ciphertext-only mode) or leaked pairs
+//     (known-plaintext mode), then iteratively infers neighbors through
+//     left/right co-occurrence frequency analysis, exploiting chunk
+//     locality in backup streams.
+//   - Advanced locality-based attack (Algorithm 3): augments every
+//     frequency-analysis step with chunk-size classification (sizes in
+//     16-byte cipher blocks), for variable-size chunks.
+//
+// The attacks operate on trace.Backup streams: C, the ciphertext chunk
+// sequence of the latest backup, and M, the plaintext chunk sequence of a
+// prior backup (the auxiliary information). Severity is quantified by the
+// inference rate: correctly inferred unique ciphertext chunks over total
+// unique ciphertext chunks in the latest backup.
+//
+// # Tie-breaking
+//
+// The paper notes that how frequency ties are broken affects inference
+// results (Section 4.1). This implementation uses two tie orders:
+//
+//   - Whole-stream frequency tables (the basic attack and the
+//     locality-based attack's seeding) break ties by fingerprint value —
+//     effectively arbitrary, as in the paper, whose basic attack is
+//     crippled by exactly these ties.
+//   - Per-neighbor co-occurrence tables (the locality-based attack's
+//     iteration) break ties by the first stream position of the
+//     co-occurrence — information the adversary observes directly (it
+//     taps uploads in logical order, Section 3.3). Within one chunk's
+//     small neighbor set, co-occurrence order is preserved across backup
+//     versions wherever the surrounding layout is, so position is a
+//     strong, locality-justified alignment signal; breaking these ties
+//     arbitrarily would discard exploitable structure and understate the
+//     attack.
+package core
+
+import (
+	"sort"
+
+	"freqdedup/internal/fphash"
+	"freqdedup/internal/trace"
+)
+
+// Pair is one inferred ciphertext-plaintext chunk pair (C, M).
+type Pair struct {
+	C fphash.Fingerprint // ciphertext chunk of the latest backup
+	M fphash.Fingerprint // inferred original plaintext chunk
+}
+
+// stat is one chunk's (or neighbor pair's) frequency record: its occurrence
+// count and the stream position of its first occurrence (for tie-breaking).
+type stat struct {
+	count int
+	first int
+}
+
+// counts is an associative array from fingerprint to frequency — F_C / F_M
+// of the paper, or one neighbor-table row L_X[X] / R_X[X].
+type counts map[fphash.Fingerprint]*stat
+
+// bump increments the count for fp, recording position pos on first sight.
+func (c counts) bump(fp fphash.Fingerprint, pos int) {
+	if s, ok := c[fp]; ok {
+		s.count++
+		return
+	}
+	c[fp] = &stat{count: 1, first: pos}
+}
+
+// neighborTable maps each chunk to the co-occurrence counts of its left (or
+// right) neighbors — L_X / R_X of the paper.
+type neighborTable map[fphash.Fingerprint]counts
+
+// countStream builds F, L, and R for a backup stream (the COUNT function of
+// Algorithm 2): chunk frequencies plus left/right neighbor co-occurrence
+// frequencies.
+func countStream(b *trace.Backup) (f counts, l, r neighborTable) {
+	f = make(counts, len(b.Chunks))
+	l = make(neighborTable, len(b.Chunks))
+	r = make(neighborTable, len(b.Chunks))
+	for i, c := range b.Chunks {
+		f.bump(c.FP, i)
+		if i > 0 {
+			left := b.Chunks[i-1].FP
+			lc := l[c.FP]
+			if lc == nil {
+				lc = make(counts)
+				l[c.FP] = lc
+			}
+			lc.bump(left, i)
+			rc := r[left]
+			if rc == nil {
+				rc = make(counts)
+				r[left] = rc
+			}
+			rc.bump(c.FP, i)
+		}
+	}
+	return f, l, r
+}
+
+// freqEntry is one chunk with its frequency record (and size, for the
+// advanced attack's classification).
+type freqEntry struct {
+	fp   fphash.Fingerprint
+	stat stat
+	size uint32
+}
+
+// rankLess orders entries by descending frequency. When posTies is set,
+// ties break by first stream occurrence (neighbor-table analyses);
+// otherwise by fingerprint (whole-stream analyses — arbitrary, as in the
+// paper). Fingerprint order is the final key either way, for determinism.
+func rankLess(a, b freqEntry, posTies bool) bool {
+	if a.stat.count != b.stat.count {
+		return a.stat.count > b.stat.count
+	}
+	if posTies && a.stat.first != b.stat.first {
+		return a.stat.first < b.stat.first
+	}
+	return a.fp.Less(b.fp)
+}
+
+// rank sorts a frequency table into matching order.
+func rank(f counts, sizes map[fphash.Fingerprint]uint32, posTies bool) []freqEntry {
+	out := make([]freqEntry, 0, len(f))
+	for fp, s := range f {
+		out = append(out, freqEntry{fp: fp, stat: *s, size: sizes[fp]})
+	}
+	sort.Slice(out, func(i, j int) bool { return rankLess(out[i], out[j], posTies) })
+	return out
+}
+
+// freqAnalysis pairs the i-th most frequent ciphertext chunk with the i-th
+// most frequent plaintext chunk, returning at most x pairs (x <= 0 means
+// unbounded) — the FREQ-ANALYSIS function of Algorithms 1 and 2.
+func freqAnalysis(fc, fm counts, x int, cSizes, mSizes map[fphash.Fingerprint]uint32, sizeAware, posTies bool) []Pair {
+	if sizeAware {
+		return freqAnalysisBySize(fc, fm, x, cSizes, mSizes, posTies)
+	}
+	rc := rank(fc, cSizes, posTies)
+	rm := rank(fm, mSizes, posTies)
+	n := len(rc)
+	if len(rm) < n {
+		n = len(rm)
+	}
+	if x > 0 && x < n {
+		n = x
+	}
+	pairs := make([]Pair, n)
+	for i := 0; i < n; i++ {
+		pairs[i] = Pair{C: rc[i].fp, M: rm[i].fp}
+	}
+	return pairs
+}
+
+// blocks returns the chunk size in 16-byte cipher blocks, ceil(size/16)
+// (Algorithm 3's CLASSIFY step; AES block size is 16 bytes).
+func blocks(size uint32) uint32 {
+	return (size + 15) / 16
+}
+
+// freqAnalysisBySize is the advanced attack's frequency analysis
+// (Algorithm 3): chunks are first classified by size in cipher blocks, and
+// rank matching happens within each size class, returning up to x pairs per
+// class.
+func freqAnalysisBySize(fc, fm counts, x int, cSizes, mSizes map[fphash.Fingerprint]uint32, posTies bool) []Pair {
+	classify := func(f counts, sizes map[fphash.Fingerprint]uint32) map[uint32][]freqEntry {
+		by := make(map[uint32][]freqEntry)
+		for fp, s := range f {
+			cls := blocks(sizes[fp])
+			by[cls] = append(by[cls], freqEntry{fp: fp, stat: *s, size: sizes[fp]})
+		}
+		for _, list := range by {
+			sort.Slice(list, func(i, j int) bool { return rankLess(list[i], list[j], posTies) })
+		}
+		return by
+	}
+	bc := classify(fc, cSizes)
+	bm := classify(fm, mSizes)
+
+	// Deterministic class order.
+	classes := make([]uint32, 0, len(bc))
+	for s := range bc {
+		if _, ok := bm[s]; ok {
+			classes = append(classes, s)
+		}
+	}
+	sort.Slice(classes, func(i, j int) bool { return classes[i] < classes[j] })
+
+	var pairs []Pair
+	for _, s := range classes {
+		rc, rm := bc[s], bm[s]
+		n := len(rc)
+		if len(rm) < n {
+			n = len(rm)
+		}
+		if x > 0 && x < n {
+			n = x
+		}
+		for i := 0; i < n; i++ {
+			pairs = append(pairs, Pair{C: rc[i].fp, M: rm[i].fp})
+		}
+	}
+	return pairs
+}

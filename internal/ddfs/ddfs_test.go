@@ -1,0 +1,226 @@
+package ddfs
+
+import (
+	"testing"
+
+	"freqdedup/internal/fphash"
+	"freqdedup/internal/trace"
+)
+
+// mkBackup builds a fixed-size-chunk backup from fingerprint IDs.
+func mkBackup(label string, size uint32, ids ...uint64) *trace.Backup {
+	b := &trace.Backup{Label: label}
+	for _, id := range ids {
+		b.Chunks = append(b.Chunks, trace.ChunkRef{FP: fphash.FromUint64(id), Size: size})
+	}
+	return b
+}
+
+// seq returns ids [from, to).
+func seq(from, to uint64) []uint64 {
+	out := make([]uint64, 0, to-from)
+	for i := from; i < to; i++ {
+		out = append(out, i)
+	}
+	return out
+}
+
+func TestFirstBackupAllUnique(t *testing.T) {
+	s := New(Config{ContainerBytes: 40960, ExpectedFingerprints: 1000})
+	st := s.StoreBackup(mkBackup("1", 4096, seq(1, 101)...))
+	if s.UniqueChunks() != 100 {
+		t.Fatalf("unique = %d, want 100", s.UniqueChunks())
+	}
+	// All 100 fingerprints written to the index exactly once: 32 B each.
+	if st.UpdateBytes != 100*EntryBytes {
+		t.Fatalf("update bytes = %d, want %d", st.UpdateBytes, 100*EntryBytes)
+	}
+	// No duplicates, so no container loading.
+	if st.LoadingBytes != 0 {
+		t.Fatalf("loading bytes = %d, want 0", st.LoadingBytes)
+	}
+	// Fresh Bloom filter keeps index lookups near zero (only false
+	// positives could cause any).
+	if st.IndexBytes > 5*EntryBytes {
+		t.Fatalf("index bytes = %d, expected ~0 on first backup", st.IndexBytes)
+	}
+}
+
+func TestSecondIdenticalBackupLoadsContainers(t *testing.T) {
+	cfg := Config{ContainerBytes: 40960, ExpectedFingerprints: 1000} // 10 chunks per container
+	s := New(cfg)
+	b := mkBackup("1", 4096, seq(1, 101)...)
+	s.StoreBackup(b)
+	st := s.StoreBackup(mkBackup("2", 4096, seq(1, 101)...))
+	if st.UpdateBytes != 0 {
+		t.Fatalf("identical backup caused %d update bytes", st.UpdateBytes)
+	}
+	if s.UniqueChunks() != 100 {
+		t.Fatalf("unique = %d, want 100", s.UniqueChunks())
+	}
+	// Each of the 10 containers is loaded once (first chunk misses the
+	// cache, the other 9 hit): 10 loads x 10 entries x 32 B.
+	if st.LoadingBytes != 10*10*EntryBytes {
+		t.Fatalf("loading bytes = %d, want %d", st.LoadingBytes, 10*10*EntryBytes)
+	}
+	// One index lookup per container load.
+	if st.IndexBytes != 10*EntryBytes {
+		t.Fatalf("index bytes = %d, want %d", st.IndexBytes, 10*EntryBytes)
+	}
+	if s.CacheHitRate() < 0.85 {
+		t.Fatalf("cache hit rate %.2f, want ~0.9 from locality prefetch", s.CacheHitRate())
+	}
+}
+
+func TestDuplicateWithinBufferedContainer(t *testing.T) {
+	s := New(Config{ContainerBytes: 1 << 20, ExpectedFingerprints: 100})
+	// Duplicate appears while the container is still buffered in memory:
+	// must not be stored twice and must not hit the on-disk index.
+	st := s.StoreBackup(mkBackup("1", 4096, 1, 2, 1, 3))
+	if s.UniqueChunks() != 3 {
+		t.Fatalf("unique = %d, want 3", s.UniqueChunks())
+	}
+	if s.Duplicates() != 1 {
+		t.Fatalf("duplicates = %d, want 1", s.Duplicates())
+	}
+	if st.IndexBytes != 0 {
+		t.Fatalf("buffered duplicate caused %d index bytes", st.IndexBytes)
+	}
+}
+
+func TestBoundedCacheIncreasesLoading(t *testing.T) {
+	mk := func(cacheBytes uint64) AccessStats {
+		s := New(Config{
+			ContainerBytes:       40960,
+			CacheBytes:           cacheBytes,
+			ExpectedFingerprints: 10000,
+		})
+		s.StoreBackup(mkBackup("1", 4096, seq(1, 1001)...))
+		// Second backup revisits everything twice, interleaved, to stress
+		// eviction.
+		ids := append(seq(1, 1001), seq(1, 1001)...)
+		return s.StoreBackup(mkBackup("2", 4096, ids...))
+	}
+	unbounded := mk(0)
+	tiny := mk(5 * EntryBytes) // holds only 5 fingerprints
+	if tiny.LoadingBytes <= unbounded.LoadingBytes {
+		t.Fatalf("tiny cache loading %d <= unbounded %d; eviction has no effect",
+			tiny.LoadingBytes, unbounded.LoadingBytes)
+	}
+}
+
+func TestLoadingDominatesOnBackupWorkload(t *testing.T) {
+	// Paper (Section 7.4.2): loading access contributes >74% of metadata
+	// access volume across a multi-backup workload with high redundancy.
+	s := New(Config{ContainerBytes: 40960, CacheBytes: 50 * EntryBytes, ExpectedFingerprints: 10000})
+	base := seq(1, 2001)
+	s.StoreBackup(mkBackup("1", 4096, base...))
+	var total AccessStats
+	for i := 0; i < 4; i++ {
+		// Subsequent backups: mostly duplicates, small unique tail.
+		ids := append(append([]uint64{}, base...), seq(uint64(3000+i*100), uint64(3100+i*100))...)
+		st := s.StoreBackup(mkBackup("n", 4096, ids...))
+		total.add(st)
+	}
+	if frac := float64(total.LoadingBytes) / float64(total.Total()); frac < 0.7 {
+		t.Fatalf("loading fraction %.2f, expected dominant (>0.7)", frac)
+	}
+}
+
+func TestTotalsAccumulate(t *testing.T) {
+	s := New(Config{ContainerBytes: 40960, ExpectedFingerprints: 1000})
+	a := s.StoreBackup(mkBackup("1", 4096, seq(1, 51)...))
+	b := s.StoreBackup(mkBackup("2", 4096, seq(1, 51)...))
+	tot := s.Totals()
+	if tot.Total() != a.Total()+b.Total() {
+		t.Fatalf("totals %d != %d + %d", tot.Total(), a.Total(), b.Total())
+	}
+}
+
+func TestStatsAddAndTotal(t *testing.T) {
+	a := AccessStats{UpdateBytes: 1, IndexBytes: 2, LoadingBytes: 3}
+	b := AccessStats{UpdateBytes: 10, IndexBytes: 20, LoadingBytes: 30}
+	a.add(b)
+	if a.UpdateBytes != 11 || a.IndexBytes != 22 || a.LoadingBytes != 33 {
+		t.Fatalf("add wrong: %+v", a)
+	}
+	if a.Total() != 66 {
+		t.Fatalf("total = %d, want 66", a.Total())
+	}
+}
+
+func TestDefaultConfig(t *testing.T) {
+	cfg := DefaultConfig(1000)
+	if cfg.ContainerBytes != 4<<20 || cfg.BloomFPP != 0.01 || cfg.ExpectedFingerprints != 1000 {
+		t.Fatalf("default config wrong: %+v", cfg)
+	}
+	// Zero-value fields are defaulted by New.
+	s := New(Config{})
+	s.StoreBackup(mkBackup("1", 4096, 1, 2, 3))
+	if s.UniqueChunks() != 3 {
+		t.Fatal("zero-config system does not work")
+	}
+}
+
+func TestContainersCount(t *testing.T) {
+	s := New(Config{ContainerBytes: 8192, ExpectedFingerprints: 100})
+	s.StoreBackup(mkBackup("1", 4096, seq(1, 11)...)) // 10 chunks, 2 per container
+	if got := s.Containers(); got != 5 {
+		t.Fatalf("containers = %d, want 5", got)
+	}
+}
+
+func TestContainerSpreadSequential(t *testing.T) {
+	// 100 chunks, 10 per container, restored in storage order: 10 distinct
+	// containers, 9 switches, 10 reads regardless of cache size >= 1.
+	s := New(Config{ContainerBytes: 40960, ExpectedFingerprints: 1000})
+	b := mkBackup("1", 4096, seq(1, 101)...)
+	s.StoreBackup(b)
+	st := s.ContainerSpread(b, 1)
+	if st.Chunks != 100 {
+		t.Fatalf("chunks = %d, want 100", st.Chunks)
+	}
+	if st.DistinctContainers != 10 {
+		t.Fatalf("distinct containers = %d, want 10", st.DistinctContainers)
+	}
+	if st.ContainerSwitches != 9 {
+		t.Fatalf("switches = %d, want 9", st.ContainerSwitches)
+	}
+	if st.ReadsWithCache != 10 {
+		t.Fatalf("reads = %d, want 10", st.ReadsWithCache)
+	}
+}
+
+func TestContainerSpreadInterleaved(t *testing.T) {
+	s := New(Config{ContainerBytes: 40960, ExpectedFingerprints: 1000})
+	s.StoreBackup(mkBackup("1", 4096, seq(1, 101)...))
+	// Restore order ping-pongs between two containers: a 1-container cache
+	// re-reads on every switch; a 2-container cache reads each once.
+	var ids []uint64
+	for i := 0; i < 10; i++ {
+		ids = append(ids, uint64(1+i), uint64(11+i)) // containers 0 and 1
+	}
+	b := mkBackup("r", 4096, ids...)
+	tight := s.ContainerSpread(b, 1)
+	roomy := s.ContainerSpread(b, 2)
+	if tight.ReadsWithCache != 20 {
+		t.Fatalf("1-container cache reads = %d, want 20", tight.ReadsWithCache)
+	}
+	if roomy.ReadsWithCache != 2 {
+		t.Fatalf("2-container cache reads = %d, want 2", roomy.ReadsWithCache)
+	}
+	if tight.ContainerSwitches != 19 {
+		t.Fatalf("switches = %d, want 19", tight.ContainerSwitches)
+	}
+}
+
+func TestLocate(t *testing.T) {
+	s := New(Config{ContainerBytes: 40960, ExpectedFingerprints: 100})
+	s.StoreBackup(mkBackup("1", 4096, seq(1, 25)...))
+	if _, ok := s.Locate(fphash.FromUint64(1)); !ok {
+		t.Fatal("stored chunk not locatable")
+	}
+	if _, ok := s.Locate(fphash.FromUint64(999)); ok {
+		t.Fatal("absent chunk locatable")
+	}
+}

@@ -1,0 +1,302 @@
+// Package dedup implements a byte-level encrypted deduplication engine: the
+// full client/server pipeline of Figure 2. A Client chunks an input stream,
+// encrypts the chunks under a configurable MLE scheme (optionally with the
+// paper's segment scrambling and MinHash encryption defenses), uploads the
+// ciphertext chunks to a Store that deduplicates them into containers, and
+// keeps a sealed recipe from which the original file is restored — in the
+// original order, even when scrambling reordered the stored stream.
+package dedup
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"sync"
+
+	"freqdedup/internal/chunker"
+	"freqdedup/internal/container"
+	"freqdedup/internal/fphash"
+	"freqdedup/internal/mle"
+	"freqdedup/internal/segment"
+	"freqdedup/internal/trace"
+)
+
+// Store is a deduplicated ciphertext-chunk store: one physical copy per
+// unique ciphertext chunk, packed into containers. Backups can be
+// registered for retention management and reclaimed with GC (see gc.go).
+// A Store is safe for concurrent use by multiple clients (Figure 2's
+// multi-client architecture).
+type Store struct {
+	mu             sync.Mutex
+	index          map[fphash.Fingerprint]container.Location
+	containers     *container.Store
+	containerBytes int
+
+	// Retention state: per-backup chunk references and per-chunk counts.
+	backups map[string][]fphash.Fingerprint
+	refs    map[fphash.Fingerprint]int
+
+	logicalBytes  uint64
+	physicalBytes uint64
+	logicalChunks int
+}
+
+// NewStore returns an empty store with the given container capacity
+// (container.DefaultBytes if zero).
+func NewStore(containerBytes int) *Store {
+	if containerBytes == 0 {
+		containerBytes = container.DefaultBytes
+	}
+	return &Store{
+		index:          make(map[fphash.Fingerprint]container.Location),
+		containers:     container.New(containerBytes),
+		containerBytes: containerBytes,
+	}
+}
+
+// Put stores a ciphertext chunk, deduplicating against previously stored
+// chunks. It reports whether the chunk was a duplicate.
+func (s *Store) Put(fp fphash.Fingerprint, data []byte) (duplicate bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.logicalChunks++
+	s.logicalBytes += uint64(len(data))
+	if _, ok := s.index[fp]; ok {
+		return true
+	}
+	buf := make([]byte, len(data))
+	copy(buf, data)
+	loc := s.containers.Append(container.Entry{FP: fp, Size: uint32(len(data)), Data: buf})
+	s.index[fp] = loc
+	s.physicalBytes += uint64(len(data))
+	return false
+}
+
+// Get retrieves a stored ciphertext chunk by fingerprint.
+func (s *Store) Get(fp fphash.Fingerprint) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	loc, ok := s.index[fp]
+	if !ok {
+		return nil, false
+	}
+	e, ok := s.containers.Get(loc)
+	if !ok {
+		return nil, false
+	}
+	return e.Data, true
+}
+
+// Stats reports deduplication effectiveness of everything stored so far.
+func (s *Store) Stats() trace.DedupStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return trace.DedupStats{
+		LogicalBytes:  s.logicalBytes,
+		PhysicalBytes: s.physicalBytes,
+		LogicalChunks: s.logicalChunks,
+		UniqueChunks:  len(s.index),
+	}
+}
+
+// UniqueChunks returns the number of distinct ciphertext chunks stored.
+func (s *Store) UniqueChunks() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.index)
+}
+
+// Encryption selects the client-side encryption pipeline.
+type Encryption int
+
+const (
+	// EncConvergent encrypts each chunk under its content hash.
+	EncConvergent Encryption = iota + 1
+	// EncServerAided derives per-chunk keys from a key manager
+	// (Config.Deriver).
+	EncServerAided
+	// EncMinHash derives one key per segment from the segment's minimum
+	// fingerprint via Config.Deriver (Algorithm 4).
+	EncMinHash
+)
+
+// Config configures a Client.
+type Config struct {
+	// Chunking parameters (chunker.DefaultParams if zero).
+	Chunking chunker.Params
+	// Encryption selects the MLE scheme (EncConvergent if zero).
+	Encryption Encryption
+	// Deriver supplies keys for EncServerAided and EncMinHash.
+	Deriver mle.KeyDeriver
+	// Segments configures segmentation for EncMinHash and Scramble
+	// (segment.DefaultParams if zero).
+	Segments segment.Params
+	// Scramble enables per-segment upload-order scrambling (Algorithm 5).
+	// Restores are unaffected: the recipe preserves original order.
+	Scramble bool
+	// ScrambleSeed seeds scrambling for reproducibility; 0 means a
+	// time-independent fixed seed is NOT used — callers wanting
+	// reproducibility must set it, otherwise a math/rand default source is
+	// used per client.
+	ScrambleSeed int64
+}
+
+// Client is the client side of Figure 2: chunk, encrypt, upload.
+type Client struct {
+	cfg   Config
+	store *Store
+	rng   *rand.Rand
+}
+
+// NewClient returns a client uploading to store.
+func NewClient(store *Store, cfg Config) (*Client, error) {
+	if store == nil {
+		return nil, errors.New("dedup: nil store")
+	}
+	if cfg.Chunking == (chunker.Params{}) {
+		cfg.Chunking = chunker.DefaultParams()
+	}
+	if err := cfg.Chunking.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Encryption == 0 {
+		cfg.Encryption = EncConvergent
+	}
+	if cfg.Segments == (segment.Params{}) {
+		cfg.Segments = segment.DefaultParams()
+	}
+	if err := cfg.Segments.Validate(); err != nil {
+		return nil, err
+	}
+	switch cfg.Encryption {
+	case EncConvergent:
+	case EncServerAided, EncMinHash:
+		if cfg.Deriver == nil {
+			return nil, mle.ErrNoKeyDeriver
+		}
+	default:
+		return nil, fmt.Errorf("dedup: unknown encryption %d", cfg.Encryption)
+	}
+	seed := cfg.ScrambleSeed
+	if seed == 0 {
+		seed = 0x5eed
+	}
+	return &Client{cfg: cfg, store: store, rng: rand.New(rand.NewSource(seed))}, nil
+}
+
+// Backup chunks, encrypts, and uploads the stream, returning the recipe
+// needed to restore it. The recipe must be sealed with the user's key
+// before being stored anywhere untrusted (mle.Recipe.Seal).
+func (c *Client) Backup(r io.Reader) (*mle.Recipe, error) {
+	cdc, err := chunker.NewContentDefined(r, c.cfg.Chunking)
+	if err != nil {
+		return nil, err
+	}
+	chunks, err := chunker.All(cdc)
+	if err != nil {
+		return nil, fmt.Errorf("dedup: chunking: %w", err)
+	}
+	if len(chunks) == 0 {
+		return &mle.Recipe{}, nil
+	}
+
+	// Recipe entries are in original chunk order; uploads may be
+	// scrambled.
+	recipe := &mle.Recipe{Entries: make([]mle.RecipeEntry, len(chunks))}
+
+	refs := make([]trace.ChunkRef, len(chunks))
+	for i, ch := range chunks {
+		refs[i] = trace.ChunkRef{FP: ch.Fingerprint, Size: uint32(ch.Size())}
+	}
+	segs, err := segment.Split(refs, c.cfg.Segments)
+	if err != nil {
+		return nil, err
+	}
+
+	for _, s := range segs {
+		// Per-segment key for MinHash encryption.
+		var segKey mle.Key
+		if c.cfg.Encryption == EncMinHash {
+			fps := make([]fphash.Fingerprint, 0, s.Len())
+			for _, ref := range refs[s.Start:s.End] {
+				fps = append(fps, ref.FP)
+			}
+			segKey, err = mle.NewMinHash(c.cfg.Deriver).SegmentKey(fps)
+			if err != nil {
+				return nil, err
+			}
+		}
+
+		order := make([]int, s.Len())
+		for i := range order {
+			order[i] = s.Start + i
+		}
+		if c.cfg.Scramble {
+			order = scrambleOrder(order, c.rng)
+		}
+
+		for _, idx := range order {
+			ch := chunks[idx]
+			var key mle.Key
+			switch c.cfg.Encryption {
+			case EncConvergent:
+				key = mle.ConvergentKey(ch.Data)
+			case EncServerAided:
+				key, err = c.cfg.Deriver.DeriveKey(ch.Fingerprint)
+				if err != nil {
+					return nil, fmt.Errorf("dedup: derive key: %w", err)
+				}
+			case EncMinHash:
+				key = segKey
+			}
+			ct := mle.EncryptDeterministic(key, ch.Data)
+			cfp := fphash.FromBytes(ct)
+			c.store.Put(cfp, ct)
+			recipe.Entries[idx] = mle.RecipeEntry{
+				Fingerprint: cfp,
+				Key:         key,
+				Size:        uint32(ch.Size()),
+			}
+		}
+	}
+	return recipe, nil
+}
+
+// scrambleOrder applies Algorithm 5's front/back shuffle to a slice of
+// indices.
+func scrambleOrder(in []int, rng *rand.Rand) []int {
+	n := len(in)
+	buf := make([]int, 2*n)
+	front, back := n, n
+	for _, v := range in {
+		if rng.Intn(2) == 1 {
+			front--
+			buf[front] = v
+		} else {
+			buf[back] = v
+			back++
+		}
+	}
+	return buf[front:back]
+}
+
+// Restore reconstructs the original stream described by recipe, writing it
+// to w. Chunks are fetched by ciphertext fingerprint and decrypted with
+// the per-chunk keys; recipe order restores the pre-scrambling layout.
+func (c *Client) Restore(recipe *mle.Recipe, w io.Writer) error {
+	for i, e := range recipe.Entries {
+		ct, ok := c.store.Get(e.Fingerprint)
+		if !ok {
+			return fmt.Errorf("dedup: restore: chunk %d (%v) missing from store", i, e.Fingerprint)
+		}
+		plain := mle.DecryptDeterministic(e.Key, ct)
+		if len(plain) != int(e.Size) {
+			return fmt.Errorf("dedup: restore: chunk %d size %d, recipe says %d", i, len(plain), e.Size)
+		}
+		if _, err := w.Write(plain); err != nil {
+			return fmt.Errorf("dedup: restore: write: %w", err)
+		}
+	}
+	return nil
+}

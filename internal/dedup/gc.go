@@ -1,0 +1,139 @@
+package dedup
+
+import (
+	"errors"
+	"fmt"
+
+	"freqdedup/internal/container"
+	"freqdedup/internal/fphash"
+	"freqdedup/internal/mle"
+)
+
+// Backup retention and garbage collection. Deduplicated storage cannot
+// delete chunks when a backup expires — other backups may reference them.
+// The store therefore tracks reference counts per unique chunk, registered
+// per backup, and a mark-and-sweep style collector reclaims chunks whose
+// count drops to zero, compacting the containers they lived in (the
+// "physical garbage collection" problem of deduplicating storage that the
+// paper's DDFS lineage deals with in production).
+
+// ErrUnknownBackup is returned when deleting a backup ID that was never
+// registered.
+var ErrUnknownBackup = errors.New("dedup: unknown backup id")
+
+// RegisterBackup records a completed backup's chunk references for later
+// retention management. The recipe is the one returned by Client.Backup.
+// Backup IDs are caller-chosen and must be unique.
+func (s *Store) RegisterBackup(id string, recipe *mle.Recipe) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.backups == nil {
+		s.backups = make(map[string][]fphash.Fingerprint)
+	}
+	if _, ok := s.backups[id]; ok {
+		return fmt.Errorf("dedup: backup %q already registered", id)
+	}
+	if s.refs == nil {
+		s.refs = make(map[fphash.Fingerprint]int)
+	}
+	// Count each unique ciphertext chunk once per backup: retention is
+	// per-backup, not per-occurrence.
+	seen := make(map[fphash.Fingerprint]struct{}, len(recipe.Entries))
+	fps := make([]fphash.Fingerprint, 0, len(recipe.Entries))
+	for _, e := range recipe.Entries {
+		if _, ok := seen[e.Fingerprint]; ok {
+			continue
+		}
+		seen[e.Fingerprint] = struct{}{}
+		fps = append(fps, e.Fingerprint)
+		s.refs[e.Fingerprint]++
+	}
+	s.backups[id] = fps
+	return nil
+}
+
+// DeleteBackup drops a backup's references. Chunks are not reclaimed until
+// GC runs.
+func (s *Store) DeleteBackup(id string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	fps, ok := s.backups[id]
+	if !ok {
+		return ErrUnknownBackup
+	}
+	delete(s.backups, id)
+	for _, fp := range fps {
+		if s.refs[fp] <= 1 {
+			delete(s.refs, fp)
+		} else {
+			s.refs[fp]--
+		}
+	}
+	return nil
+}
+
+// Backups lists the registered backup IDs.
+func (s *Store) Backups() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.backups))
+	for id := range s.backups {
+		out = append(out, id)
+	}
+	return out
+}
+
+// GCStats reports what a garbage collection pass reclaimed.
+type GCStats struct {
+	// ChunksReclaimed is the number of unique chunks deleted.
+	ChunksReclaimed int
+	// BytesReclaimed is the physical storage freed.
+	BytesReclaimed uint64
+	// ContainersRewritten is the number of containers compacted to drop
+	// dead chunks.
+	ContainersRewritten int
+}
+
+// GC reclaims chunks that no registered backup references, compacting
+// their containers. Chunks stored before any backup was registered are
+// treated as unreferenced, so callers using retention must register every
+// backup. Locations of surviving chunks change; the fingerprint index is
+// rebuilt accordingly.
+func (s *Store) GC() GCStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var st GCStats
+	// Determine live fingerprints.
+	live := func(fp fphash.Fingerprint) bool {
+		return s.refs[fp] > 0
+	}
+
+	// Rewrite containers, keeping live chunks in their existing order.
+	old := s.containers
+	s.containers = container.New(s.containerBytes)
+	newIndex := make(map[fphash.Fingerprint]container.Location, len(s.index))
+	for id := 0; ; id++ {
+		c, ok := old.Container(id)
+		if !ok {
+			break
+		}
+		rewritten := false
+		for _, e := range c.Entries {
+			if !live(e.FP) {
+				st.ChunksReclaimed++
+				st.BytesReclaimed += uint64(e.Size)
+				s.physicalBytes -= uint64(e.Size)
+				rewritten = true
+				continue
+			}
+			loc := s.containers.Append(e)
+			newIndex[e.FP] = loc
+		}
+		if rewritten {
+			st.ContainersRewritten++
+		}
+	}
+	old.Flush()
+	s.index = newIndex
+	return st
+}

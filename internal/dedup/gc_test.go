@@ -1,0 +1,180 @@
+package dedup
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"freqdedup/internal/mle"
+)
+
+// setupTwoBackups stores two versions sharing most content and registers
+// both, returning the store, client, and recipes.
+func setupTwoBackups(t *testing.T) (*Store, *Client, *mle.Recipe, *mle.Recipe) {
+	t.Helper()
+	store := NewStore(64 << 10)
+	client, err := NewClient(store, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1 := randData(21, 1<<20)
+	v2 := mutate(v1, 22)
+	r1, err := client.Backup(bytes.NewReader(v1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := client.Backup(bytes.NewReader(v2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.RegisterBackup("b1", r1); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.RegisterBackup("b2", r2); err != nil {
+		t.Fatal(err)
+	}
+	return store, client, r1, r2
+}
+
+func TestGCReclaimsNothingWhileReferenced(t *testing.T) {
+	store, client, r1, r2 := setupTwoBackups(t)
+	before := store.Stats().PhysicalBytes
+	st := store.GC()
+	if st.ChunksReclaimed != 0 || st.BytesReclaimed != 0 {
+		t.Fatalf("GC reclaimed referenced data: %+v", st)
+	}
+	if store.Stats().PhysicalBytes != before {
+		t.Fatal("physical bytes changed without reclamation")
+	}
+	// Both backups still restore.
+	for _, r := range []*mle.Recipe{r1, r2} {
+		var out bytes.Buffer
+		if err := client.Restore(r, &out); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestGCReclaimsAfterDelete(t *testing.T) {
+	store, client, r1, r2 := setupTwoBackups(t)
+	before := store.Stats().PhysicalBytes
+	if err := store.DeleteBackup("b1"); err != nil {
+		t.Fatal(err)
+	}
+	st := store.GC()
+	if st.ChunksReclaimed == 0 || st.BytesReclaimed == 0 {
+		t.Fatalf("GC reclaimed nothing after deleting a backup: %+v", st)
+	}
+	after := store.Stats().PhysicalBytes
+	if after != before-st.BytesReclaimed {
+		t.Fatalf("physical accounting wrong: %d != %d - %d", after, before, st.BytesReclaimed)
+	}
+	// The surviving backup must still restore bit-for-bit after container
+	// compaction relocated its chunks.
+	var out bytes.Buffer
+	if err := client.Restore(r2, &out); err != nil {
+		t.Fatalf("surviving backup broken after GC: %v", err)
+	}
+	// The deleted backup's unique chunks must be gone.
+	var missing int
+	for _, e := range r1.Entries {
+		if _, ok := store.Get(e.Fingerprint); !ok {
+			missing++
+		}
+	}
+	if missing == 0 {
+		t.Fatal("no chunk of the deleted backup was reclaimed")
+	}
+}
+
+func TestGCDeleteAllBackups(t *testing.T) {
+	store, _, _, _ := setupTwoBackups(t)
+	if err := store.DeleteBackup("b1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.DeleteBackup("b2"); err != nil {
+		t.Fatal(err)
+	}
+	store.GC()
+	if store.Stats().PhysicalBytes != 0 {
+		t.Fatalf("physical bytes %d after deleting everything", store.Stats().PhysicalBytes)
+	}
+	if store.UniqueChunks() != 0 {
+		t.Fatalf("%d chunks survive with no backups", store.UniqueChunks())
+	}
+}
+
+func TestDeleteBackupErrors(t *testing.T) {
+	store := NewStore(0)
+	if err := store.DeleteBackup("nope"); !errors.Is(err, ErrUnknownBackup) {
+		t.Fatalf("err = %v, want ErrUnknownBackup", err)
+	}
+}
+
+func TestRegisterBackupDuplicateID(t *testing.T) {
+	store := NewStore(0)
+	r := &mle.Recipe{}
+	if err := store.RegisterBackup("a", r); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.RegisterBackup("a", r); err == nil {
+		t.Fatal("duplicate backup id accepted")
+	}
+	if got := store.Backups(); len(got) != 1 || got[0] != "a" {
+		t.Fatalf("Backups() = %v", got)
+	}
+}
+
+func TestGCIdempotent(t *testing.T) {
+	store, client, _, r2 := setupTwoBackups(t)
+	if err := store.DeleteBackup("b1"); err != nil {
+		t.Fatal(err)
+	}
+	store.GC()
+	st := store.GC()
+	if st.ChunksReclaimed != 0 {
+		t.Fatalf("second GC reclaimed %d chunks", st.ChunksReclaimed)
+	}
+	var out bytes.Buffer
+	if err := client.Restore(r2, &out); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGCSharedChunksSurvive(t *testing.T) {
+	// A chunk referenced by two backups must survive deleting one of them.
+	store := NewStore(0)
+	client, err := NewClient(store, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := randData(33, 256<<10)
+	r1, err := client.Backup(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := client.Backup(bytes.NewReader(data)) // identical content
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.RegisterBackup("x", r1); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.RegisterBackup("y", r2); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.DeleteBackup("x"); err != nil {
+		t.Fatal(err)
+	}
+	st := store.GC()
+	if st.ChunksReclaimed != 0 {
+		t.Fatalf("GC reclaimed %d chunks still referenced by backup y", st.ChunksReclaimed)
+	}
+	var out bytes.Buffer
+	if err := client.Restore(r2, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out.Bytes(), data) {
+		t.Fatal("shared-chunk restore failed after GC")
+	}
+}

@@ -1,0 +1,99 @@
+package defense
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"freqdedup/internal/fphash"
+	"freqdedup/internal/trace"
+)
+
+// randomBackup builds an arbitrary backup with some duplication.
+func randomBackup(seed int64) *trace.Backup {
+	rng := rand.New(rand.NewSource(seed))
+	b := &trace.Backup{Label: "prop"}
+	pool := make([]trace.ChunkRef, 1+rng.Intn(64))
+	for i := range pool {
+		pool[i] = trace.ChunkRef{
+			FP:   fphash.FromUint64(rng.Uint64() | 1),
+			Size: uint32(1024 + rng.Intn(8192)),
+		}
+	}
+	n := 1 + rng.Intn(500)
+	for i := 0; i < n; i++ {
+		b.Chunks = append(b.Chunks, pool[rng.Intn(len(pool))])
+	}
+	return b
+}
+
+// schemeInvariants checks the invariants every trace-level scheme must
+// satisfy: stream length preserved, sizes preserved through ground truth,
+// the recovered plaintext multiset equals the original, and RecipeOrder is
+// a permutation-consistent view of the same chunks.
+func schemeInvariants(b *trace.Backup, enc Encrypted) bool {
+	if len(enc.Backup.Chunks) != len(b.Chunks) {
+		return false
+	}
+	if len(enc.RecipeOrder) != len(b.Chunks) {
+		return false
+	}
+	orig := b.Frequencies()
+	got := make(map[fphash.Fingerprint]int)
+	for _, c := range enc.Backup.Chunks {
+		pfp, ok := enc.Truth[c.FP]
+		if !ok {
+			return false
+		}
+		got[pfp]++
+	}
+	if len(got) != len(orig) {
+		return false
+	}
+	for fp, n := range orig {
+		if got[fp] != n {
+			return false
+		}
+	}
+	// RecipeOrder resolves to the original plaintext sequence, in order.
+	for i, c := range enc.RecipeOrder {
+		if enc.Truth[c.FP] != b.Chunks[i].FP || c.Size != b.Chunks[i].Size {
+			return false
+		}
+	}
+	return true
+}
+
+func TestSchemeInvariantsProperty(t *testing.T) {
+	schemes := []Scheme{SchemeMLE, SchemeMinHash, SchemeCombined, SchemeScrambleOnly, SchemeRCE}
+	f := func(seed int64) bool {
+		b := randomBackup(seed)
+		for _, s := range schemes {
+			enc, err := Encrypt(b, s, seed)
+			if err != nil {
+				return false
+			}
+			if !schemeInvariants(b, enc) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCiphertextNamespacesDisjoint: different schemes must never produce
+// the same ciphertext fingerprint for a plaintext chunk unless they are
+// definitionally identical mappings.
+func TestCiphertextNamespacesDisjoint(t *testing.T) {
+	b := randomBackup(99)
+	mle := EncryptMLE(b)
+	rce := EncryptRCE(b)
+	for i := range b.Chunks {
+		if mle.Backup.Chunks[i].FP == rce.Backup.Chunks[i].FP {
+			t.Fatal("MLE and RCE namespaces collide")
+		}
+	}
+}

@@ -1,0 +1,124 @@
+// Package fphash defines the chunk fingerprint type used throughout the
+// system and helpers to compute fingerprints from chunk content.
+//
+// A fingerprint identifies a chunk by content: two chunks are considered
+// identical if and only if their fingerprints are equal (Section 2.1 of the
+// paper). Real deployments use a full cryptographic hash; the FSL traces the
+// paper evaluates use 48-bit truncated fingerprints. We store fingerprints
+// in a fixed 8-byte value, which is compact enough to keep tens of millions
+// in memory and wide enough that collisions are negligible at our scales.
+package fphash
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+)
+
+// Size is the size of a Fingerprint in bytes.
+const Size = 8
+
+// Fingerprint is a compact content identifier for a chunk. It is comparable
+// and can be used directly as a map key.
+type Fingerprint [Size]byte
+
+// Zero is the zero fingerprint. It is never produced by hashing and can be
+// used as a sentinel.
+var Zero Fingerprint
+
+// FromBytes computes the fingerprint of a chunk's content using SHA-256
+// truncated to 8 bytes.
+func FromBytes(content []byte) Fingerprint {
+	sum := sha256.Sum256(content)
+	var fp Fingerprint
+	copy(fp[:], sum[:Size])
+	return fp
+}
+
+// FromUint64 builds a fingerprint from a 64-bit integer. Trace generators
+// use it to mint synthetic fingerprints from counters and seeded PRNGs.
+func FromUint64(v uint64) Fingerprint {
+	var fp Fingerprint
+	binary.BigEndian.PutUint64(fp[:], v)
+	return fp
+}
+
+// Uint64 returns the fingerprint as a 64-bit integer. It is the inverse of
+// FromUint64 and is also used to derive secondary hash values (e.g. by the
+// Bloom filter and the segmenter).
+func (fp Fingerprint) Uint64() uint64 {
+	return binary.BigEndian.Uint64(fp[:])
+}
+
+// Truncate zeroes all but the first n bytes, emulating traces that identify
+// chunks by truncated hashes (the FSL archive uses 48-bit fingerprints,
+// n = 6). Truncate panics if n is out of range.
+func (fp Fingerprint) Truncate(n int) Fingerprint {
+	if n < 1 || n > Size {
+		panic(fmt.Sprintf("fphash: invalid truncation length %d", n))
+	}
+	var out Fingerprint
+	copy(out[:n], fp[:n])
+	return out
+}
+
+// Less reports whether fp orders before other lexicographically. It defines
+// the canonical total order used for deterministic tie-breaking in frequency
+// ranking and for the MinHash minimum.
+func (fp Fingerprint) Less(other Fingerprint) bool {
+	for i := 0; i < Size; i++ {
+		if fp[i] != other[i] {
+			return fp[i] < other[i]
+		}
+	}
+	return false
+}
+
+// Compare returns -1, 0, or +1 comparing fp to other lexicographically.
+func (fp Fingerprint) Compare(other Fingerprint) int {
+	for i := 0; i < Size; i++ {
+		if fp[i] != other[i] {
+			if fp[i] < other[i] {
+				return -1
+			}
+			return 1
+		}
+	}
+	return 0
+}
+
+// IsZero reports whether fp is the zero fingerprint.
+func (fp Fingerprint) IsZero() bool {
+	return fp == Zero
+}
+
+// String returns the fingerprint as lowercase hex.
+func (fp Fingerprint) String() string {
+	return hex.EncodeToString(fp[:])
+}
+
+// Parse decodes a hex-encoded fingerprint produced by String.
+func Parse(s string) (Fingerprint, error) {
+	var fp Fingerprint
+	b, err := hex.DecodeString(s)
+	if err != nil {
+		return Zero, fmt.Errorf("fphash: parse %q: %w", s, err)
+	}
+	if len(b) != Size {
+		return Zero, fmt.Errorf("fphash: parse %q: got %d bytes, want %d", s, len(b), Size)
+	}
+	copy(fp[:], b)
+	return fp, nil
+}
+
+// Mix returns a well-distributed 64-bit hash of the fingerprint combined
+// with a salt. It implements a splitmix64-style finalizer and is used where
+// independent hash functions over fingerprints are needed (Bloom filter
+// double hashing, scrambling decisions, segment boundary tests).
+func (fp Fingerprint) Mix(salt uint64) uint64 {
+	z := fp.Uint64() + salt + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

@@ -1,0 +1,147 @@
+package fphash
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestFromBytesDeterministic(t *testing.T) {
+	a := FromBytes([]byte("hello world"))
+	b := FromBytes([]byte("hello world"))
+	if a != b {
+		t.Fatalf("same content produced different fingerprints: %v vs %v", a, b)
+	}
+}
+
+func TestFromBytesDistinct(t *testing.T) {
+	a := FromBytes([]byte("hello world"))
+	b := FromBytes([]byte("hello worlD"))
+	if a == b {
+		t.Fatalf("distinct content produced equal fingerprints: %v", a)
+	}
+}
+
+func TestFromBytesEmptyNotZero(t *testing.T) {
+	if FromBytes(nil).IsZero() {
+		t.Fatal("fingerprint of empty content must not be the zero sentinel")
+	}
+}
+
+func TestUint64RoundTrip(t *testing.T) {
+	f := func(v uint64) bool {
+		return FromUint64(v).Uint64() == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStringParseRoundTrip(t *testing.T) {
+	f := func(v uint64) bool {
+		fp := FromUint64(v)
+		got, err := Parse(fp.String())
+		return err == nil && got == fp
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{"", "zz", "00", "0001020304050607ff"}
+	for _, s := range cases {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q): expected error", s)
+		}
+	}
+}
+
+func TestTruncate(t *testing.T) {
+	fp := FromUint64(0x0102030405060708)
+	got := fp.Truncate(6)
+	want := Fingerprint{1, 2, 3, 4, 5, 6, 0, 0}
+	if got != want {
+		t.Fatalf("Truncate(6) = %v, want %v", got, want)
+	}
+	if fp.Truncate(Size) != fp {
+		t.Fatal("Truncate(Size) must be identity")
+	}
+}
+
+func TestTruncatePanics(t *testing.T) {
+	for _, n := range []int{0, -1, Size + 1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Truncate(%d) did not panic", n)
+				}
+			}()
+			FromUint64(1).Truncate(n)
+		}()
+	}
+}
+
+func TestLessAgreesWithCompare(t *testing.T) {
+	f := func(a, b uint64) bool {
+		x, y := FromUint64(a), FromUint64(b)
+		switch x.Compare(y) {
+		case -1:
+			return x.Less(y) && !y.Less(x) && a < b
+		case 1:
+			return y.Less(x) && !x.Less(y) && a > b
+		default:
+			return !x.Less(y) && !y.Less(x) && a == b
+		}
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLessIsTotalOrder(t *testing.T) {
+	fps := []Fingerprint{
+		FromUint64(5), FromUint64(1), FromUint64(0xffffffffffffffff),
+		FromUint64(0), FromUint64(256), FromUint64(255),
+	}
+	sort.Slice(fps, func(i, j int) bool { return fps[i].Less(fps[j]) })
+	for i := 1; i < len(fps); i++ {
+		if fps[i].Less(fps[i-1]) {
+			t.Fatalf("sort not consistent at %d", i)
+		}
+		if fps[i-1].Uint64() > fps[i].Uint64() {
+			t.Fatalf("lexicographic order disagrees with numeric order for big-endian encoding")
+		}
+	}
+}
+
+func TestMixDiffersBySalt(t *testing.T) {
+	fp := FromBytes([]byte("chunk"))
+	if fp.Mix(1) == fp.Mix(2) {
+		t.Fatal("Mix with different salts should differ")
+	}
+}
+
+func TestMixDistribution(t *testing.T) {
+	// Consecutive counters should map to well-spread hash values: check that
+	// low bits are roughly balanced.
+	var ones int
+	const n = 4096
+	for i := uint64(0); i < n; i++ {
+		if FromUint64(i).Mix(7)&1 == 1 {
+			ones++
+		}
+	}
+	if ones < n/3 || ones > 2*n/3 {
+		t.Fatalf("Mix low bit badly skewed: %d/%d ones", ones, n)
+	}
+}
+
+func BenchmarkFromBytes8K(b *testing.B) {
+	buf := make([]byte, 8192)
+	b.SetBytes(int64(len(buf)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		FromBytes(buf)
+	}
+}

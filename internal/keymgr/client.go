@@ -1,0 +1,104 @@
+package keymgr
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"freqdedup/internal/fphash"
+	"freqdedup/internal/mle"
+)
+
+// Client talks to a key manager server and implements mle.KeyDeriver, so it
+// plugs directly into server-aided MLE and MinHash encryption. It is safe
+// for concurrent use; requests are serialized over one connection.
+type Client struct {
+	mu     sync.Mutex
+	conn   net.Conn
+	closed bool
+
+	// RetryRateLimit, when positive, makes DeriveKey sleep this long and
+	// retry (once per interval) when the server answers "rate limited",
+	// mimicking a client that waits out the DupLESS rate limiter. When
+	// zero, DeriveKey returns ErrRateLimited immediately.
+	RetryRateLimit time.Duration
+	// MaxRetries bounds rate-limit retries (0 = no retries).
+	MaxRetries int
+}
+
+var _ mle.KeyDeriver = (*Client)(nil)
+
+// Dial connects and authenticates to the key manager at addr.
+func Dial(addr string, token [TokenSize]byte) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("keymgr: dial: %w", err)
+	}
+	if _, err := conn.Write(token[:]); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("keymgr: send token: %w", err)
+	}
+	var status [1]byte
+	if _, err := io.ReadFull(conn, status[:]); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("keymgr: read auth status: %w", err)
+	}
+	if status[0] != statusOK {
+		conn.Close()
+		return nil, ErrAuthFailed
+	}
+	return &Client{conn: conn}, nil
+}
+
+// DeriveKey implements mle.KeyDeriver by querying the key manager.
+func (c *Client) DeriveKey(fp fphash.Fingerprint) (mle.Key, error) {
+	for attempt := 0; ; attempt++ {
+		key, err := c.deriveOnce(fp)
+		if err == ErrRateLimited && c.RetryRateLimit > 0 && attempt < c.MaxRetries {
+			time.Sleep(c.RetryRateLimit)
+			continue
+		}
+		return key, err
+	}
+}
+
+func (c *Client) deriveOnce(fp fphash.Fingerprint) (mle.Key, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return mle.Key{}, ErrClosed
+	}
+	if _, err := c.conn.Write(fp[:]); err != nil {
+		return mle.Key{}, fmt.Errorf("keymgr: send request: %w", err)
+	}
+	var status [1]byte
+	if _, err := io.ReadFull(c.conn, status[:]); err != nil {
+		return mle.Key{}, fmt.Errorf("keymgr: read status: %w", err)
+	}
+	switch status[0] {
+	case statusOK:
+		var key mle.Key
+		if _, err := io.ReadFull(c.conn, key[:]); err != nil {
+			return mle.Key{}, fmt.Errorf("keymgr: read key: %w", err)
+		}
+		return key, nil
+	case statusRateLimited:
+		return mle.Key{}, ErrRateLimited
+	default:
+		return mle.Key{}, fmt.Errorf("keymgr: unexpected status %#x", status[0])
+	}
+}
+
+// Close closes the connection. Subsequent DeriveKey calls fail with
+// ErrClosed.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	return c.conn.Close()
+}

@@ -1,0 +1,296 @@
+// Package keymgr implements a DupLESS-style key manager for server-aided
+// MLE (Section 2.2): a dedicated server that derives chunk keys from chunk
+// fingerprints and a system-wide secret, accessible only by authenticated
+// clients, and that rate-limits key generation to slow down online
+// brute-force attacks.
+//
+// The wire protocol is a minimal binary request/response over TCP:
+//
+//	client -> server (once):  32-byte auth token
+//	server -> client (once):  1-byte status (statusOK or statusAuthFailed)
+//	client -> server (per req): 8-byte chunk fingerprint
+//	server -> client (per req): 1-byte status; on statusOK, a 32-byte key
+//
+// The server derives keys as HMAC-SHA-256(secret, fingerprint), so the
+// resulting keys look random to anyone without the secret, while remaining
+// deterministic for deduplication.
+package keymgr
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"crypto/subtle"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"freqdedup/internal/fphash"
+	"freqdedup/internal/mle"
+)
+
+// Wire protocol status codes.
+const (
+	statusOK          = 0x01
+	statusAuthFailed  = 0x02
+	statusRateLimited = 0x03
+)
+
+// TokenSize is the size of the client authentication token in bytes.
+const TokenSize = 32
+
+// Errors returned by the client.
+var (
+	ErrAuthFailed  = errors.New("keymgr: authentication failed")
+	ErrRateLimited = errors.New("keymgr: rate limited")
+	ErrClosed      = errors.New("keymgr: closed")
+)
+
+// RateLimiter bounds the rate of key derivations. Implementations must be
+// safe for concurrent use.
+type RateLimiter interface {
+	// Allow reports whether one more request may proceed now.
+	Allow() bool
+}
+
+// unlimited allows everything.
+type unlimited struct{}
+
+func (unlimited) Allow() bool { return true }
+
+// TokenBucket is a classic token-bucket rate limiter: capacity `burst`
+// tokens, refilled at `rate` tokens per second.
+type TokenBucket struct {
+	mu     sync.Mutex
+	rate   float64
+	burst  float64
+	tokens float64
+	last   time.Time
+	now    func() time.Time // injectable clock for tests
+}
+
+var _ RateLimiter = (*TokenBucket)(nil)
+
+// NewTokenBucket returns a bucket allowing `rate` requests per second with
+// the given burst. It panics if rate or burst is not positive.
+func NewTokenBucket(rate, burst float64) *TokenBucket {
+	if rate <= 0 || burst <= 0 {
+		panic(fmt.Sprintf("keymgr: invalid token bucket rate=%v burst=%v", rate, burst))
+	}
+	tb := &TokenBucket{rate: rate, burst: burst, tokens: burst, now: time.Now}
+	tb.last = tb.now()
+	return tb
+}
+
+// Allow implements RateLimiter.
+func (tb *TokenBucket) Allow() bool {
+	tb.mu.Lock()
+	defer tb.mu.Unlock()
+	now := tb.now()
+	elapsed := now.Sub(tb.last).Seconds()
+	tb.last = now
+	tb.tokens += elapsed * tb.rate
+	if tb.tokens > tb.burst {
+		tb.tokens = tb.burst
+	}
+	if tb.tokens < 1 {
+		return false
+	}
+	tb.tokens--
+	return true
+}
+
+// ServerConfig configures a key manager server.
+type ServerConfig struct {
+	// Secret is the system-wide key-derivation secret. Required.
+	Secret []byte
+	// Token authenticates clients. Required.
+	Token [TokenSize]byte
+	// Limiter rate-limits key derivations; nil means unlimited.
+	Limiter RateLimiter
+	// IdleTimeout closes connections that send no request for this long
+	// (including clients that never complete authentication). Zero means
+	// no timeout.
+	IdleTimeout time.Duration
+}
+
+// Server is the key manager. Create with NewServer, start with Serve or
+// ListenAndServe, stop with Close.
+type Server struct {
+	cfg ServerConfig
+
+	mu       sync.Mutex
+	ln       net.Listener
+	conns    map[net.Conn]struct{}
+	closed   bool
+	wg       sync.WaitGroup
+	derived  uint64 // number of keys derived (stats)
+	rejected uint64 // number of rate-limited requests (stats)
+}
+
+// NewServer returns a server with the given configuration.
+func NewServer(cfg ServerConfig) (*Server, error) {
+	if len(cfg.Secret) == 0 {
+		return nil, errors.New("keymgr: empty secret")
+	}
+	if cfg.Limiter == nil {
+		cfg.Limiter = unlimited{}
+	}
+	secret := make([]byte, len(cfg.Secret))
+	copy(secret, cfg.Secret)
+	cfg.Secret = secret
+	return &Server{cfg: cfg, conns: make(map[net.Conn]struct{})}, nil
+}
+
+// ListenAndServe listens on addr (e.g. "127.0.0.1:0") and serves until
+// Close. It returns the bound address on a channel-free API by requiring
+// the caller to use Addr after it returns from listening setup; prefer
+// Listen + Serve for tests.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("keymgr: listen: %w", err)
+	}
+	return s.Serve(ln)
+}
+
+// Serve accepts connections on ln until Close is called.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return ErrClosed
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return fmt.Errorf("keymgr: accept: %w", err)
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return nil
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go func() {
+			defer s.wg.Done()
+			s.handle(conn)
+		}()
+	}
+}
+
+// Addr returns the listener address, or nil before Serve.
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// Close stops the listener and closes all active connections.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	ln := s.ln
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+// Stats returns the number of keys derived and requests rejected by rate
+// limiting since the server started.
+func (s *Server) Stats() (derived, rejected uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.derived, s.rejected
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+
+	refreshDeadline := func() {
+		if s.cfg.IdleTimeout > 0 {
+			conn.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout)) //nolint:errcheck
+		}
+	}
+
+	refreshDeadline()
+	var token [TokenSize]byte
+	if _, err := io.ReadFull(conn, token[:]); err != nil {
+		return
+	}
+	if subtle.ConstantTimeCompare(token[:], s.cfg.Token[:]) != 1 {
+		conn.Write([]byte{statusAuthFailed})
+		return
+	}
+	if _, err := conn.Write([]byte{statusOK}); err != nil {
+		return
+	}
+
+	var fp fphash.Fingerprint
+	resp := make([]byte, 1+mle.KeySize)
+	for {
+		refreshDeadline()
+		if _, err := io.ReadFull(conn, fp[:]); err != nil {
+			return
+		}
+		if !s.cfg.Limiter.Allow() {
+			s.mu.Lock()
+			s.rejected++
+			s.mu.Unlock()
+			if _, err := conn.Write([]byte{statusRateLimited}); err != nil {
+				return
+			}
+			continue
+		}
+		key := s.derive(fp)
+		s.mu.Lock()
+		s.derived++
+		s.mu.Unlock()
+		resp[0] = statusOK
+		copy(resp[1:], key[:])
+		if _, err := conn.Write(resp); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) derive(fp fphash.Fingerprint) mle.Key {
+	mac := hmac.New(sha256.New, s.cfg.Secret)
+	mac.Write(fp[:])
+	var k mle.Key
+	copy(k[:], mac.Sum(nil))
+	return k
+}

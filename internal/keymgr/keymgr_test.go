@@ -1,0 +1,341 @@
+package keymgr
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"freqdedup/internal/fphash"
+	"freqdedup/internal/mle"
+)
+
+func startServer(t *testing.T, cfg ServerConfig) *Server {
+	t.Helper()
+	if cfg.Secret == nil {
+		cfg.Secret = []byte("test-system-secret")
+	}
+	srv, err := NewServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln) //nolint:errcheck // exits on Close
+	// Serve stores the listener synchronously before accepting, but give it
+	// a moment to start accepting.
+	t.Cleanup(func() { srv.Close() })
+	// Stash the address via the listener we created.
+	srv.mu.Lock()
+	if srv.ln == nil {
+		srv.ln = ln
+	}
+	srv.mu.Unlock()
+	return srv
+}
+
+func testToken() [TokenSize]byte {
+	var tok [TokenSize]byte
+	copy(tok[:], "authorized-client-token")
+	return tok
+}
+
+func TestDeriveKeyMatchesLocalHMAC(t *testing.T) {
+	secret := []byte("shared secret")
+	srv := startServer(t, ServerConfig{Secret: secret, Token: testToken()})
+	client, err := Dial(srv.Addr().String(), testToken())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	fp := fphash.FromBytes([]byte("some chunk"))
+	got, err := client.DeriveKey(fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := mle.NewLocalDeriver(secret).DeriveKey(fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatal("server key derivation disagrees with HMAC-SHA-256(secret, fp)")
+	}
+}
+
+func TestDeriveKeyDeterministic(t *testing.T) {
+	srv := startServer(t, ServerConfig{Token: testToken()})
+	client, err := Dial(srv.Addr().String(), testToken())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	fp := fphash.FromUint64(99)
+	a, err := client.DeriveKey(fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := client.DeriveKey(fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("key derivation must be deterministic")
+	}
+	c, err := client.DeriveKey(fphash.FromUint64(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == c {
+		t.Fatal("distinct fingerprints derived identical keys")
+	}
+}
+
+func TestAuthFailure(t *testing.T) {
+	srv := startServer(t, ServerConfig{Token: testToken()})
+	var badToken [TokenSize]byte
+	copy(badToken[:], "wrong token")
+	if _, err := Dial(srv.Addr().String(), badToken); !errors.Is(err, ErrAuthFailed) {
+		t.Fatalf("err = %v, want ErrAuthFailed", err)
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	srv := startServer(t, ServerConfig{Token: testToken()})
+	const clients = 8
+	const reqs = 50
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			client, err := Dial(srv.Addr().String(), testToken())
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer client.Close()
+			for j := 0; j < reqs; j++ {
+				fp := fphash.FromUint64(uint64(id*1000 + j))
+				if _, err := client.DeriveKey(fp); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	derived, _ := srv.Stats()
+	if derived != clients*reqs {
+		t.Fatalf("derived = %d, want %d", derived, clients*reqs)
+	}
+}
+
+func TestSharedClientConcurrency(t *testing.T) {
+	srv := startServer(t, ServerConfig{Token: testToken()})
+	client, err := Dial(srv.Addr().String(), testToken())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			fp := fphash.FromUint64(uint64(i))
+			want, _ := mle.NewLocalDeriver([]byte("test-system-secret")).DeriveKey(fp)
+			got, err := client.DeriveKey(fp)
+			if err != nil {
+				t.Errorf("DeriveKey: %v", err)
+				return
+			}
+			if got != want {
+				t.Error("concurrent use corrupted a response")
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+func TestRateLimiting(t *testing.T) {
+	// 1 request/second with burst 2: the first two requests pass, the third
+	// is rejected.
+	srv := startServer(t, ServerConfig{
+		Token:   testToken(),
+		Limiter: NewTokenBucket(1, 2),
+	})
+	client, err := Dial(srv.Addr().String(), testToken())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	for i := 0; i < 2; i++ {
+		if _, err := client.DeriveKey(fphash.FromUint64(uint64(i))); err != nil {
+			t.Fatalf("request %d rejected within burst: %v", i, err)
+		}
+	}
+	if _, err := client.DeriveKey(fphash.FromUint64(2)); !errors.Is(err, ErrRateLimited) {
+		t.Fatalf("err = %v, want ErrRateLimited", err)
+	}
+	_, rejected := srv.Stats()
+	if rejected != 1 {
+		t.Fatalf("rejected = %d, want 1", rejected)
+	}
+}
+
+func TestRateLimitRetry(t *testing.T) {
+	srv := startServer(t, ServerConfig{
+		Token:   testToken(),
+		Limiter: NewTokenBucket(50, 1), // refills fast enough to retry
+	})
+	client, err := Dial(srv.Addr().String(), testToken())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	client.RetryRateLimit = 50 * time.Millisecond
+	client.MaxRetries = 5
+	// Burn the burst token.
+	if _, err := client.DeriveKey(fphash.FromUint64(0)); err != nil {
+		t.Fatal(err)
+	}
+	// This one should get rate limited once, wait, then succeed.
+	if _, err := client.DeriveKey(fphash.FromUint64(1)); err != nil {
+		t.Fatalf("retrying client failed: %v", err)
+	}
+}
+
+func TestClientClosed(t *testing.T) {
+	srv := startServer(t, ServerConfig{Token: testToken()})
+	client, err := Dial(srv.Addr().String(), testToken())
+	if err != nil {
+		t.Fatal(err)
+	}
+	client.Close()
+	if _, err := client.DeriveKey(fphash.FromUint64(1)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("err = %v, want ErrClosed", err)
+	}
+	if err := client.Close(); err != nil {
+		t.Fatalf("double close: %v", err)
+	}
+}
+
+func TestServerCloseDropsClients(t *testing.T) {
+	srv := startServer(t, ServerConfig{Token: testToken()})
+	client, err := Dial(srv.Addr().String(), testToken())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	srv.Close()
+	if _, err := client.DeriveKey(fphash.FromUint64(1)); err == nil {
+		t.Fatal("DeriveKey after server close should fail")
+	}
+}
+
+func TestNewServerValidation(t *testing.T) {
+	if _, err := NewServer(ServerConfig{}); err == nil {
+		t.Fatal("NewServer with empty secret should fail")
+	}
+}
+
+func TestServerAidedMLEOverNetwork(t *testing.T) {
+	// Integration: full server-aided MLE through the network key manager.
+	srv := startServer(t, ServerConfig{Token: testToken()})
+	client, err := Dial(srv.Addr().String(), testToken())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	scheme := mle.NewServerAided(client)
+	ct1, k1, err := scheme.Encrypt([]byte("duplicate chunk"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct2, _, err := scheme.Encrypt([]byte("duplicate chunk"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(ct1) != string(ct2) {
+		t.Fatal("server-aided MLE over network lost determinism")
+	}
+	if string(mle.DecryptDeterministic(k1, ct1)) != "duplicate chunk" {
+		t.Fatal("decryption failed")
+	}
+}
+
+func TestTokenBucketRefill(t *testing.T) {
+	now := time.Unix(0, 0)
+	tb := NewTokenBucket(10, 2)
+	tb.now = func() time.Time { return now }
+	tb.last = now
+	tb.tokens = 2
+	if !tb.Allow() || !tb.Allow() {
+		t.Fatal("burst tokens rejected")
+	}
+	if tb.Allow() {
+		t.Fatal("empty bucket allowed request")
+	}
+	now = now.Add(100 * time.Millisecond) // refills 1 token at 10/s
+	if !tb.Allow() {
+		t.Fatal("refilled token rejected")
+	}
+	if tb.Allow() {
+		t.Fatal("bucket over-refilled")
+	}
+	// Refill never exceeds burst.
+	now = now.Add(time.Hour)
+	if !tb.Allow() || !tb.Allow() {
+		t.Fatal("burst tokens rejected after long idle")
+	}
+	if tb.Allow() {
+		t.Fatal("bucket exceeded burst capacity")
+	}
+}
+
+func TestTokenBucketPanics(t *testing.T) {
+	for _, c := range []struct{ rate, burst float64 }{{0, 1}, {1, 0}, {-1, 1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewTokenBucket(%v,%v) did not panic", c.rate, c.burst)
+				}
+			}()
+			NewTokenBucket(c.rate, c.burst)
+		}()
+	}
+}
+
+func TestIdleTimeoutDropsSilentClients(t *testing.T) {
+	srv := startServer(t, ServerConfig{
+		Token:       testToken(),
+		IdleTimeout: 100 * time.Millisecond,
+	})
+	client, err := Dial(srv.Addr().String(), testToken())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	// Active client keeps working across the idle threshold.
+	for i := 0; i < 3; i++ {
+		if _, err := client.DeriveKey(fphash.FromUint64(uint64(i))); err != nil {
+			t.Fatalf("active client dropped: %v", err)
+		}
+		time.Sleep(60 * time.Millisecond)
+	}
+	// Then go silent past the timeout: the server closes the connection.
+	time.Sleep(300 * time.Millisecond)
+	if _, err := client.DeriveKey(fphash.FromUint64(99)); err == nil {
+		t.Fatal("idle connection should have been closed by the server")
+	}
+}

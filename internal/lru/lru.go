@@ -1,0 +1,140 @@
+// Package lru provides a least-recently-used cache keyed by chunk
+// fingerprints, used as the in-memory fingerprint cache of the DDFS-like
+// prototype (Section 7.4, steps S1 and S4): when the cache is full, the
+// least-recently-used entries are evicted.
+//
+// The cache tracks an abstract byte cost per entry so it can be bounded by
+// total metadata bytes (the paper bounds the fingerprint cache at 512 MB or
+// 4 GB of 32-byte metadata entries) rather than by entry count.
+package lru
+
+import (
+	"container/list"
+
+	"freqdedup/internal/fphash"
+)
+
+// Cache is a byte-bounded LRU cache. The zero value is not usable;
+// construct with New.
+type Cache[V any] struct {
+	capacity  uint64 // max total bytes; 0 means unbounded
+	used      uint64
+	ll        *list.List
+	items     map[fphash.Fingerprint]*list.Element
+	onEvict   func(fphash.Fingerprint, V)
+	hits      uint64
+	misses    uint64
+	evictions uint64
+}
+
+type entry[V any] struct {
+	key  fphash.Fingerprint
+	val  V
+	cost uint64
+}
+
+// New creates a cache bounded at capacity bytes. capacity == 0 means
+// unbounded. onEvict, if non-nil, is called for each evicted entry.
+func New[V any](capacity uint64, onEvict func(fphash.Fingerprint, V)) *Cache[V] {
+	return &Cache[V]{
+		capacity: capacity,
+		ll:       list.New(),
+		items:    make(map[fphash.Fingerprint]*list.Element),
+		onEvict:  onEvict,
+	}
+}
+
+// Get looks up a fingerprint, marking it most recently used on a hit.
+func (c *Cache[V]) Get(key fphash.Fingerprint) (V, bool) {
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		c.hits++
+		return el.Value.(*entry[V]).val, true
+	}
+	c.misses++
+	var zero V
+	return zero, false
+}
+
+// Contains reports whether the key is cached without updating recency or
+// hit statistics.
+func (c *Cache[V]) Contains(key fphash.Fingerprint) bool {
+	_, ok := c.items[key]
+	return ok
+}
+
+// Put inserts or updates an entry with the given byte cost and evicts
+// least-recently-used entries until the cache fits its capacity. A single
+// entry larger than the whole capacity is not admitted.
+func (c *Cache[V]) Put(key fphash.Fingerprint, val V, cost uint64) {
+	if el, ok := c.items[key]; ok {
+		e := el.Value.(*entry[V])
+		c.used -= e.cost
+		e.val, e.cost = val, cost
+		c.used += cost
+		c.ll.MoveToFront(el)
+		c.evict()
+		return
+	}
+	if c.capacity != 0 && cost > c.capacity {
+		return
+	}
+	el := c.ll.PushFront(&entry[V]{key: key, val: val, cost: cost})
+	c.items[key] = el
+	c.used += cost
+	c.evict()
+}
+
+func (c *Cache[V]) evict() {
+	if c.capacity == 0 {
+		return
+	}
+	for c.used > c.capacity {
+		el := c.ll.Back()
+		if el == nil {
+			return
+		}
+		e := el.Value.(*entry[V])
+		c.ll.Remove(el)
+		delete(c.items, e.key)
+		c.used -= e.cost
+		c.evictions++
+		if c.onEvict != nil {
+			c.onEvict(e.key, e.val)
+		}
+	}
+}
+
+// Remove deletes a key if present, returning whether it was cached.
+func (c *Cache[V]) Remove(key fphash.Fingerprint) bool {
+	el, ok := c.items[key]
+	if !ok {
+		return false
+	}
+	e := el.Value.(*entry[V])
+	c.ll.Remove(el)
+	delete(c.items, key)
+	c.used -= e.cost
+	return true
+}
+
+// Len returns the number of cached entries.
+func (c *Cache[V]) Len() int { return len(c.items) }
+
+// Used returns the total byte cost of cached entries.
+func (c *Cache[V]) Used() uint64 { return c.used }
+
+// Capacity returns the configured byte capacity (0 = unbounded).
+func (c *Cache[V]) Capacity() uint64 { return c.capacity }
+
+// Stats returns cumulative hit, miss, and eviction counts.
+func (c *Cache[V]) Stats() (hits, misses, evictions uint64) {
+	return c.hits, c.misses, c.evictions
+}
+
+// Clear empties the cache without invoking eviction callbacks.
+func (c *Cache[V]) Clear() {
+	c.ll.Init()
+	c.items = make(map[fphash.Fingerprint]*list.Element)
+	c.used = 0
+}

@@ -1,0 +1,22 @@
+package mle
+
+import "bytes"
+
+// BruteForce mounts the offline brute-force attack against convergent
+// encryption (Section 2.2): given the set of candidate plaintexts a chunk
+// is drawn from, derive each candidate's convergent key, encrypt it, and
+// compare with the target ciphertext. It returns the matching plaintext.
+//
+// The attack succeeds whenever the candidate set is enumerable — MLE is
+// only secure for unpredictable chunks. Server-aided MLE defeats it: the
+// chunk key depends on the key manager's secret, so the adversary cannot
+// re-derive keys offline (see BruteForceServerAided's test).
+func BruteForce(candidates [][]byte, ciphertext []byte) ([]byte, bool) {
+	for _, cand := range candidates {
+		key := ConvergentKey(cand)
+		if bytes.Equal(EncryptDeterministic(key, cand), ciphertext) {
+			return cand, true
+		}
+	}
+	return nil, false
+}

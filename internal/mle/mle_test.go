@@ -1,0 +1,357 @@
+package mle
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"freqdedup/internal/fphash"
+)
+
+func TestEncryptDeterministic(t *testing.T) {
+	k := ConvergentKey([]byte("chunk content"))
+	a := EncryptDeterministic(k, []byte("chunk content"))
+	b := EncryptDeterministic(k, []byte("chunk content"))
+	if !bytes.Equal(a, b) {
+		t.Fatal("deterministic encryption produced different ciphertexts")
+	}
+}
+
+func TestEncryptDecryptRoundTrip(t *testing.T) {
+	f := func(data []byte) bool {
+		k := ConvergentKey(data)
+		return bytes.Equal(DecryptDeterministic(k, EncryptDeterministic(k, data)), data)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCiphertextLengthPreserved(t *testing.T) {
+	f := func(data []byte) bool {
+		k := ConvergentKey(data)
+		return len(EncryptDeterministic(k, data)) == len(data)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConvergentDuplicatesMatch(t *testing.T) {
+	ct1, k1 := Convergent{}.Encrypt([]byte("identical plaintext chunk"))
+	ct2, k2 := Convergent{}.Encrypt([]byte("identical plaintext chunk"))
+	if !bytes.Equal(ct1, ct2) || k1 != k2 {
+		t.Fatal("identical plaintexts must convergently encrypt to identical ciphertexts")
+	}
+}
+
+func TestConvergentDistinctDiffer(t *testing.T) {
+	ct1, _ := Convergent{}.Encrypt([]byte("plaintext A"))
+	ct2, _ := Convergent{}.Encrypt([]byte("plaintext B"))
+	if bytes.Equal(ct1, ct2) {
+		t.Fatal("distinct plaintexts produced identical ciphertexts")
+	}
+}
+
+func TestDifferentKeysDifferentCiphertext(t *testing.T) {
+	data := []byte("same plaintext, different keys")
+	var k1, k2 Key
+	k1[0], k2[0] = 1, 2
+	if bytes.Equal(EncryptDeterministic(k1, data), EncryptDeterministic(k2, data)) {
+		t.Fatal("different keys produced identical ciphertexts")
+	}
+}
+
+func TestLocalDeriverDeterministicAndSecretDependent(t *testing.T) {
+	fp := fphash.FromBytes([]byte("x"))
+	d1 := NewLocalDeriver([]byte("secret-1"))
+	d2 := NewLocalDeriver([]byte("secret-2"))
+	a, err := d1.DeriveKey(fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := d1.DeriveKey(fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := d2.DeriveKey(fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("derivation not deterministic")
+	}
+	if a == c {
+		t.Fatal("derivation ignores the secret")
+	}
+}
+
+func TestLocalDeriverCopiesSecret(t *testing.T) {
+	secret := []byte("mutable")
+	d := NewLocalDeriver(secret)
+	fp := fphash.FromUint64(1)
+	before, _ := d.DeriveKey(fp)
+	secret[0] = 'X'
+	after, _ := d.DeriveKey(fp)
+	if before != after {
+		t.Fatal("deriver must copy the secret at construction")
+	}
+}
+
+func TestServerAided(t *testing.T) {
+	s := NewServerAided(NewLocalDeriver([]byte("sys-secret")))
+	ct1, k1, err := s.Encrypt([]byte("chunk"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct2, k2, err := s.Encrypt([]byte("chunk"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ct1, ct2) || k1 != k2 {
+		t.Fatal("server-aided encryption must be deterministic for dedup")
+	}
+	if !bytes.Equal(DecryptDeterministic(k1, ct1), []byte("chunk")) {
+		t.Fatal("decryption failed")
+	}
+}
+
+func TestServerAidedNoDeriver(t *testing.T) {
+	s := NewServerAided(nil)
+	if _, _, err := s.Encrypt([]byte("chunk")); !errors.Is(err, ErrNoKeyDeriver) {
+		t.Fatalf("err = %v, want ErrNoKeyDeriver", err)
+	}
+}
+
+func TestServerAidedPropagatesDeriverError(t *testing.T) {
+	boom := errors.New("key manager down")
+	s := NewServerAided(KeyDeriverFunc(func(fphash.Fingerprint) (Key, error) {
+		return Key{}, boom
+	}))
+	if _, _, err := s.Encrypt([]byte("chunk")); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped boom", err)
+	}
+}
+
+func TestMinHashSameMinSameKey(t *testing.T) {
+	m := NewMinHash(NewLocalDeriver([]byte("s")))
+	// Two segments sharing the chunk with the minimum fingerprint must get
+	// the same key, so their shared chunks deduplicate.
+	segA := [][]byte{[]byte("shared-1"), []byte("shared-2"), []byte("only-a")}
+	segB := [][]byte{[]byte("shared-1"), []byte("shared-2"), []byte("only-b")}
+	ctA, kA, err := m.EncryptSegment(segA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctB, kB, err := m.EncryptSegment(segB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Determine whether the min fp is one of the shared chunks; with these
+	// fixed strings, assert and rely on determinism.
+	minOf := func(seg [][]byte) fphash.Fingerprint {
+		min := fphash.FromBytes(seg[0])
+		for _, c := range seg[1:] {
+			if fp := fphash.FromBytes(c); fp.Less(min) {
+				min = fp
+			}
+		}
+		return min
+	}
+	if minOf(segA) == minOf(segB) {
+		if kA != kB {
+			t.Fatal("equal minima must give equal segment keys")
+		}
+		if !bytes.Equal(ctA[0], ctB[0]) || !bytes.Equal(ctA[1], ctB[1]) {
+			t.Fatal("shared chunks under equal keys must produce identical ciphertexts")
+		}
+	} else if kA == kB {
+		t.Fatal("different minima gave identical keys")
+	}
+}
+
+func TestMinHashDifferentMinBreaksDedup(t *testing.T) {
+	m := NewMinHash(NewLocalDeriver([]byte("s")))
+	shared := []byte("the shared chunk content")
+	// Find two filler chunks such that the two segments have different
+	// minimum fingerprints.
+	var ctA, ctB [][]byte
+	found := false
+	for i := 0; i < 64 && !found; i++ {
+		fillA := []byte{byte(i), 'A'}
+		fillB := []byte{byte(i), 'B'}
+		a, kA, err := m.EncryptSegment([][]byte{shared, fillA})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, kB, err := m.EncryptSegment([][]byte{shared, fillB})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if kA != kB {
+			ctA, ctB = a, b
+			found = true
+		}
+	}
+	if !found {
+		t.Skip("could not construct segments with differing minima")
+	}
+	if bytes.Equal(ctA[0], ctB[0]) {
+		t.Fatal("identical plaintext under different segment keys must not deduplicate")
+	}
+}
+
+func TestMinHashEmptySegment(t *testing.T) {
+	m := NewMinHash(NewLocalDeriver([]byte("s")))
+	if _, _, err := m.EncryptSegment(nil); err == nil {
+		t.Fatal("EncryptSegment(nil) should error")
+	}
+	if _, err := m.SegmentKey(nil); err == nil {
+		t.Fatal("SegmentKey(nil) should error")
+	}
+}
+
+func TestMinHashNoDeriver(t *testing.T) {
+	m := NewMinHash(nil)
+	if _, err := m.SegmentKey([]fphash.Fingerprint{fphash.FromUint64(1)}); !errors.Is(err, ErrNoKeyDeriver) {
+		t.Fatalf("err = %v, want ErrNoKeyDeriver", err)
+	}
+}
+
+func TestRCERoundTripAndTagLeak(t *testing.T) {
+	chunk := []byte("rce protected chunk")
+	ct1, err := RCEEncrypt(chunk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct2, err := RCEEncrypt(chunk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(ct1.Body, ct2.Body) {
+		t.Fatal("RCE bodies should be randomized")
+	}
+	// ... but the dedup tags are deterministic: this is exactly the
+	// frequency leak the paper describes for RCE (Section 8).
+	if ct1.Tag != ct2.Tag {
+		t.Fatal("RCE tags must be deterministic for dedup")
+	}
+	got := RCEDecrypt(ct1, ConvergentKey(chunk))
+	if !bytes.Equal(got, chunk) {
+		t.Fatal("RCE decryption failed")
+	}
+}
+
+func TestRecipeMarshalRoundTrip(t *testing.T) {
+	r := &Recipe{}
+	for i := 0; i < 10; i++ {
+		r.Entries = append(r.Entries, RecipeEntry{
+			Fingerprint: fphash.FromUint64(uint64(i)),
+			Key:         ConvergentKey([]byte{byte(i)}),
+			Size:        uint32(1000 + i),
+		})
+	}
+	got, err := UnmarshalRecipe(r.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Entries) != len(r.Entries) {
+		t.Fatalf("entries %d, want %d", len(got.Entries), len(r.Entries))
+	}
+	for i := range r.Entries {
+		if got.Entries[i] != r.Entries[i] {
+			t.Fatalf("entry %d mismatch", i)
+		}
+	}
+	if got.TotalSize() != r.TotalSize() {
+		t.Fatal("TotalSize mismatch after round trip")
+	}
+}
+
+func TestUnmarshalRecipeErrors(t *testing.T) {
+	if _, err := UnmarshalRecipe(nil); err == nil {
+		t.Fatal("nil input should error")
+	}
+	if _, err := UnmarshalRecipe([]byte{0, 0, 0, 5}); err == nil {
+		t.Fatal("truncated input should error")
+	}
+	r := &Recipe{Entries: []RecipeEntry{{Size: 1}}}
+	data := append(r.Marshal(), 0xff)
+	if _, err := UnmarshalRecipe(data); err == nil {
+		t.Fatal("trailing garbage should error")
+	}
+}
+
+func TestRecipeSealOpen(t *testing.T) {
+	var userKey Key
+	userKey[0] = 0x42
+	r := &Recipe{Entries: []RecipeEntry{
+		{Fingerprint: fphash.FromUint64(1), Key: ConvergentKey([]byte("a")), Size: 8192},
+	}}
+	sealed, err := r.Seal(userKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := OpenRecipe(sealed, userKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Entries[0] != r.Entries[0] {
+		t.Fatal("recipe corrupted through seal/open")
+	}
+}
+
+func TestRecipeSealRandomized(t *testing.T) {
+	var userKey Key
+	r := &Recipe{Entries: []RecipeEntry{{Size: 1}}}
+	a, err := r.Seal(userKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.Seal(userKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(a, b) {
+		t.Fatal("sealed recipes must be randomized (conventional encryption)")
+	}
+}
+
+func TestRecipeOpenWrongKey(t *testing.T) {
+	var k1, k2 Key
+	k2[0] = 1
+	r := &Recipe{Entries: []RecipeEntry{{Size: 1}}}
+	sealed, err := r.Seal(k1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenRecipe(sealed, k2); err == nil {
+		t.Fatal("opening with wrong key must fail")
+	}
+}
+
+func TestRecipeOpenTamper(t *testing.T) {
+	var k Key
+	r := &Recipe{Entries: []RecipeEntry{{Size: 1}}}
+	sealed, err := r.Seal(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sealed[len(sealed)-1] ^= 1
+	if _, err := OpenRecipe(sealed, k); err == nil {
+		t.Fatal("tampered recipe must fail authentication")
+	}
+	if _, err := OpenRecipe([]byte{1, 2}, k); err == nil {
+		t.Fatal("too-short sealed recipe must fail")
+	}
+}
+
+func BenchmarkConvergentEncrypt8K(b *testing.B) {
+	chunk := make([]byte, 8192)
+	b.SetBytes(int64(len(chunk)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Convergent{}.Encrypt(chunk)
+	}
+}

@@ -1,0 +1,125 @@
+package mle
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/rand"
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"freqdedup/internal/fphash"
+)
+
+// RecipeEntry records one chunk of a file: which ciphertext chunk it maps
+// to, the key that decrypts it, and the plaintext size. The sequence of
+// entries preserves the original (pre-scrambling) logical chunk order, so a
+// file can always be reconstructed even when the storage-side order was
+// scrambled (Section 6.2).
+type RecipeEntry struct {
+	// Fingerprint identifies the stored ciphertext chunk.
+	Fingerprint fphash.Fingerprint
+	// Key decrypts the ciphertext chunk.
+	Key Key
+	// Size is the plaintext chunk size in bytes.
+	Size uint32
+}
+
+// Recipe is the combined file recipe and key recipe for one file. The paper
+// keeps them as two structures (file recipe: references; key recipe: keys);
+// we keep them zipped since they are always read together, and both are
+// protected the same way — sealed under the user's own secret key.
+type Recipe struct {
+	Entries []RecipeEntry
+}
+
+// TotalSize returns the logical (pre-dedup) file size in bytes.
+func (r *Recipe) TotalSize() uint64 {
+	var n uint64
+	for _, e := range r.Entries {
+		n += uint64(e.Size)
+	}
+	return n
+}
+
+const recipeEntrySize = fphash.Size + KeySize + 4
+
+// Marshal encodes the recipe into a compact binary form.
+func (r *Recipe) Marshal() []byte {
+	buf := make([]byte, 4+len(r.Entries)*recipeEntrySize)
+	binary.BigEndian.PutUint32(buf, uint32(len(r.Entries)))
+	off := 4
+	for _, e := range r.Entries {
+		copy(buf[off:], e.Fingerprint[:])
+		off += fphash.Size
+		copy(buf[off:], e.Key[:])
+		off += KeySize
+		binary.BigEndian.PutUint32(buf[off:], e.Size)
+		off += 4
+	}
+	return buf
+}
+
+// UnmarshalRecipe decodes a recipe produced by Marshal.
+func UnmarshalRecipe(data []byte) (*Recipe, error) {
+	if len(data) < 4 {
+		return nil, errors.New("mle: recipe too short")
+	}
+	n := binary.BigEndian.Uint32(data)
+	want := 4 + int(n)*recipeEntrySize
+	if len(data) != want {
+		return nil, fmt.Errorf("mle: recipe length %d, want %d for %d entries", len(data), want, n)
+	}
+	r := &Recipe{Entries: make([]RecipeEntry, n)}
+	off := 4
+	for i := range r.Entries {
+		e := &r.Entries[i]
+		copy(e.Fingerprint[:], data[off:])
+		off += fphash.Size
+		copy(e.Key[:], data[off:])
+		off += KeySize
+		e.Size = binary.BigEndian.Uint32(data[off:])
+		off += 4
+	}
+	return r, nil
+}
+
+// Seal encrypts the recipe under the user's secret key with AES-256-GCM
+// (conventional, randomized encryption — recipes are per-user and never
+// deduplicated, per Section 3.3).
+func (r *Recipe) Seal(userKey Key) ([]byte, error) {
+	block, err := aes.NewCipher(userKey[:])
+	if err != nil {
+		return nil, fmt.Errorf("mle: seal recipe: %w", err)
+	}
+	gcm, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, fmt.Errorf("mle: seal recipe: %w", err)
+	}
+	nonce := make([]byte, gcm.NonceSize())
+	if _, err := rand.Read(nonce); err != nil {
+		return nil, fmt.Errorf("mle: seal recipe: %w", err)
+	}
+	return gcm.Seal(nonce, nonce, r.Marshal(), nil), nil
+}
+
+// OpenRecipe decrypts and decodes a recipe sealed by Seal.
+func OpenRecipe(sealed []byte, userKey Key) (*Recipe, error) {
+	block, err := aes.NewCipher(userKey[:])
+	if err != nil {
+		return nil, fmt.Errorf("mle: open recipe: %w", err)
+	}
+	gcm, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, fmt.Errorf("mle: open recipe: %w", err)
+	}
+	if len(sealed) < gcm.NonceSize() {
+		return nil, errors.New("mle: sealed recipe too short")
+	}
+	nonce, ct := sealed[:gcm.NonceSize()], sealed[gcm.NonceSize():]
+	plain, err := gcm.Open(nil, nonce, ct, nil)
+	if err != nil {
+		return nil, fmt.Errorf("mle: open recipe: %w", err)
+	}
+	return UnmarshalRecipe(plain)
+}

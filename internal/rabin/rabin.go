@@ -1,0 +1,126 @@
+// Package rabin implements 64-bit Rabin fingerprinting over a sliding
+// window of bytes, the rolling hash the paper's content-defined chunking
+// builds on (Section 2.1, citing Rabin [54]).
+//
+// A Rabin fingerprint treats a byte string as a polynomial over GF(2) and
+// reduces it modulo a fixed irreducible polynomial P of degree 64. The
+// fingerprint of a sliding window can be updated in O(1) per byte: append a
+// byte with a shift-and-reduce step, and cancel the byte leaving the window
+// with a precomputed "pop" table.
+package rabin
+
+// Poly is an irreducible polynomial of degree 64 over GF(2), represented by
+// its low 64 coefficient bits (the x^64 term is implicit). This particular
+// polynomial is irreducible; any irreducible polynomial of degree 64 yields
+// a well-distributed fingerprint.
+const Poly uint64 = 0xbfe6b8a5bf378d83
+
+// DefaultWindow is the sliding window size in bytes used by the chunker.
+// 48 bytes is the common choice in deduplication systems (LBFS lineage).
+const DefaultWindow = 48
+
+// tables precomputed for one (Poly, window) combination.
+type tables struct {
+	// mod[b] is the reduction of polynomial b(x)*x^64 modulo P, used when
+	// shifting a new byte in: fp' = ((fp << 8) | in) reduced via mod[fp>>56].
+	mod [256]uint64
+	// pop[b] is the contribution of byte b multiplied by x^(8*(window-1)),
+	// i.e. the value to XOR out when byte b leaves the window.
+	pop [256]uint64
+}
+
+var shared = newTables(DefaultWindow)
+
+func newTables(window int) *tables {
+	t := &tables{}
+	// mod table: for each leading byte value b, compute (b(x) * x^64) mod P.
+	for b := 0; b < 256; b++ {
+		v := uint64(b)
+		// v currently holds the byte's polynomial; multiply by x^64 one bit
+		// at a time, reducing on overflow of the implicit x^64 term.
+		for i := 0; i < 64; i++ {
+			carry := v >> 63
+			v <<= 1
+			if carry != 0 {
+				v ^= Poly
+			}
+		}
+		t.mod[b] = v
+	}
+	// pop table: the contribution of a byte that entered the window
+	// window-1 rolls ago, i.e. b(x) * x^(8*(window-1)) mod P. Roll XORs it
+	// out immediately before shifting the window forward.
+	for b := 0; b < 256; b++ {
+		v := uint64(b)
+		for i := 0; i < window-1; i++ {
+			v = (v << 8) ^ t.mod[v>>56]
+		}
+		t.pop[b] = v
+	}
+	return t
+}
+
+// Hash maintains a rolling Rabin fingerprint over a fixed-size window.
+// The zero value is not usable; create one with New.
+type Hash struct {
+	tab    *tables
+	window int
+	buf    []byte // circular buffer of the last `window` bytes
+	pos    int
+	fp     uint64
+}
+
+// New returns a rolling hash with the given window size. New panics if
+// window is not positive.
+func New(window int) *Hash {
+	if window <= 0 {
+		panic("rabin: window must be positive")
+	}
+	tab := shared
+	if window != DefaultWindow {
+		tab = newTables(window)
+	}
+	h := &Hash{tab: tab, window: window, buf: make([]byte, window)}
+	return h
+}
+
+// Reset restores the hash to its initial (empty-window) state.
+func (h *Hash) Reset() {
+	for i := range h.buf {
+		h.buf[i] = 0
+	}
+	h.pos = 0
+	h.fp = 0
+}
+
+// Roll slides the window forward by one byte and returns the updated
+// fingerprint.
+func (h *Hash) Roll(b byte) uint64 {
+	out := h.buf[h.pos]
+	h.buf[h.pos] = b
+	h.pos++
+	if h.pos == h.window {
+		h.pos = 0
+	}
+	h.fp ^= h.tab.pop[out]
+	h.fp = (h.fp << 8) ^ uint64(b) ^ h.tab.mod[h.fp>>56]
+	return h.fp
+}
+
+// Sum64 returns the current fingerprint of the window contents.
+func (h *Hash) Sum64() uint64 { return h.fp }
+
+// Window returns the configured window size in bytes.
+func (h *Hash) Window() int { return h.window }
+
+// Fingerprint computes the Rabin fingerprint of data in one shot, as if the
+// window covered the entire input. It is primarily a reference for testing
+// the rolling update.
+func Fingerprint(data []byte) uint64 {
+	t := shared
+	var fp uint64
+	for _, b := range data {
+		fp = (fp << 8) ^ uint64(b) ^ t.mod[fp>>56]
+	}
+	return fp
+}

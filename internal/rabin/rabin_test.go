@@ -1,0 +1,159 @@
+package rabin
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestRollMatchesDirect verifies the O(1) rolling update against the
+// one-shot reference: after rolling a long input through a window of size w,
+// the fingerprint must equal the direct fingerprint of the last w bytes.
+func TestRollMatchesDirect(t *testing.T) {
+	for _, window := range []int{1, 2, 16, DefaultWindow, 64} {
+		h := New(window)
+		rng := rand.New(rand.NewSource(42))
+		data := make([]byte, window*5+3)
+		for i := range data {
+			data[i] = byte(rng.Intn(256))
+		}
+		var got uint64
+		for _, b := range data {
+			got = h.Roll(b)
+		}
+		want := Fingerprint(data[len(data)-window:])
+		if got != want {
+			t.Errorf("window=%d: rolling fp %#x, direct fp %#x", window, got, want)
+		}
+	}
+}
+
+// TestRollPositionIndependent checks the defining property of a rolling
+// hash: the fingerprint depends only on the window contents, not on what
+// preceded the window.
+func TestRollPositionIndependent(t *testing.T) {
+	f := func(prefixSeed int64, windowSeed int64) bool {
+		const window = DefaultWindow
+		rngW := rand.New(rand.NewSource(windowSeed))
+		win := make([]byte, window)
+		for i := range win {
+			win[i] = byte(rngW.Intn(256))
+		}
+
+		roll := func(prefix []byte) uint64 {
+			h := New(window)
+			var fp uint64
+			for _, b := range prefix {
+				fp = h.Roll(b)
+			}
+			for _, b := range win {
+				fp = h.Roll(b)
+			}
+			return fp
+		}
+
+		rngP := rand.New(rand.NewSource(prefixSeed))
+		prefix := make([]byte, 1+rngP.Intn(200))
+		for i := range prefix {
+			prefix[i] = byte(rngP.Intn(256))
+		}
+		return roll(nil) == roll(prefix)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResetRestoresInitialState(t *testing.T) {
+	h := New(DefaultWindow)
+	data := []byte("some bytes to pollute the window state")
+	for _, b := range data {
+		h.Roll(b)
+	}
+	h.Reset()
+	if h.Sum64() != 0 {
+		t.Fatalf("Sum64 after Reset = %#x, want 0", h.Sum64())
+	}
+	var a uint64
+	for _, b := range data {
+		a = h.Roll(b)
+	}
+	h2 := New(DefaultWindow)
+	var want uint64
+	for _, b := range data {
+		want = h2.Roll(b)
+	}
+	if a != want {
+		t.Fatalf("after Reset, rolling diverges: %#x vs %#x", a, want)
+	}
+}
+
+func TestFingerprintSensitivity(t *testing.T) {
+	a := Fingerprint([]byte("the quick brown fox"))
+	b := Fingerprint([]byte("the quick brown foy"))
+	if a == b {
+		t.Fatal("single-byte change did not alter fingerprint")
+	}
+}
+
+func TestFingerprintEmptyAndZeroBytes(t *testing.T) {
+	if Fingerprint(nil) != 0 {
+		t.Fatal("fingerprint of empty input should be 0")
+	}
+	// Leading zero bytes are absorbed (polynomial has zero coefficients);
+	// this is inherent to Rabin fingerprints and fine for chunking since the
+	// window has fixed size.
+	if Fingerprint([]byte{0, 0, 0}) != 0 {
+		t.Fatal("fingerprint of zero bytes should be 0")
+	}
+}
+
+func TestNewPanicsOnBadWindow(t *testing.T) {
+	for _, w := range []int{0, -5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d) did not panic", w)
+				}
+			}()
+			New(w)
+		}()
+	}
+}
+
+func TestWindowAccessor(t *testing.T) {
+	if got := New(17).Window(); got != 17 {
+		t.Fatalf("Window() = %d, want 17", got)
+	}
+}
+
+// TestDistribution sanity-checks that fingerprints of random windows spread
+// across the 64-bit space (each of the top 8 bits roughly balanced).
+func TestDistribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	h := New(DefaultWindow)
+	const samples = 8192
+	var bitOnes [8]int
+	for i := 0; i < samples; i++ {
+		fp := h.Roll(byte(rng.Intn(256)))
+		for bit := 0; bit < 8; bit++ {
+			if fp>>(63-uint(bit))&1 == 1 {
+				bitOnes[bit]++
+			}
+		}
+	}
+	for bit, ones := range bitOnes {
+		if ones < samples/3 || ones > 2*samples/3 {
+			t.Errorf("top bit %d skewed: %d/%d", bit, ones, samples)
+		}
+	}
+}
+
+func BenchmarkRoll(b *testing.B) {
+	h := New(DefaultWindow)
+	b.SetBytes(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Roll(byte(i))
+	}
+}

@@ -1,0 +1,196 @@
+package segment
+
+import (
+	"math/rand"
+	"testing"
+
+	"freqdedup/internal/fphash"
+	"freqdedup/internal/trace"
+)
+
+func randChunks(seed int64, n int, size uint32) []trace.ChunkRef {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]trace.ChunkRef, n)
+	for i := range out {
+		out[i] = trace.ChunkRef{FP: fphash.FromUint64(rng.Uint64()), Size: size}
+	}
+	return out
+}
+
+func TestSplitCoversStream(t *testing.T) {
+	chunks := randChunks(1, 5000, 8192)
+	segs, err := Split(chunks, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) == 0 {
+		t.Fatal("no segments")
+	}
+	// Segments must be contiguous, non-empty, and cover the whole stream.
+	if segs[0].Start != 0 {
+		t.Fatal("first segment does not start at 0")
+	}
+	for i := 1; i < len(segs); i++ {
+		if segs[i].Start != segs[i-1].End {
+			t.Fatalf("gap between segments %d and %d", i-1, i)
+		}
+		if segs[i].Len() <= 0 {
+			t.Fatalf("empty segment %d", i)
+		}
+	}
+	if segs[len(segs)-1].End != len(chunks) {
+		t.Fatal("last segment does not end at stream end")
+	}
+}
+
+func TestSplitRespectsMaxBytes(t *testing.T) {
+	p := DefaultParams()
+	chunks := randChunks(2, 5000, 8192)
+	segs, err := Split(chunks, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range segs {
+		var bytes int
+		for _, c := range chunks[s.Start:s.End] {
+			bytes += int(c.Size)
+		}
+		if bytes > p.MaxBytes {
+			t.Fatalf("segment %d has %d bytes, max %d", i, bytes, p.MaxBytes)
+		}
+	}
+}
+
+func TestSplitAverageNearTarget(t *testing.T) {
+	p := DefaultParams()
+	chunks := randChunks(3, 20000, 8192)
+	segs, err := Split(chunks, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	totalBytes := 8192 * 20000
+	avg := totalBytes / len(segs)
+	if avg < p.AvgBytes/2 || avg > p.MaxBytes {
+		t.Fatalf("average segment size %d far from target %d", avg, p.AvgBytes)
+	}
+}
+
+// TestSplitContentDefined is the key property: identical sub-streams
+// segment identically regardless of what follows, so segments of
+// consecutive similar backups align.
+func TestSplitContentDefined(t *testing.T) {
+	p := DefaultParams()
+	shared := randChunks(4, 2000, 8192)
+	tailA := randChunks(5, 500, 8192)
+	tailB := randChunks(6, 500, 8192)
+	segsA, err := Split(append(append([]trace.ChunkRef{}, shared...), tailA...), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	segsB, err := Split(append(append([]trace.ChunkRef{}, shared...), tailB...), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All boundaries strictly inside the shared prefix must coincide.
+	bA := boundariesWithin(segsA, len(shared))
+	bB := boundariesWithin(segsB, len(shared))
+	if len(bA) == 0 {
+		t.Fatal("no boundaries in shared prefix; stream too short for the test")
+	}
+	if len(bA) != len(bB) {
+		t.Fatalf("boundary counts differ in shared prefix: %d vs %d", len(bA), len(bB))
+	}
+	for i := range bA {
+		if bA[i] != bB[i] {
+			t.Fatalf("boundary %d differs: %d vs %d", i, bA[i], bB[i])
+		}
+	}
+}
+
+func boundariesWithin(segs []Segment, limit int) []int {
+	var out []int
+	for _, s := range segs {
+		if s.End < limit {
+			out = append(out, s.End)
+		}
+	}
+	return out
+}
+
+func TestSplitEmptyAndSingle(t *testing.T) {
+	segs, err := Split(nil, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if segs != nil {
+		t.Fatal("empty stream should yield no segments")
+	}
+	one := randChunks(7, 1, 8192)
+	segs, err = Split(one, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 1 || segs[0].Len() != 1 {
+		t.Fatalf("single chunk should be one segment, got %+v", segs)
+	}
+}
+
+func TestSplitValidation(t *testing.T) {
+	bad := []Params{
+		{MinBytes: 0, AvgBytes: 1, MaxBytes: 2},
+		{MinBytes: 2, AvgBytes: 1, MaxBytes: 2},
+		{MinBytes: 1, AvgBytes: 3, MaxBytes: 2},
+		{MinBytes: -1, AvgBytes: 1, MaxBytes: 2},
+	}
+	for _, p := range bad {
+		if _, err := Split(randChunks(8, 10, 8192), p); err == nil {
+			t.Errorf("Split accepted invalid params %+v", p)
+		}
+	}
+}
+
+func TestMinFingerprint(t *testing.T) {
+	chunks := []trace.ChunkRef{
+		{FP: fphash.FromUint64(30), Size: 1},
+		{FP: fphash.FromUint64(10), Size: 2},
+		{FP: fphash.FromUint64(20), Size: 3},
+	}
+	min := MinFingerprint(chunks, Segment{Start: 0, End: 3})
+	if min.FP != fphash.FromUint64(10) {
+		t.Fatalf("min = %v, want fp(10)", min.FP)
+	}
+	// Sub-range excluding the global minimum.
+	min = MinFingerprint(chunks, Segment{Start: 2, End: 3})
+	if min.FP != fphash.FromUint64(20) {
+		t.Fatalf("sub-range min = %v, want fp(20)", min.FP)
+	}
+}
+
+func TestMinFingerprintPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MinFingerprint on empty segment did not panic")
+		}
+	}()
+	MinFingerprint(nil, Segment{})
+}
+
+func TestSplitDeterministic(t *testing.T) {
+	chunks := randChunks(9, 3000, 8192)
+	a, err := Split(chunks, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Split(chunks, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic segmentation")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("segment %d differs", i)
+		}
+	}
+}

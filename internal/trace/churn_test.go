@@ -1,0 +1,196 @@
+package trace
+
+import (
+	"math/rand"
+	"testing"
+
+	"freqdedup/internal/fphash"
+)
+
+func mkFS(rng *rand.Rand, m *minter, dirs, filesPerDir int, vol float64) *fileSystem {
+	fs := &fileSystem{}
+	sizes := ChunkSizeModel{Min: 4096, Avg: 4096, Max: 4096}
+	for d := 0; d < dirs; d++ {
+		dir := &genDir{vol: vol}
+		for f := 0; f < filesPerDir; f++ {
+			file := freshFile(rng, m, 16384, sizes)
+			file.vol = vol
+			dir.files = append(dir.files, file)
+		}
+		fs.dirs = append(fs.dirs, dir)
+	}
+	return fs
+}
+
+func multiset(b *Backup) map[fphash.Fingerprint]int {
+	out := make(map[fphash.Fingerprint]int)
+	for _, c := range b.Chunks {
+		out[c.FP]++
+	}
+	return out
+}
+
+func TestShuffleFilesPreservesContent(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := &minter{}
+	fs := mkFS(rng, m, 4, 10, 1.0)
+	before := multiset(fs.snapshot("a"))
+	shuffleFiles(rng, fs, 0.5)
+	after := multiset(fs.snapshot("b"))
+	if len(before) != len(after) {
+		t.Fatal("shuffle changed the chunk population")
+	}
+	for fp, n := range before {
+		if after[fp] != n {
+			t.Fatal("shuffle changed chunk multiplicities")
+		}
+	}
+}
+
+func TestShuffleFilesSkipsStableDirs(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	m := &minter{}
+	fs := mkFS(rng, m, 3, 8, 0) // all stable
+	before := fs.snapshot("a")
+	shuffleFiles(rng, fs, 1.0)
+	after := fs.snapshot("b")
+	for i := range before.Chunks {
+		if before.Chunks[i] != after.Chunks[i] {
+			t.Fatal("shuffle moved chunks in stable directories")
+		}
+	}
+}
+
+func TestDeleteFilesOnlyVolatile(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m := &minter{}
+	fs := mkFS(rng, m, 2, 5, 0)
+	fs.dirs = append(fs.dirs, mkFS(rng, m, 1, 5, 2.0).dirs...)
+	total := len(fs.allFiles())
+	deleteFiles(rng, fs, 3)
+	if got := len(fs.allFiles()); got != total-3 {
+		t.Fatalf("deleted %d files, want 3", total-got)
+	}
+	// Stable dirs untouched.
+	for _, d := range fs.dirs[:2] {
+		if len(d.files) != 5 {
+			t.Fatal("deletion touched a stable directory")
+		}
+	}
+}
+
+func TestDeleteFilesNoVolatile(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	m := &minter{}
+	fs := mkFS(rng, m, 2, 5, 0)
+	deleteFiles(rng, fs, 3) // must be a no-op, not a panic
+	if len(fs.allFiles()) != 10 {
+		t.Fatal("deletion removed files from an all-stable tree")
+	}
+}
+
+func TestGrowVolatileAddsRequestedBytes(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	m := &minter{}
+	lib := newFileLibrary(rng, m, 2, 16, 32<<10, ChunkSizeModel{Min: 4096, Avg: 4096, Max: 4096})
+	fs := mkFS(rng, m, 2, 4, 1.0)
+	before := fs.snapshot("a").LogicalSize()
+	added := growVolatile(rng, m, lib, fs, 256<<10, 32<<10, ChunkSizeModel{Min: 4096, Avg: 4096, Max: 4096}, 0.1, 0.3)
+	after := fs.snapshot("b").LogicalSize()
+	if uint64(added) != after-before {
+		t.Fatalf("reported %d bytes added, snapshot grew by %d", added, after-before)
+	}
+	if added < 256<<10 {
+		t.Fatalf("added %d bytes, want >= %d", added, 256<<10)
+	}
+}
+
+func TestGrowVolatileCreatesDirWhenNoneVolatile(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	m := &minter{}
+	fs := mkFS(rng, m, 2, 4, 0) // all stable
+	growVolatile(rng, m, nil, fs, 64<<10, 32<<10, ChunkSizeModel{Min: 4096, Avg: 4096, Max: 4096}, 0, 0)
+	if len(volatileDirs(fs)) == 0 {
+		t.Fatal("growth into an all-stable tree must create a volatile directory")
+	}
+}
+
+func TestWeightedSampleNeverPicksStable(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	m := &minter{}
+	files := []*genFile{
+		{vol: 0}, {vol: 1.5}, {vol: 0}, {vol: 0.2}, {vol: 0},
+	}
+	_ = m
+	for trial := 0; trial < 200; trial++ {
+		for _, idx := range weightedSample(rng, files, 2) {
+			if files[idx].vol == 0 {
+				t.Fatal("weightedSample picked a zero-weight file")
+			}
+		}
+	}
+	// Asking for more than available clamps.
+	got := weightedSample(rng, files, 10)
+	if len(got) != 2 {
+		t.Fatalf("sampled %d files, want 2 (all volatile)", len(got))
+	}
+	if got[0] == got[1] {
+		t.Fatal("weightedSample returned duplicates")
+	}
+}
+
+func TestRelocatePreservesMultiset(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	m := &minter{}
+	img := freshFile(rng, m, 1<<20, ChunkSizeModel{Min: 4096, Avg: 4096, Max: 4096})
+	before := make(map[fphash.Fingerprint]int)
+	for _, c := range img.chunks {
+		before[c.FP]++
+	}
+	orig := append([]ChunkRef{}, img.chunks...)
+	relocate(rng, img, 0.2)
+	after := make(map[fphash.Fingerprint]int)
+	for _, c := range img.chunks {
+		after[c.FP]++
+	}
+	if len(before) != len(after) {
+		t.Fatal("relocate changed the chunk population")
+	}
+	for fp, n := range before {
+		if after[fp] != n {
+			t.Fatal("relocate changed chunk multiplicities")
+		}
+	}
+	// ... and actually moved something.
+	var moved int
+	for i := range orig {
+		if img.chunks[i] != orig[i] {
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Fatal("relocate(0.2) moved nothing")
+	}
+}
+
+func TestFileLibraryHotHeadSeparation(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	m := &minter{}
+	lib := newFileLibrary(rng, m, 4, 64, 32<<10, ChunkSizeModel{Min: 4096, Avg: 4096, Max: 4096})
+	// Hot files are single-chunk.
+	for i, h := range lib.hot {
+		if len(h.chunks) != 1 {
+			t.Fatalf("hot file %d has %d chunks, want 1", i, len(h.chunks))
+		}
+	}
+	// Geometric rank separation: rank 0 picked about twice as often as 1.
+	counts := make(map[fphash.Fingerprint]int)
+	for i := 0; i < 20000; i++ {
+		counts[lib.pickHot(rng).chunks[0].FP]++
+	}
+	c0 := counts[lib.hot[0].chunks[0].FP]
+	c1 := counts[lib.hot[1].chunks[0].FP]
+	if c0 < c1*3/2 {
+		t.Fatalf("hot rank separation too weak: %d vs %d", c0, c1)
+	}
+}

@@ -1,0 +1,133 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"freqdedup/internal/fphash"
+)
+
+// Binary dataset format:
+//
+//	magic   [8]byte  "FDTRACE1"
+//	nameLen uint16, name bytes
+//	nBackups uint32
+//	per backup:
+//	  labelLen uint16, label bytes
+//	  nChunks uint32
+//	  per chunk: fp [8]byte, size uint32
+//
+// All integers big-endian. The format is self-contained and versioned by
+// the magic string.
+
+var magic = [8]byte{'F', 'D', 'T', 'R', 'A', 'C', 'E', '1'}
+
+// maxStringLen bounds label/name lengths on decode.
+const maxStringLen = 1 << 12
+
+// Write encodes the dataset to w.
+func Write(w io.Writer, d *Dataset) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return fmt.Errorf("trace: write magic: %w", err)
+	}
+	if err := writeString(bw, d.Name); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.BigEndian, uint32(len(d.Backups))); err != nil {
+		return fmt.Errorf("trace: write backup count: %w", err)
+	}
+	for _, b := range d.Backups {
+		if err := writeString(bw, b.Label); err != nil {
+			return err
+		}
+		if err := binary.Write(bw, binary.BigEndian, uint32(len(b.Chunks))); err != nil {
+			return fmt.Errorf("trace: write chunk count: %w", err)
+		}
+		var rec [fphash.Size + 4]byte
+		for _, c := range b.Chunks {
+			copy(rec[:], c.FP[:])
+			binary.BigEndian.PutUint32(rec[fphash.Size:], c.Size)
+			if _, err := bw.Write(rec[:]); err != nil {
+				return fmt.Errorf("trace: write chunk: %w", err)
+			}
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("trace: flush: %w", err)
+	}
+	return nil
+}
+
+// Read decodes a dataset written by Write.
+func Read(r io.Reader) (*Dataset, error) {
+	br := bufio.NewReader(r)
+	var m [8]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		return nil, fmt.Errorf("trace: read magic: %w", err)
+	}
+	if m != magic {
+		return nil, errors.New("trace: bad magic (not a freqdedup trace file)")
+	}
+	name, err := readString(br)
+	if err != nil {
+		return nil, err
+	}
+	var nBackups uint32
+	if err := binary.Read(br, binary.BigEndian, &nBackups); err != nil {
+		return nil, fmt.Errorf("trace: read backup count: %w", err)
+	}
+	d := &Dataset{Name: name}
+	for i := uint32(0); i < nBackups; i++ {
+		label, err := readString(br)
+		if err != nil {
+			return nil, err
+		}
+		var nChunks uint32
+		if err := binary.Read(br, binary.BigEndian, &nChunks); err != nil {
+			return nil, fmt.Errorf("trace: read chunk count: %w", err)
+		}
+		b := &Backup{Label: label, Chunks: make([]ChunkRef, nChunks)}
+		var rec [fphash.Size + 4]byte
+		for j := range b.Chunks {
+			if _, err := io.ReadFull(br, rec[:]); err != nil {
+				return nil, fmt.Errorf("trace: read chunk: %w", err)
+			}
+			copy(b.Chunks[j].FP[:], rec[:fphash.Size])
+			b.Chunks[j].Size = binary.BigEndian.Uint32(rec[fphash.Size:])
+		}
+		d.Backups = append(d.Backups, b)
+	}
+	return d, nil
+}
+
+func writeString(w io.Writer, s string) error {
+	if len(s) > maxStringLen {
+		return fmt.Errorf("trace: string too long (%d bytes)", len(s))
+	}
+	if err := binary.Write(w, binary.BigEndian, uint16(len(s))); err != nil {
+		return fmt.Errorf("trace: write string length: %w", err)
+	}
+	if _, err := io.WriteString(w, s); err != nil {
+		return fmt.Errorf("trace: write string: %w", err)
+	}
+	return nil
+}
+
+func readString(r io.Reader) (string, error) {
+	var n uint16
+	if err := binary.Read(r, binary.BigEndian, &n); err != nil {
+		return "", fmt.Errorf("trace: read string length: %w", err)
+	}
+	if int(n) > maxStringLen {
+		return "", fmt.Errorf("trace: string length %d exceeds limit", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", fmt.Errorf("trace: read string: %w", err)
+	}
+	return string(buf), nil
+}

@@ -1,0 +1,388 @@
+package trace
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// SyntheticParams configures the synthetic snapshot-chain generator, which
+// implements the paper's published method (Section 5.1, after Lillibridge
+// et al. [44]): an initial snapshot followed by versions that each modify
+// ModifyFileFrac of the files, rewriting ModifyContentFrac of each modified
+// file's content, and add NewDataBytes of new data.
+type SyntheticParams struct {
+	Seed int64
+	// Snapshots is the number of snapshots generated after the initial one
+	// (the paper generates 10; with the initial "public" snapshot the
+	// dataset has Snapshots+1 backups labeled "0".."Snapshots").
+	Snapshots int
+	// InitialBytes is the approximate logical size of the initial snapshot.
+	InitialBytes int
+	// MeanFileBytes is the mean generated file size.
+	MeanFileBytes int
+	// ModifyFileFrac is the fraction of files modified per snapshot (paper:
+	// 0.02).
+	ModifyFileFrac float64
+	// ModifyContentFrac is the fraction of a modified file's content that
+	// is rewritten (paper: 0.025).
+	ModifyContentFrac float64
+	// NewDataBytes is the amount of new file data added per snapshot
+	// (paper: 10 MB on a 1.1 GB image; keep the same ratio when scaling).
+	NewDataBytes int
+	// Chunk is the chunk-size model (the paper's datasets use 8 KB average
+	// variable-size chunks).
+	Chunk ChunkSizeModel
+	// ReuseFrac is the probability that a generated file is a copy of a
+	// library file rather than fresh content, modelling the intra-image
+	// duplication (repeated package payloads, sparse regions) a disk image
+	// exhibits.
+	ReuseFrac float64
+	// ShuffleFrac is the fraction of files relocated in the backup stream
+	// order per snapshot (traversal-order instability; see shuffleFiles).
+	ShuffleFrac float64
+	// HotFrac is the probability that a generated file is a copy of a hot
+	// library file (the heavy, rank-stable frequency head; see
+	// fileLibrary).
+	HotFrac float64
+	// StableFrac is the fraction of directories that are immutable once
+	// written (the stable backbone; see drawVolatility).
+	StableFrac float64
+	// DirFiles is the approximate number of files per directory.
+	DirFiles int
+	// HotFiles/LibraryFiles/LibraryMeanBytes shape the duplicated-file
+	// library (see fileLibrary).
+	HotFiles         int
+	LibraryFiles     int
+	LibraryMeanBytes int
+}
+
+// DefaultSyntheticParams returns a laptop-scale configuration preserving
+// the paper's ratios (10 MB new data per 1.1 GB image ≈ 0.9%).
+func DefaultSyntheticParams() SyntheticParams {
+	return SyntheticParams{
+		Seed:              1,
+		Snapshots:         10,
+		InitialBytes:      48 << 20,
+		MeanFileBytes:     160 << 10,
+		ModifyFileFrac:    0.02,
+		ModifyContentFrac: 0.025,
+		NewDataBytes:      448 << 10, // ≈0.9% of InitialBytes
+		Chunk:             ChunkSizeModel{Min: 2048, Avg: 8192, Max: 16384, Quantum: 512},
+		ReuseFrac:         0.28,
+		ShuffleFrac:       0.05,
+		HotFrac:           0.08,
+		StableFrac:        0.55,
+		DirFiles:          12,
+		HotFiles:          6,
+		LibraryFiles:      512,
+		LibraryMeanBytes:  40 << 10,
+	}
+}
+
+// GenerateSynthetic builds the synthetic dataset.
+func GenerateSynthetic(p SyntheticParams) *Dataset {
+	rng := rand.New(rand.NewSource(p.Seed))
+	mint := &minter{}
+	lib := newFileLibrary(rng, mint, p.HotFiles, p.LibraryFiles, p.LibraryMeanBytes, p.Chunk)
+
+	fs := &fileSystem{}
+	addFiles(rng, mint, lib, fs, p.InitialBytes, p.MeanFileBytes, p.DirFiles, p.Chunk, p.HotFrac, p.ReuseFrac, p.StableFrac)
+
+	d := &Dataset{Name: "synthetic"}
+	d.Backups = append(d.Backups, fs.snapshot("0"))
+	for v := 1; v <= p.Snapshots; v++ {
+		fs = fs.clone()
+		files := fs.allFiles()
+		nMod := int(float64(len(files))*p.ModifyFileFrac + 0.5)
+		if nMod < 1 {
+			nMod = 1
+		}
+		for _, idx := range weightedSample(rng, files, nMod) {
+			modifyFile(rng, mint, files[idx], p.ModifyContentFrac, p.Chunk)
+		}
+		growVolatile(rng, mint, lib, fs, p.NewDataBytes, p.MeanFileBytes, p.Chunk, p.HotFrac, p.ReuseFrac)
+		shuffleFiles(rng, fs, p.ShuffleFrac)
+		d.Backups = append(d.Backups, fs.snapshot(fmt.Sprintf("%d", v)))
+	}
+	return d
+}
+
+// fileSize draws a file size with the given mean (exponential, floored at
+// one chunk's worth of data).
+func fileSize(rng *rand.Rand, mean int) int {
+	s := int(rng.ExpFloat64() * float64(mean))
+	if s < 4096 {
+		s = 4096
+	}
+	return s
+}
+
+// FSLParams configures the FSL-like generator: multiple users' home
+// directories, backed up monthly, with substantial month-to-month churn and
+// heavily duplicated shared content (Section 5.1's Fslhomes: 6 users, 5
+// monthly backups, 8 KB average variable chunks, dedup ratio 7.6x).
+type FSLParams struct {
+	Seed  int64
+	Users int
+	// Labels name the backups (paper: Jan 22 ... May 21).
+	Labels []string
+	// PerUserBytes is the approximate per-user home size.
+	PerUserBytes  int
+	MeanFileBytes int
+	// Monthly churn: fraction of files modified, fraction of a modified
+	// file rewritten, fraction of files deleted, and new data as a fraction
+	// of PerUserBytes.
+	ModifyFileFrac    float64
+	ModifyContentFrac float64
+	DeleteFileFrac    float64
+	NewDataFrac       float64
+	Chunk             ChunkSizeModel
+	// ReuseFrac is the probability that a file is a copy from the shared
+	// library (cross-user and intra-user duplication: shared packages,
+	// media, project files). This produces both the skewed frequency
+	// distribution of Figure 1 and the sequence-preserving duplication that
+	// chunk locality rests on.
+	ReuseFrac float64
+	// HotFrac is the probability that a file is a copy of a hot library
+	// file (the heavy, rank-stable frequency head; see fileLibrary).
+	HotFrac float64
+	// StableFrac is the fraction of directories that are immutable once
+	// written (the stable backbone; see drawVolatility).
+	StableFrac float64
+	// DirFiles is the approximate number of files per directory.
+	DirFiles int
+	// ShuffleFrac is the fraction of files relocated in each user's backup
+	// stream order per month (see shuffleFiles).
+	ShuffleFrac      float64
+	HotFiles         int
+	LibraryFiles     int
+	LibraryMeanBytes int
+}
+
+// DefaultFSLParams returns a laptop-scale FSL-like configuration.
+func DefaultFSLParams() FSLParams {
+	return FSLParams{
+		Seed:              2,
+		Users:             6,
+		Labels:            []string{"Jan 22", "Feb 22", "Mar 22", "Apr 21", "May 21"},
+		PerUserBytes:      20 << 20,
+		MeanFileBytes:     128 << 10,
+		ModifyFileFrac:    0.10,
+		ModifyContentFrac: 0.45,
+		DeleteFileFrac:    0.01,
+		NewDataFrac:       0.04,
+		Chunk:             ChunkSizeModel{Min: 2048, Avg: 8192, Max: 16384, Quantum: 512},
+		ReuseFrac:         0.50,
+		HotFrac:           0.08,
+		StableFrac:        0.55,
+		DirFiles:          12,
+		ShuffleFrac:       0.02,
+		HotFiles:          6,
+		LibraryFiles:      320,
+		LibraryMeanBytes:  48 << 10,
+	}
+}
+
+// GenerateFSL builds the FSL-like dataset: backup t is the concatenation of
+// every user's home snapshot at month t.
+func GenerateFSL(p FSLParams) *Dataset {
+	rng := rand.New(rand.NewSource(p.Seed))
+	mint := &minter{}
+	lib := newFileLibrary(rng, mint, p.HotFiles, p.LibraryFiles, p.LibraryMeanBytes, p.Chunk)
+
+	users := make([]*fileSystem, p.Users)
+	for u := range users {
+		fs := &fileSystem{}
+		addFiles(rng, mint, lib, fs, p.PerUserBytes, p.MeanFileBytes, p.DirFiles, p.Chunk, p.HotFrac, p.ReuseFrac, p.StableFrac)
+		users[u] = fs
+	}
+
+	d := &Dataset{Name: "fsl"}
+	for m, label := range p.Labels {
+		if m > 0 {
+			for u, fs := range users {
+				fs = fs.clone()
+				files := fs.allFiles()
+				// Delete a few files from the working set.
+				nDel := int(float64(len(files))*p.DeleteFileFrac + 0.5)
+				deleteFiles(rng, fs, nDel)
+				// Modify files, concentrated in volatile directories.
+				files = fs.allFiles()
+				nMod := int(float64(len(files))*p.ModifyFileFrac + 0.5)
+				for _, idx := range weightedSample(rng, files, nMod) {
+					modifyFile(rng, mint, files[idx], p.ModifyContentFrac, p.Chunk)
+				}
+				// Add new data into the working set.
+				target := int(float64(p.PerUserBytes) * p.NewDataFrac)
+				growVolatile(rng, mint, lib, fs, target, p.MeanFileBytes, p.Chunk, p.HotFrac, p.ReuseFrac)
+				shuffleFiles(rng, fs, p.ShuffleFrac)
+				users[u] = fs
+			}
+		}
+		all := &fileSystem{}
+		for _, fs := range users {
+			all.dirs = append(all.dirs, fs.dirs...)
+		}
+		d.Backups = append(d.Backups, all.snapshot(label))
+	}
+	return d
+}
+
+// VMParams configures the VM-like generator: many students' VM images,
+// initially installed from the same operating system base, snapshotted
+// weekly with fixed-size chunks (Section 5.1's VM dataset: 4 KB fixed
+// chunks, very high dedup ratio, heavy churn in a mid-semester window).
+type VMParams struct {
+	Seed     int64
+	Students int
+	Weeks    int
+	// BaseImageBytes is the size of the shared OS base image.
+	BaseImageBytes int
+	// BaseReuseFrac is the fraction of the base image assembled from
+	// library-file copies (repeated OS pages and package payloads inside
+	// one image), giving the image internal duplication and the dataset its
+	// frequency skew after zero-chunk removal.
+	BaseReuseFrac float64
+	// InitialDriftFrac is how much each student's image differs from the
+	// base at week 1.
+	InitialDriftFrac float64
+	// LightChurnFrac is the weekly per-image content churn outside the
+	// heavy window; HeavyChurnFrac applies within it. The heavy window
+	// covers transitions HeavyStart..HeavyEnd (from week t to t+1): the
+	// paper observes users making big changes such that backups 5-8 share
+	// almost no content with week 13 and storage saving drops after week 7.
+	LightChurnFrac float64
+	HeavyChurnFrac float64
+	HeavyStart     int // first heavily-churned transition (from week t to t+1)
+	HeavyEnd       int // last heavily-churned transition
+	// RelocateFrac is the fraction of each image relocated (content
+	// preserved, position changed) per week: block-layout instability from
+	// defragmentation, package reinstalls, and file moves inside the VM.
+	RelocateFrac float64
+	// VolatileZoneFrac concentrates weekly churn in the leading fraction of
+	// the image (the hot region: logs, caches, home directories), leaving
+	// the OS payload as a stable backbone (see modifyRegion).
+	VolatileZoneFrac float64
+	ChunkSize        int
+	// HotFrac and the library shape control the base image's internal
+	// duplication (see fileLibrary).
+	HotFrac          float64
+	HotFiles         int
+	LibraryFiles     int
+	LibraryMeanBytes int
+}
+
+// DefaultVMParams returns a laptop-scale VM-like configuration.
+func DefaultVMParams() VMParams {
+	return VMParams{
+		Seed:             3,
+		Students:         20,
+		Weeks:            13,
+		BaseImageBytes:   10 << 20,
+		BaseReuseFrac:    0.45,
+		InitialDriftFrac: 0.10,
+		LightChurnFrac:   0.07,
+		HeavyChurnFrac:   0.50,
+		HeavyStart:       5,
+		HeavyEnd:         8,
+		RelocateFrac:     0.18,
+		VolatileZoneFrac: 0.35,
+		ChunkSize:        4096,
+		HotFrac:          0.06,
+		HotFiles:         6,
+		LibraryFiles:     128,
+		LibraryMeanBytes: 32 << 10,
+	}
+}
+
+// GenerateVM builds the VM-like dataset: backup t is the concatenation of
+// every student's image snapshot at week t.
+func GenerateVM(p VMParams) *Dataset {
+	rng := rand.New(rand.NewSource(p.Seed))
+	mint := &minter{}
+	sizes := ChunkSizeModel{Min: p.ChunkSize, Avg: p.ChunkSize, Max: p.ChunkSize}
+	lib := newFileLibrary(rng, mint, p.HotFiles, p.LibraryFiles, p.LibraryMeanBytes, sizes)
+
+	// The shared base image every student starts from: one long chunk
+	// sequence with internal library duplication.
+	baseFS := &fileSystem{}
+	addFiles(rng, mint, lib, baseFS, p.BaseImageBytes, p.LibraryMeanBytes*2, 16, sizes, p.HotFrac, p.BaseReuseFrac, 1)
+	base := &genFile{}
+	for _, f := range baseFS.allFiles() {
+		base.chunks = append(base.chunks, f.chunks...)
+	}
+
+	images := make([]*genFile, p.Students)
+	for s := range images {
+		img := base.clone()
+		churn(rng, mint, img, p.InitialDriftFrac, sizes, p.VolatileZoneFrac)
+		images[s] = img
+	}
+
+	d := &Dataset{Name: "vm"}
+	for week := 1; week <= p.Weeks; week++ {
+		if week > 1 {
+			transition := week - 1 // from week-1 to week
+			frac := p.LightChurnFrac
+			if transition >= p.HeavyStart && transition <= p.HeavyEnd {
+				frac = p.HeavyChurnFrac
+			}
+			for s := range images {
+				img := images[s].clone()
+				churn(rng, mint, img, frac, sizes, p.VolatileZoneFrac)
+				relocate(rng, img, p.RelocateFrac)
+				images[s] = img
+			}
+		}
+		fs := &fileSystem{dirs: []*genDir{{files: images}}}
+		d.Backups = append(d.Backups, fs.snapshot(fmt.Sprintf("%d", week)))
+	}
+	return d
+}
+
+// relocate moves a contiguous run of chunks covering approximately frac of
+// the image to a random position, preserving content (and therefore
+// deduplication) while perturbing the chunk order the locality-based
+// attack depends on.
+func relocate(rng *rand.Rand, img *genFile, frac float64) {
+	n := len(img.chunks)
+	run := int(float64(n)*frac + 0.5)
+	if run < 1 || run >= n {
+		return
+	}
+	start := rng.Intn(n - run)
+	moved := make([]ChunkRef, run)
+	copy(moved, img.chunks[start:start+run])
+	rest := append(append([]ChunkRef{}, img.chunks[:start]...), img.chunks[start+run:]...)
+	// Relocation is local: blocks move within a window around their origin
+	// (defragmentation and file moves shuffle nearby extents, they do not
+	// teleport data across the disk). Local moves perturb the chunk order
+	// the attack walks while leaving distant segments' membership intact.
+	window := n / 8
+	pos := start - window + rng.Intn(2*window+1)
+	if pos < 0 {
+		pos = 0
+	}
+	if pos > len(rest) {
+		pos = len(rest)
+	}
+	out := make([]ChunkRef, 0, n)
+	out = append(out, rest[:pos]...)
+	out = append(out, moved...)
+	out = append(out, rest[pos:]...)
+	img.chunks = out
+}
+
+// churn applies total content churn of frac to an image, split into several
+// clustered regions (VM image edits cluster in filesystem regions but occur
+// in more than one place per week).
+func churn(rng *rand.Rand, mint *minter, img *genFile, frac float64, sizes ChunkSizeModel, zoneFrac float64) {
+	if frac <= 0 {
+		return
+	}
+	regions := 1 + rng.Intn(4)
+	per := frac / float64(regions)
+	for i := 0; i < regions; i++ {
+		modifyRegion(rng, mint, img, per, sizes, zoneFrac)
+	}
+}
