@@ -14,13 +14,20 @@ import (
 )
 
 func main() {
-	// A shared deduplicated store, as the cloud side would run.
+	// A shared deduplicated store, as the cloud side would run: the
+	// fingerprint index is lock-striped into shards so many clients can
+	// upload concurrently (freqdedup.NewStoreWithShards picks the count
+	// explicitly; 1 shard reproduces the serial engine exactly).
 	store := freqdedup.NewStore(0)
 
+	// The client's encrypt+fingerprint stage fans out to GOMAXPROCS
+	// workers by default (ClientConfig.Workers); recipes and stored
+	// chunks are identical at every worker count.
 	client, err := freqdedup.NewClient(store, freqdedup.ClientConfig{})
 	if err != nil {
 		log.Fatal(err)
 	}
+	fmt.Printf("store: %d shards\n", store.ShardCount())
 
 	// First backup: 4 MB of pseudo-random "primary data".
 	v1 := make([]byte, 4<<20)

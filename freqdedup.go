@@ -127,23 +127,45 @@ var ErrRateLimited = keymgr.ErrRateLimited
 
 // Deduplicated storage (byte-level pipeline of Figure 2).
 type (
-	// Store is a deduplicated ciphertext-chunk store.
+	// Store is a deduplicated ciphertext-chunk store, lock-striped into
+	// shards keyed by fingerprint prefix so concurrent clients rarely
+	// contend. It is safe for concurrent use.
 	Store = dedup.Store
-	// Client chunks, encrypts, and uploads backup streams.
+	// StoreChunk is one chunk of a batched Store.PutBatch upload.
+	StoreChunk = dedup.PutChunk
+	// Client chunks, encrypts, and uploads backup streams through a
+	// parallel encrypt+fingerprint worker pipeline (ClientConfig.Workers).
+	// A Client is not safe for concurrent use; run one per goroutine
+	// against a shared Store.
 	Client = dedup.Client
-	// ClientConfig configures a Client.
+	// ClientConfig configures a Client (chunking, MLE scheme, defenses,
+	// and the backup pipeline's worker count).
 	ClientConfig = dedup.Config
 )
 
 // Client encryption pipeline selectors.
 const (
-	EncConvergent  = dedup.EncConvergent
+	// EncConvergent encrypts each chunk under its content hash.
+	EncConvergent = dedup.EncConvergent
+	// EncServerAided derives per-chunk keys from a key manager.
 	EncServerAided = dedup.EncServerAided
-	EncMinHash     = dedup.EncMinHash
+	// EncMinHash derives one key per segment from the segment's minimum
+	// fingerprint (Algorithm 4).
+	EncMinHash = dedup.EncMinHash
 )
 
-// NewStore returns an empty deduplicated store.
+// DefaultStoreShards is the shard count NewStore uses.
+const DefaultStoreShards = dedup.DefaultShards
+
+// NewStore returns an empty deduplicated store with DefaultStoreShards
+// index shards.
 var NewStore = dedup.NewStore
+
+// NewStoreWithShards returns an empty deduplicated store with an explicit
+// shard count in [1, 256]. Shard count 1 reproduces the serial engine's
+// container layout bit for bit; dedup statistics are identical for every
+// shard count.
+var NewStoreWithShards = dedup.NewStoreWithShards
 
 // NewClient returns a backup/restore client for a store.
 var NewClient = dedup.NewClient
@@ -187,7 +209,9 @@ type (
 
 // Attack modes.
 const (
+	// CiphertextOnly seeds the attack from frequency ranks alone.
 	CiphertextOnly = core.CiphertextOnly
+	// KnownPlaintext seeds the attack with leaked plaintext pairs.
 	KnownPlaintext = core.KnownPlaintext
 )
 
@@ -216,8 +240,11 @@ type (
 
 // Defense schemes.
 const (
-	SchemeMLE      = defense.SchemeMLE
-	SchemeMinHash  = defense.SchemeMinHash
+	// SchemeMLE is the undefended exact-dedup MLE baseline.
+	SchemeMLE = defense.SchemeMLE
+	// SchemeMinHash is MinHash encryption alone (Algorithm 4).
+	SchemeMinHash = defense.SchemeMinHash
+	// SchemeCombined is MinHash encryption plus segment scrambling.
 	SchemeCombined = defense.SchemeCombined
 )
 

@@ -1,0 +1,3 @@
+module freqdedup
+
+go 1.21

@@ -38,6 +38,12 @@ type Container struct {
 
 // Store accumulates chunks into fixed-capacity containers. The zero value
 // is not usable; construct with New.
+//
+// A Store is not safe for concurrent use: it is a single packer with one
+// open container, and callers own its locking. The sharded dedup store
+// runs one Store per shard behind the shard lock, which keeps packing
+// append-safe under concurrent writers without a lock here on every
+// Append.
 type Store struct {
 	capacity int
 	sealed   []*Container

@@ -1,10 +1,3 @@
-// Package dedup implements a byte-level encrypted deduplication engine: the
-// full client/server pipeline of Figure 2. A Client chunks an input stream,
-// encrypts the chunks under a configurable MLE scheme (optionally with the
-// paper's segment scrambling and MinHash encryption defenses), uploads the
-// ciphertext chunks to a Store that deduplicates them into containers, and
-// keeps a sealed recipe from which the original file is restored — in the
-// original order, even when scrambling reordered the stored stream.
 package dedup
 
 import (
@@ -12,100 +5,15 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"runtime"
 	"sync"
 
 	"freqdedup/internal/chunker"
-	"freqdedup/internal/container"
 	"freqdedup/internal/fphash"
 	"freqdedup/internal/mle"
 	"freqdedup/internal/segment"
 	"freqdedup/internal/trace"
 )
-
-// Store is a deduplicated ciphertext-chunk store: one physical copy per
-// unique ciphertext chunk, packed into containers. Backups can be
-// registered for retention management and reclaimed with GC (see gc.go).
-// A Store is safe for concurrent use by multiple clients (Figure 2's
-// multi-client architecture).
-type Store struct {
-	mu             sync.Mutex
-	index          map[fphash.Fingerprint]container.Location
-	containers     *container.Store
-	containerBytes int
-
-	// Retention state: per-backup chunk references and per-chunk counts.
-	backups map[string][]fphash.Fingerprint
-	refs    map[fphash.Fingerprint]int
-
-	logicalBytes  uint64
-	physicalBytes uint64
-	logicalChunks int
-}
-
-// NewStore returns an empty store with the given container capacity
-// (container.DefaultBytes if zero).
-func NewStore(containerBytes int) *Store {
-	if containerBytes == 0 {
-		containerBytes = container.DefaultBytes
-	}
-	return &Store{
-		index:          make(map[fphash.Fingerprint]container.Location),
-		containers:     container.New(containerBytes),
-		containerBytes: containerBytes,
-	}
-}
-
-// Put stores a ciphertext chunk, deduplicating against previously stored
-// chunks. It reports whether the chunk was a duplicate.
-func (s *Store) Put(fp fphash.Fingerprint, data []byte) (duplicate bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.logicalChunks++
-	s.logicalBytes += uint64(len(data))
-	if _, ok := s.index[fp]; ok {
-		return true
-	}
-	buf := make([]byte, len(data))
-	copy(buf, data)
-	loc := s.containers.Append(container.Entry{FP: fp, Size: uint32(len(data)), Data: buf})
-	s.index[fp] = loc
-	s.physicalBytes += uint64(len(data))
-	return false
-}
-
-// Get retrieves a stored ciphertext chunk by fingerprint.
-func (s *Store) Get(fp fphash.Fingerprint) ([]byte, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	loc, ok := s.index[fp]
-	if !ok {
-		return nil, false
-	}
-	e, ok := s.containers.Get(loc)
-	if !ok {
-		return nil, false
-	}
-	return e.Data, true
-}
-
-// Stats reports deduplication effectiveness of everything stored so far.
-func (s *Store) Stats() trace.DedupStats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return trace.DedupStats{
-		LogicalBytes:  s.logicalBytes,
-		PhysicalBytes: s.physicalBytes,
-		LogicalChunks: s.logicalChunks,
-		UniqueChunks:  len(s.index),
-	}
-}
-
-// UniqueChunks returns the number of distinct ciphertext chunks stored.
-func (s *Store) UniqueChunks() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return len(s.index)
-}
 
 // Encryption selects the client-side encryption pipeline.
 type Encryption int
@@ -127,7 +35,9 @@ type Config struct {
 	Chunking chunker.Params
 	// Encryption selects the MLE scheme (EncConvergent if zero).
 	Encryption Encryption
-	// Deriver supplies keys for EncServerAided and EncMinHash.
+	// Deriver supplies keys for EncServerAided and EncMinHash. It must be
+	// safe for concurrent use when Workers != 1 (the key-manager client
+	// and mle.NewLocalDeriver both are).
 	Deriver mle.KeyDeriver
 	// Segments configures segmentation for EncMinHash and Scramble
 	// (segment.DefaultParams if zero).
@@ -140,9 +50,17 @@ type Config struct {
 	// reproducibility must set it, otherwise a math/rand default source is
 	// used per client.
 	ScrambleSeed int64
+	// Workers is the number of encrypt+fingerprint workers Backup fans
+	// out to (the MLE hot path). 0 selects GOMAXPROCS; 1 runs the stage
+	// inline. Recipes and store contents are identical for every worker
+	// count: parallelism changes wall-clock time only.
+	Workers int
 }
 
-// Client is the client side of Figure 2: chunk, encrypt, upload.
+// Client is the client side of Figure 2: chunk, encrypt, upload. A Client
+// is not safe for concurrent use (its scrambling RNG is stateful); run one
+// Client per goroutine against a shared Store instead — that is the
+// multi-client architecture the store's sharding is built for.
 type Client struct {
 	cfg   Config
 	store *Store
@@ -178,6 +96,12 @@ func NewClient(store *Store, cfg Config) (*Client, error) {
 	default:
 		return nil, fmt.Errorf("dedup: unknown encryption %d", cfg.Encryption)
 	}
+	if cfg.Workers < 0 {
+		return nil, fmt.Errorf("dedup: negative worker count %d", cfg.Workers)
+	}
+	if cfg.Workers == 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
 	seed := cfg.ScrambleSeed
 	if seed == 0 {
 		seed = 0x5eed
@@ -185,9 +109,34 @@ func NewClient(store *Store, cfg Config) (*Client, error) {
 	return &Client{cfg: cfg, store: store, rng: rand.New(rand.NewSource(seed))}, nil
 }
 
+// uploadJob is one chunk's position in the upload plan: which chunk to
+// encrypt and, for EncMinHash, the precomputed segment key.
+type uploadJob struct {
+	chunkIdx int
+	segKey   mle.Key
+}
+
+// uploadResult is a worker's output for one job: the ciphertext chunk,
+// its fingerprint, and the key that must go into the recipe.
+type uploadResult struct {
+	ct  []byte
+	cfp fphash.Fingerprint
+	key mle.Key
+}
+
 // Backup chunks, encrypts, and uploads the stream, returning the recipe
 // needed to restore it. The recipe must be sealed with the user's key
 // before being stored anywhere untrusted (mle.Recipe.Seal).
+//
+// Backup is a three-stage pipeline. The chunker runs sequentially (the
+// rolling hash is inherently serial), the upload plan — segmentation,
+// MinHash segment keys, and the scrambled upload order — is fixed up
+// front, and then Config.Workers goroutines fan out over the plan to
+// derive keys, encrypt, and fingerprint ciphertexts. Results are
+// reassembled in plan order before the final PutBatch upload, so the
+// store sees chunks in exactly the order the serial engine produced:
+// recipes, dedup ratios, and (for a single-shard store) container layout
+// are bit-for-bit independent of the worker count.
 func (c *Client) Backup(r io.Reader) (*mle.Recipe, error) {
 	cdc, err := chunker.NewContentDefined(r, c.cfg.Chunking)
 	if err != nil {
@@ -214,8 +163,12 @@ func (c *Client) Backup(r io.Reader) (*mle.Recipe, error) {
 		return nil, err
 	}
 
+	// Build the upload plan: per-segment keys (MinHash) and the exact
+	// chunk order the store will see. Scrambling consumes c.rng here, on
+	// one goroutine, so the plan is a deterministic function of the
+	// input, the config, and the scramble seed.
+	plan := make([]uploadJob, 0, len(chunks))
 	for _, s := range segs {
-		// Per-segment key for MinHash encryption.
 		var segKey mle.Key
 		if c.cfg.Encryption == EncMinHash {
 			fps := make([]fphash.Fingerprint, 0, s.Len())
@@ -235,32 +188,137 @@ func (c *Client) Backup(r io.Reader) (*mle.Recipe, error) {
 		if c.cfg.Scramble {
 			order = scrambleOrder(order, c.rng)
 		}
-
 		for _, idx := range order {
-			ch := chunks[idx]
-			var key mle.Key
-			switch c.cfg.Encryption {
-			case EncConvergent:
-				key = mle.ConvergentKey(ch.Data)
-			case EncServerAided:
-				key, err = c.cfg.Deriver.DeriveKey(ch.Fingerprint)
-				if err != nil {
-					return nil, fmt.Errorf("dedup: derive key: %w", err)
-				}
-			case EncMinHash:
-				key = segKey
-			}
-			ct := mle.EncryptDeterministic(key, ch.Data)
-			cfp := fphash.FromBytes(ct)
-			c.store.Put(cfp, ct)
-			recipe.Entries[idx] = mle.RecipeEntry{
-				Fingerprint: cfp,
-				Key:         key,
-				Size:        uint32(ch.Size()),
-			}
+			plan = append(plan, uploadJob{chunkIdx: idx, segKey: segKey})
 		}
 	}
+
+	// Encrypt and upload in bounded windows of the plan, so at most one
+	// window of ciphertext is resident alongside the plaintext chunks
+	// (CTR is length-preserving; an unbounded batch would double peak
+	// memory). Windows run in plan order and each PutBatch preserves
+	// batch order within a shard, so the store sees exactly the serial
+	// sequence regardless of window boundaries.
+	batch := make([]PutChunk, 0, uploadWindowChunks)
+	for lo := 0; lo < len(plan); lo += uploadWindowChunks {
+		hi := lo + uploadWindowChunks
+		if hi > len(plan) {
+			hi = len(plan)
+		}
+		window := plan[lo:hi]
+		results, err := c.runEncryptStage(chunks, window)
+		if err != nil {
+			return nil, err
+		}
+		batch = batch[:0]
+		for p, res := range results {
+			batch = append(batch, PutChunk{FP: res.cfp, Data: res.ct})
+			recipe.Entries[window[p].chunkIdx] = mle.RecipeEntry{
+				Fingerprint: res.cfp,
+				Key:         res.key,
+				Size:        uint32(len(res.ct)),
+			}
+		}
+		c.store.PutBatch(batch)
+	}
 	return recipe, nil
+}
+
+// uploadWindowChunks bounds how many encrypted chunks Backup holds before
+// flushing them to the store: ~8 MiB of ciphertext at the default 8 KiB
+// average chunk size, and still hundreds of jobs per window so the worker
+// fan-out stays saturated.
+const uploadWindowChunks = 1024
+
+// runEncryptStage executes the fan-out stage of the backup pipeline:
+// Workers goroutines pull jobs from the plan, derive the chunk key,
+// encrypt, and fingerprint the ciphertext. Results land at their plan
+// position, so the output order is independent of goroutine scheduling.
+func (c *Client) runEncryptStage(chunks []chunker.Chunk, plan []uploadJob) ([]uploadResult, error) {
+	results := make([]uploadResult, len(plan))
+	workers := c.cfg.Workers
+	if workers > len(plan) {
+		workers = len(plan)
+	}
+	if workers <= 1 {
+		for p := range plan {
+			if err := c.encryptOne(chunks, plan, results, p); err != nil {
+				return nil, err
+			}
+		}
+		return results, nil
+	}
+
+	var (
+		wg       sync.WaitGroup
+		errMu    sync.Mutex
+		firstErr error
+		next     int
+		nextMu   sync.Mutex
+	)
+	fail := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+	}
+	failed := func() bool {
+		errMu.Lock()
+		defer errMu.Unlock()
+		return firstErr != nil
+	}
+	take := func() int {
+		nextMu.Lock()
+		defer nextMu.Unlock()
+		if next >= len(plan) {
+			return -1
+		}
+		p := next
+		next++
+		return p
+	}
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				p := take()
+				if p < 0 || failed() {
+					return
+				}
+				if err := c.encryptOne(chunks, plan, results, p); err != nil {
+					fail(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return results, firstErr
+}
+
+// encryptOne processes plan position p: key derivation, deterministic
+// encryption, and ciphertext fingerprinting for one chunk.
+func (c *Client) encryptOne(chunks []chunker.Chunk, plan []uploadJob, results []uploadResult, p int) error {
+	job := plan[p]
+	ch := chunks[job.chunkIdx]
+	var key mle.Key
+	switch c.cfg.Encryption {
+	case EncConvergent:
+		key = mle.ConvergentKey(ch.Data)
+	case EncServerAided:
+		var err error
+		key, err = c.cfg.Deriver.DeriveKey(ch.Fingerprint)
+		if err != nil {
+			return fmt.Errorf("dedup: derive key: %w", err)
+		}
+	case EncMinHash:
+		key = job.segKey
+	}
+	ct := mle.EncryptDeterministic(key, ch.Data)
+	results[p] = uploadResult{ct: ct, cfp: fphash.FromBytes(ct), key: key}
+	return nil
 }
 
 // scrambleOrder applies Algorithm 5's front/back shuffle to a slice of

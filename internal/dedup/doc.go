@@ -1,0 +1,47 @@
+// Package dedup implements a byte-level encrypted deduplication engine: the
+// full client/server pipeline of Figure 2. A Client chunks an input stream,
+// encrypts the chunks under a configurable MLE scheme (optionally with the
+// paper's segment scrambling and MinHash encryption defenses), uploads the
+// ciphertext chunks to a Store that deduplicates them into containers, and
+// keeps a sealed recipe from which the original file is restored — in the
+// original order, even when scrambling reordered the stored stream.
+//
+// # Concurrency model
+//
+// The engine is built for many clients hammering one store at once, the
+// multi-client architecture of the paper's Figure 2:
+//
+//   - Store is lock-striped. The fingerprint index and the container
+//     packer are split into N shards (NewStoreWithShards; NewStore picks
+//     DefaultShards) keyed by fingerprint prefix (fphash.Fingerprint.Shard).
+//     Put/Get lock only the owning shard; PutBatch groups a batch by shard
+//     and locks each shard once. Each shard has its own open container, so
+//     container packing is append-safe under concurrent writers without a
+//     global packer lock.
+//   - Client.Backup is a bounded worker pipeline. Chunking is serial (the
+//     rolling hash is), the upload plan — segmentation, MinHash segment
+//     keys, scrambled order — is fixed up front on one goroutine, and
+//     Config.Workers goroutines then fan out over the plan to derive keys,
+//     encrypt (AES-256-CTR, the hot path), and fingerprint ciphertexts.
+//     Results are reassembled in plan order before a single PutBatch.
+//   - Retention (RegisterBackup / DeleteBackup / GC, see gc.go) is
+//     store-level under its own lock; GC additionally takes every shard
+//     lock in index order, the package's global lock order.
+//
+// # Invariants
+//
+// The concurrency is strictly a wall-clock optimization; results are
+// deterministic:
+//
+//   - A fingerprint is owned by exactly one shard, so dedup decisions are
+//     exact regardless of shard count, and dedup statistics (Stats) are
+//     identical for every shard count.
+//   - Recipes returned by Backup are bit-for-bit independent of
+//     Config.Workers: encryption is deterministic MLE and every result is
+//     slotted by plan position, not completion order.
+//   - With a single shard (NewStoreWithShards(n, 1)) and any worker count,
+//     chunk placement — container IDs, entry order, sealing boundaries —
+//     is bit-for-bit identical to the original serial engine.
+//   - A Store is safe for concurrent use; a Client is not (its scrambling
+//     RNG is stateful). Run one Client per goroutine.
+package dedup

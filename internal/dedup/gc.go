@@ -16,6 +16,10 @@ import (
 // count drops to zero, compacting the containers they lived in (the
 // "physical garbage collection" problem of deduplicating storage that the
 // paper's DDFS lineage deals with in production).
+//
+// Retention state is store-level (backups span shards) under retMu; the
+// sweep takes retMu and then every shard lock in index order, rewriting
+// each shard's containers independently.
 
 // ErrUnknownBackup is returned when deleting a backup ID that was never
 // registered.
@@ -25,8 +29,8 @@ var ErrUnknownBackup = errors.New("dedup: unknown backup id")
 // retention management. The recipe is the one returned by Client.Backup.
 // Backup IDs are caller-chosen and must be unique.
 func (s *Store) RegisterBackup(id string, recipe *mle.Recipe) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.retMu.Lock()
+	defer s.retMu.Unlock()
 	if s.backups == nil {
 		s.backups = make(map[string][]fphash.Fingerprint)
 	}
@@ -55,8 +59,8 @@ func (s *Store) RegisterBackup(id string, recipe *mle.Recipe) error {
 // DeleteBackup drops a backup's references. Chunks are not reclaimed until
 // GC runs.
 func (s *Store) DeleteBackup(id string) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.retMu.Lock()
+	defer s.retMu.Unlock()
 	fps, ok := s.backups[id]
 	if !ok {
 		return ErrUnknownBackup
@@ -74,8 +78,8 @@ func (s *Store) DeleteBackup(id string) error {
 
 // Backups lists the registered backup IDs.
 func (s *Store) Backups() []string {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.retMu.Lock()
+	defer s.retMu.Unlock()
 	out := make([]string, 0, len(s.backups))
 	for id := range s.backups {
 		out = append(out, id)
@@ -95,45 +99,54 @@ type GCStats struct {
 }
 
 // GC reclaims chunks that no registered backup references, compacting
-// their containers. Chunks stored before any backup was registered are
-// treated as unreferenced, so callers using retention must register every
-// backup. Locations of surviving chunks change; the fingerprint index is
-// rebuilt accordingly.
+// their containers shard by shard. Chunks stored before any backup was
+// registered are treated as unreferenced, so callers using retention must
+// register every backup. Locations of surviving chunks change; each
+// shard's fingerprint index is rebuilt accordingly. GC stops the world:
+// it holds the retention lock and every shard lock for the duration of
+// the sweep.
 func (s *Store) GC() GCStats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.retMu.Lock()
+	defer s.retMu.Unlock()
+	s.lockAll()
+	defer s.unlockAll()
+
 	var st GCStats
 	// Determine live fingerprints.
 	live := func(fp fphash.Fingerprint) bool {
 		return s.refs[fp] > 0
 	}
 
-	// Rewrite containers, keeping live chunks in their existing order.
-	old := s.containers
-	s.containers = container.New(s.containerBytes)
-	newIndex := make(map[fphash.Fingerprint]container.Location, len(s.index))
-	for id := 0; ; id++ {
-		c, ok := old.Container(id)
-		if !ok {
-			break
-		}
-		rewritten := false
-		for _, e := range c.Entries {
-			if !live(e.FP) {
-				st.ChunksReclaimed++
-				st.BytesReclaimed += uint64(e.Size)
-				s.physicalBytes -= uint64(e.Size)
-				rewritten = true
-				continue
+	// Rewrite each shard's containers, keeping live chunks in their
+	// existing order. Shards are independent: a fingerprint never moves
+	// between shards, so each rebuild only consults its own index.
+	for _, sh := range s.shards {
+		old := sh.containers
+		sh.containers = container.New(s.containerBytes)
+		newIndex := make(map[fphash.Fingerprint]container.Location, len(sh.index))
+		for id := 0; ; id++ {
+			c, ok := old.Container(id)
+			if !ok {
+				break
 			}
-			loc := s.containers.Append(e)
-			newIndex[e.FP] = loc
+			rewritten := false
+			for _, e := range c.Entries {
+				if !live(e.FP) {
+					st.ChunksReclaimed++
+					st.BytesReclaimed += uint64(e.Size)
+					sh.physicalBytes -= uint64(e.Size)
+					rewritten = true
+					continue
+				}
+				loc := sh.containers.Append(e)
+				newIndex[e.FP] = loc
+			}
+			if rewritten {
+				st.ContainersRewritten++
+			}
 		}
-		if rewritten {
-			st.ContainersRewritten++
-		}
+		old.Flush()
+		sh.index = newIndex
 	}
-	old.Flush()
-	s.index = newIndex
 	return st
 }

@@ -1,0 +1,240 @@
+package dedup
+
+import (
+	"sync"
+
+	"freqdedup/internal/container"
+	"freqdedup/internal/fphash"
+	"freqdedup/internal/trace"
+)
+
+// DefaultShards is the shard count used by NewStore. 16 stripes keep lock
+// contention negligible for dozens of concurrent clients while the
+// per-shard container working set stays large enough to preserve chunk
+// locality within a shard.
+const DefaultShards = 16
+
+// maxShards bounds the shard count to the range addressable by the
+// one-byte fingerprint prefix (fphash.Fingerprint.Shard).
+const maxShards = 256
+
+// shard is one lock stripe of the store: a fingerprint index over its own
+// container packer, plus the shard's slice of the dedup statistics.
+// Every field is guarded by mu. A fingerprint is owned by exactly one
+// shard (fp.Shard), so per-shard indexes never disagree about whether a
+// chunk is stored, and per-shard open containers make packing append-safe
+// under concurrent writers without a global packer lock.
+type shard struct {
+	mu         sync.Mutex
+	index      map[fphash.Fingerprint]container.Location
+	containers *container.Store
+
+	logicalBytes  uint64
+	physicalBytes uint64
+	logicalChunks int
+}
+
+// put is the single-shard Put body; the caller holds s.mu.
+func (s *shard) put(fp fphash.Fingerprint, data []byte) (duplicate bool) {
+	s.logicalChunks++
+	s.logicalBytes += uint64(len(data))
+	if _, ok := s.index[fp]; ok {
+		return true
+	}
+	buf := make([]byte, len(data))
+	copy(buf, data)
+	loc := s.containers.Append(container.Entry{FP: fp, Size: uint32(len(data)), Data: buf})
+	s.index[fp] = loc
+	s.physicalBytes += uint64(len(data))
+	return false
+}
+
+// Store is a deduplicated ciphertext-chunk store: one physical copy per
+// unique ciphertext chunk, packed into containers. The fingerprint index
+// and the container packer are split into lock-striped shards keyed by
+// fingerprint prefix, so concurrent clients (Figure 2's multi-client
+// architecture) contend only when their chunks collide on a shard.
+// Backups can be registered for retention management and reclaimed with
+// GC (see gc.go). A Store is safe for concurrent use.
+type Store struct {
+	shards         []*shard
+	containerBytes int
+
+	// Retention state (per-backup chunk references and per-chunk counts),
+	// guarded by retMu. It is store-level, not sharded: backups span
+	// shards and registration is off the hot path.
+	retMu   sync.Mutex
+	backups map[string][]fphash.Fingerprint
+	refs    map[fphash.Fingerprint]int
+}
+
+// NewStore returns an empty store with the given container capacity
+// (container.DefaultBytes if zero) and DefaultShards index shards.
+func NewStore(containerBytes int) *Store {
+	return NewStoreWithShards(containerBytes, DefaultShards)
+}
+
+// NewStoreWithShards returns an empty store with the given container
+// capacity (container.DefaultBytes if zero) and shard count. Shards must
+// be in [1, 256]; zero selects DefaultShards. With shards == 1 the store
+// degenerates to the original serial engine: a single index and a single
+// container sequence, with chunk placement bit-for-bit identical to it.
+func NewStoreWithShards(containerBytes, shards int) *Store {
+	if containerBytes == 0 {
+		containerBytes = container.DefaultBytes
+	}
+	if shards == 0 {
+		shards = DefaultShards
+	}
+	if shards < 1 || shards > maxShards {
+		panic("dedup: shard count out of range [1, 256]")
+	}
+	s := &Store{
+		shards:         make([]*shard, shards),
+		containerBytes: containerBytes,
+	}
+	for i := range s.shards {
+		s.shards[i] = &shard{
+			index:      make(map[fphash.Fingerprint]container.Location),
+			containers: container.New(containerBytes),
+		}
+	}
+	return s
+}
+
+// ShardCount returns the number of index shards.
+func (s *Store) ShardCount() int { return len(s.shards) }
+
+// shardFor returns the shard owning fp.
+func (s *Store) shardFor(fp fphash.Fingerprint) *shard {
+	return s.shards[fp.Shard(len(s.shards))]
+}
+
+// Put stores a ciphertext chunk, deduplicating against previously stored
+// chunks. It reports whether the chunk was a duplicate. Only the owning
+// shard is locked, so Puts of chunks on different shards proceed in
+// parallel.
+func (s *Store) Put(fp fphash.Fingerprint, data []byte) (duplicate bool) {
+	sh := s.shardFor(fp)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.put(fp, data)
+}
+
+// PutChunk is one chunk of a PutBatch upload.
+type PutChunk struct {
+	// FP is the chunk's (ciphertext) fingerprint.
+	FP fphash.Fingerprint
+	// Data is the chunk content. The store copies it; the caller keeps
+	// ownership.
+	Data []byte
+}
+
+// PutBatch stores a batch of ciphertext chunks, deduplicating each, and
+// reports per-chunk whether it was a duplicate (indexed like chunks).
+// Chunks are grouped by shard so each shard is locked once per batch
+// rather than once per chunk; within a shard, chunks are stored in batch
+// order, so with a single shard the container layout is identical to
+// issuing the Puts sequentially.
+func (s *Store) PutBatch(chunks []PutChunk) []bool {
+	dups := make([]bool, len(chunks))
+	if len(chunks) == 0 {
+		return dups
+	}
+	if len(s.shards) == 1 {
+		sh := s.shards[0]
+		sh.mu.Lock()
+		for i, c := range chunks {
+			dups[i] = sh.put(c.FP, c.Data)
+		}
+		sh.mu.Unlock()
+		return dups
+	}
+	// Group chunk indexes by shard, preserving batch order within each
+	// group to keep per-shard placement deterministic.
+	groups := make(map[int][]int)
+	for i, c := range chunks {
+		si := c.FP.Shard(len(s.shards))
+		groups[si] = append(groups[si], i)
+	}
+	for si, idxs := range groups {
+		sh := s.shards[si]
+		sh.mu.Lock()
+		for _, i := range idxs {
+			dups[i] = sh.put(chunks[i].FP, chunks[i].Data)
+		}
+		sh.mu.Unlock()
+	}
+	return dups
+}
+
+// Get retrieves a stored ciphertext chunk by fingerprint.
+func (s *Store) Get(fp fphash.Fingerprint) ([]byte, bool) {
+	sh := s.shardFor(fp)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	loc, ok := sh.index[fp]
+	if !ok {
+		return nil, false
+	}
+	e, ok := sh.containers.Get(loc)
+	if !ok {
+		return nil, false
+	}
+	return e.Data, true
+}
+
+// Stats reports deduplication effectiveness of everything stored so far,
+// aggregated across shards. Each shard is locked in turn, so the totals
+// are a consistent per-shard snapshot (concurrent Puts may land between
+// shard reads, as with any aggregate over a live store).
+func (s *Store) Stats() trace.DedupStats {
+	var st trace.DedupStats
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		st.LogicalBytes += sh.logicalBytes
+		st.PhysicalBytes += sh.physicalBytes
+		st.LogicalChunks += sh.logicalChunks
+		st.UniqueChunks += len(sh.index)
+		sh.mu.Unlock()
+	}
+	return st
+}
+
+// UniqueChunks returns the number of distinct ciphertext chunks stored.
+func (s *Store) UniqueChunks() int {
+	var n int
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		n += len(sh.index)
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// ContainerCount returns the number of containers across all shards,
+// including in-progress ones.
+func (s *Store) ContainerCount() int {
+	var n int
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		n += sh.containers.Count()
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// lockAll acquires every shard lock in index order (the global lock order;
+// GC and other whole-store operations use it to get a consistent view).
+func (s *Store) lockAll() {
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+	}
+}
+
+// unlockAll releases every shard lock.
+func (s *Store) unlockAll() {
+	for _, sh := range s.shards {
+		sh.mu.Unlock()
+	}
+}

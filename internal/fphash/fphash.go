@@ -112,6 +112,20 @@ func Parse(s string) (Fingerprint, error) {
 	return fp, nil
 }
 
+// Shard maps the fingerprint to one of n shards using its leading byte,
+// the lock-striping key of the sharded dedup store. Fingerprints are
+// uniformly distributed (truncated SHA-256 or seeded PRNG output), so the
+// prefix balances shards without further hashing, and the mapping depends
+// only on the fingerprint itself — the same chunk always lands on the same
+// shard, which is what makes per-shard dedup indexes exact. Shard panics
+// if n is not in [1, 256].
+func (fp Fingerprint) Shard(n int) int {
+	if n < 1 || n > 256 {
+		panic(fmt.Sprintf("fphash: shard count %d out of range [1, 256]", n))
+	}
+	return int(fp[0]) % n
+}
+
 // Mix returns a well-distributed 64-bit hash of the fingerprint combined
 // with a salt. It implements a splitmix64-style finalizer and is used where
 // independent hash functions over fingerprints are needed (Bloom filter

@@ -145,3 +145,40 @@ func BenchmarkFromBytes8K(b *testing.B) {
 		FromBytes(buf)
 	}
 }
+
+func TestShard(t *testing.T) {
+	fp := FromUint64(0x0123456789abcdef)
+	if got := fp.Shard(1); got != 0 {
+		t.Fatalf("Shard(1) = %d, want 0", got)
+	}
+	if got := fp.Shard(256); got != int(fp[0]) {
+		t.Fatalf("Shard(256) = %d, want leading byte %d", got, fp[0])
+	}
+	for _, bad := range []int{0, -1, 257} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Shard(%d) did not panic", bad)
+				}
+			}()
+			fp.Shard(bad)
+		}()
+	}
+}
+
+func TestShardBalanced(t *testing.T) {
+	// Hashed fingerprints spread near-uniformly over 16 shards.
+	const n, shards = 1 << 14, 16
+	var counts [shards]int
+	buf := make([]byte, 8)
+	for i := 0; i < n; i++ {
+		buf[0], buf[4] = byte(i), byte(i>>8)
+		counts[FromBytes(buf).Shard(shards)]++
+	}
+	want := n / shards
+	for s, c := range counts {
+		if c < want/2 || c > want*2 {
+			t.Fatalf("shard %d holds %d of %d fingerprints (want ~%d)", s, c, n, want)
+		}
+	}
+}
