@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race bench
+.PHONY: check fmt vet build test race bench bench-smoke
 
-check: fmt vet build race
+check: fmt vet build race bench-smoke
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -25,5 +25,11 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Full baseline run: writes BENCH_<date>.json (see scripts/bench.sh).
 bench:
-	$(GO) test -run=NONE -bench=. -benchmem .
+	scripts/bench.sh
+
+# One iteration of every tracked benchmark so `make check` catches
+# benchmark rot; the pattern lives in scripts/bench.sh.
+bench-smoke:
+	scripts/bench.sh --smoke

@@ -338,6 +338,62 @@ func benchBackup(b *testing.B, workers int) {
 func BenchmarkBackupSerial(b *testing.B)   { benchBackup(b, 1) }
 func BenchmarkBackupParallel(b *testing.B) { benchBackup(b, runtime.GOMAXPROCS(0)) }
 
+// BenchmarkChunkerCDC measures the ingest path in its backup-pipeline
+// configuration: content-defined chunking over a pooled, released chunk
+// stream with plaintext fingerprinting deferred (the serial stage that
+// bounds Backup throughput by Amdahl's law). Steady state runs
+// allocation-free.
+func BenchmarkChunkerCDC(b *testing.B) {
+	data := benchStream(16 << 20)
+	params := DefaultChunkingParams()
+	params.DeferFingerprint = true
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c, err := NewContentDefinedChunker(bytes.NewReader(data), params)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var n int64
+		for {
+			ch, err := c.Next()
+			if err != nil {
+				break
+			}
+			n += int64(ch.Size())
+			ch.Release()
+		}
+		if n != int64(len(data)) {
+			b.Fatalf("chunked %d of %d bytes", n, len(data))
+		}
+	}
+}
+
+// BenchmarkChunkerCDCFingerprinted is the same stream with inline SHA-256
+// fingerprinting, the seed chunker's configuration — the gap to
+// BenchmarkChunkerCDC is what deferring the hash into the worker pool
+// buys the serial stage.
+func BenchmarkChunkerCDCFingerprinted(b *testing.B) {
+	data := benchStream(16 << 20)
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c, err := NewContentDefinedChunker(bytes.NewReader(data), DefaultChunkingParams())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for {
+			ch, err := c.Next()
+			if err != nil {
+				break
+			}
+			ch.Release()
+		}
+	}
+}
+
 // BenchmarkStoreShards measures concurrent PutBatch throughput against
 // the shard count: GOMAXPROCS uploaders hammer one store with disjoint
 // chunk batches. shards=1 is the serialized baseline.

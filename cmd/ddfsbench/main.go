@@ -7,22 +7,28 @@
 // It also measures the byte-level backup pipeline itself: -pipeline
 // replays a pseudo-random stream through the sharded store with the
 // parallel encrypt+fingerprint client and reports throughput, so the
-// effect of -shards and -workers is visible on real hardware.
+// effect of -shards and -workers is visible on real hardware. -chunker
+// isolates the streaming ingest stage (content-defined chunking with
+// pooled buffers and deferred fingerprinting), the serial stage that
+// bounds backup throughput.
 //
 //	ddfsbench            # both cache regimes
 //	ddfsbench -cache 0.25
 //	ddfsbench -pipeline -mb 64 -shards 16 -workers 0
+//	ddfsbench -chunker -mb 256
 package main
 
 import (
 	"bytes"
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
 	"runtime"
 	"time"
 
+	"freqdedup/internal/chunker"
 	"freqdedup/internal/dedup"
 	"freqdedup/internal/eval"
 )
@@ -32,12 +38,20 @@ func main() {
 		"fingerprint cache size as a fraction of total fingerprint metadata (0 = run both paper regimes)")
 	pipeline := flag.Bool("pipeline", false,
 		"benchmark the byte-level backup pipeline instead of the metadata experiments")
+	chunkerOnly := flag.Bool("chunker", false,
+		"benchmark the streaming content-defined chunker alone (the ingest stage)")
 	streamMB := flag.Int("mb", 64, "pipeline stream size in MiB")
 	shards := flag.Int("shards", dedup.DefaultShards, "store shard count (1 = serial engine layout)")
 	workers := flag.Int("workers", 0, "encrypt workers per client (0 = GOMAXPROCS)")
 	clients := flag.Int("clients", 1, "concurrent backup clients sharing one store")
 	flag.Parse()
 
+	if *chunkerOnly {
+		if err := runChunker(*streamMB); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	if *pipeline {
 		if err := runPipeline(*streamMB, *shards, *workers, *clients); err != nil {
 			fatal(err)
@@ -132,6 +146,59 @@ func runPipeline(streamMB, shards, workers, clients int) error {
 		mb/elapsed.Seconds())
 	fmt.Printf("store: %d logical chunks, %d unique, %d container(s), saving %.1f%%\n",
 		st.LogicalChunks, st.UniqueChunks, store.ContainerCount(), st.Saving()*100)
+	return nil
+}
+
+// runChunker streams a pseudo-random buffer through the content-defined
+// chunker in its backup-pipeline configuration (pooled buffers released
+// after each chunk, plaintext fingerprinting deferred) and reports the
+// ingest throughput and chunk-size distribution.
+func runChunker(streamMB int) error {
+	if streamMB <= 0 {
+		return fmt.Errorf("stream size must be positive")
+	}
+	data := make([]byte, streamMB<<20)
+	rng := rand.New(rand.NewSource(1))
+	for i := range data {
+		data[i] = byte(rng.Intn(256))
+	}
+	params := chunker.DefaultParams()
+	params.DeferFingerprint = true
+	cdc, err := chunker.NewContentDefined(bytes.NewReader(data), params)
+	if err != nil {
+		return err
+	}
+	var (
+		chunks   int
+		minSize  = params.Max + 1
+		maxSize  int
+		consumed int64
+	)
+	start := time.Now()
+	for {
+		ch, err := cdc.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		chunks++
+		consumed += int64(ch.Size())
+		if ch.Size() < minSize {
+			minSize = ch.Size()
+		}
+		if ch.Size() > maxSize {
+			maxSize = ch.Size()
+		}
+		ch.Release()
+	}
+	elapsed := time.Since(start)
+	mb := float64(consumed) / (1 << 20)
+	fmt.Printf("chunker: %.0f MiB in %v: %.1f MB/s\n", mb, elapsed.Round(time.Millisecond),
+		mb/elapsed.Seconds())
+	fmt.Printf("chunks: %d (avg %.0f B, min %d, max %d)\n",
+		chunks, float64(consumed)/float64(chunks), minSize, maxSize)
 	return nil
 }
 

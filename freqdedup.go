@@ -45,11 +45,15 @@ func FingerprintOf(content []byte) Fingerprint { return fphash.FromBytes(content
 
 // Chunking.
 type (
-	// Chunk is one chunk cut from an input stream.
+	// Chunk is one chunk cut from an input stream. Chunk buffers come from
+	// a pool; streaming consumers should call Chunk.Release when done with
+	// a chunk's bytes (see internal/chunker's package documentation for
+	// the ownership contract).
 	Chunk = chunker.Chunk
 	// Chunker cuts a stream into chunks.
 	Chunker = chunker.Chunker
-	// ChunkingParams configures content-defined chunking.
+	// ChunkingParams configures content-defined chunking, including
+	// DeferFingerprint for pipelines that hash chunk contents out of band.
 	ChunkingParams = chunker.Params
 )
 
@@ -131,12 +135,15 @@ type (
 	// shards keyed by fingerprint prefix so concurrent clients rarely
 	// contend. It is safe for concurrent use.
 	Store = dedup.Store
-	// StoreChunk is one chunk of a batched Store.PutBatch upload.
+	// StoreChunk is one chunk of a batched Store.PutBatch upload (or a
+	// Store.PutBatchOwned ownership-transfer upload).
 	StoreChunk = dedup.PutChunk
 	// Client chunks, encrypts, and uploads backup streams through a
-	// parallel encrypt+fingerprint worker pipeline (ClientConfig.Workers).
-	// A Client is not safe for concurrent use; run one per goroutine
-	// against a shared Store.
+	// bounded streaming pipeline: a producer goroutine runs the
+	// content-defined chunker while ClientConfig.Workers goroutines
+	// encrypt and fingerprint, so resident plaintext stays bounded
+	// regardless of stream length. A Client is not safe for concurrent
+	// use; run one per goroutine against a shared Store.
 	Client = dedup.Client
 	// ClientConfig configures a Client (chunking, MLE scheme, defenses,
 	// and the backup pipeline's worker count).

@@ -1,23 +1,11 @@
-// Package chunker partitions byte streams into chunks, the first stage of
-// the deduplication pipeline (Section 2.1 of the paper).
-//
-// Two chunkers are provided:
-//
-//   - Fixed: fixed-size chunking, as used by the paper's VM dataset (4 KB
-//     chunks of virtual machine images).
-//   - ContentDefined: variable-size content-defined chunking driven by a
-//     rolling Rabin fingerprint, with configurable minimum, average, and
-//     maximum chunk sizes, as used by the FSL and synthetic datasets (8 KB
-//     average).
-//
-// Both implement the Chunker interface and stream from an io.Reader, so
-// arbitrarily large inputs can be chunked with bounded memory.
 package chunker
 
 import (
 	"errors"
 	"fmt"
 	"io"
+	"math/bits"
+	"sync"
 
 	"freqdedup/internal/fphash"
 	"freqdedup/internal/rabin"
@@ -26,17 +14,68 @@ import (
 // Chunk is one chunk cut from an input stream.
 type Chunk struct {
 	// Data is the chunk content. The slice is owned by the caller after
-	// Next returns; chunkers do not reuse it.
+	// Next returns; it is backed by a pooled buffer that the caller may
+	// hand back with Release when done (see the package comment for the
+	// ownership contract).
 	Data []byte
 	// Offset is the byte offset of the chunk within the input stream.
 	Offset int64
 	// Fingerprint identifies the chunk content (SHA-256 truncated; see
-	// package fphash).
+	// package fphash). It is zero when the chunker was configured with
+	// Params.DeferFingerprint.
 	Fingerprint fphash.Fingerprint
 }
 
 // Size returns the chunk size in bytes.
 func (c Chunk) Size() int { return len(c.Data) }
+
+// Release returns the chunk's buffer to the package pool. The chunk's Data
+// (and any sub-slice of it) must not be touched afterwards. Calling Release
+// is optional — unreleased buffers are garbage collected — but streaming
+// consumers that release every chunk run allocation-free in steady state.
+func (c Chunk) Release() {
+	putBuf(c.Data)
+}
+
+// bufPools recycles chunk data buffers, one pool per power-of-two size
+// class so a released small buffer never blocks reuse for a larger chunk
+// (content-defined chunk sizes span Min..Max). Class k holds buffers with
+// capacity at least 1<<k; buffers are allocated with exact power-of-two
+// capacity and classed by floor(log2(cap)) on release, so a pooled buffer
+// always satisfies the whole class it sits in. holderPool recycles the
+// *[]byte boxes so neither getBuf nor putBuf allocates in steady state.
+var (
+	bufPools   [33]sync.Pool
+	holderPool = sync.Pool{New: func() any { return new([]byte) }}
+)
+
+// getBuf returns a buffer of length n from the pool of n's size class,
+// allocating a fresh one (with power-of-two capacity) on a pool miss.
+func getBuf(n int) []byte {
+	if n == 0 {
+		return []byte{}
+	}
+	k := bits.Len(uint(n - 1))
+	if h, ok := bufPools[k].Get().(*[]byte); ok {
+		buf := (*h)[:n]
+		*h = nil
+		holderPool.Put(h)
+		return buf
+	}
+	return make([]byte, n, 1<<k)
+}
+
+// putBuf hands a buffer back to the pool of its capacity's size class.
+func putBuf(buf []byte) {
+	c := cap(buf)
+	if c == 0 {
+		return
+	}
+	k := bits.Len(uint(c)) - 1 // floor(log2(c)): every buffer here has cap >= 1<<k
+	h := holderPool.Get().(*[]byte)
+	*h = buf[:0]
+	bufPools[k].Put(h)
+}
 
 // Chunker cuts a stream into chunks.
 type Chunker interface {
@@ -70,7 +109,10 @@ func (f *Fixed) Next() (Chunk, error) {
 	if f.done {
 		return Chunk{}, io.EOF
 	}
-	buf := make([]byte, f.size)
+	// Pooled buffer: a full chunk reuses it as-is, and the final short
+	// chunk just slices it down instead of pinning a full-size allocation
+	// the way the seed implementation did.
+	buf := getBuf(f.size)
 	n, err := io.ReadFull(f.r, buf)
 	switch {
 	case err == nil:
@@ -80,13 +122,20 @@ func (f *Fixed) Next() (Chunk, error) {
 		buf = buf[:n]
 	case errors.Is(err, io.EOF):
 		f.done = true
+		putBuf(buf)
 		return Chunk{}, io.EOF
 	default:
+		putBuf(buf)
 		return Chunk{}, fmt.Errorf("chunker: read: %w", err)
 	}
 	c := Chunk{Data: buf, Offset: f.offset, Fingerprint: fphash.FromBytes(buf)}
 	f.offset += int64(n)
 	return c, nil
+}
+
+// chunkCountHint estimates how many chunks remain, for All's preallocation.
+func (f *Fixed) chunkCountHint() int {
+	return remainingHint(f.r, f.size)
 }
 
 // Params configures a content-defined chunker.
@@ -103,6 +152,10 @@ type Params struct {
 	// Window is the rolling-hash window size in bytes. Zero selects
 	// rabin.DefaultWindow.
 	Window int
+	// DeferFingerprint leaves Chunk.Fingerprint zero so callers can hash
+	// chunk contents out of band (e.g. in a worker pool) instead of paying
+	// a serial SHA-256 inside Next.
+	DeferFingerprint bool
 }
 
 // DefaultParams mirrors the paper's FSL configuration: 8 KB average chunks
@@ -128,20 +181,27 @@ func (p Params) Validate() error {
 	return nil
 }
 
+// minFillSpace is the smallest write space fill tolerates before compacting
+// the lookahead buffer, so reads stay large even as the write position
+// approaches the buffer's end.
+const minFillSpace = 32 * 1024
+
 // ContentDefined cuts the input at content-defined boundaries using a
 // rolling Rabin fingerprint: a boundary is declared at the first position
 // past Min where fp mod Avg == Avg-1 (the paper's "fingerprint modulo a
 // pre-defined divisor equals some constant"), or at Max bytes.
 type ContentDefined struct {
-	r       io.Reader
-	p       Params
-	mask    uint64
-	magic   uint64
-	hash    *rabin.Hash
-	readBuf []byte
-	buf     []byte // unconsumed bytes read ahead of the current chunk
-	offset  int64
-	eof     bool
+	r      io.Reader
+	p      Params
+	mask   uint64
+	magic  uint64
+	window int
+	hash   *rabin.Hash
+	buf    []byte // fixed lookahead buffer; reads land directly in it
+	start  int    // first unconsumed byte in buf
+	end    int    // end of valid data in buf
+	offset int64
+	eof    bool
 }
 
 var _ Chunker = (*ContentDefined)(nil)
@@ -155,80 +215,132 @@ func NewContentDefined(r io.Reader, p Params) (*ContentDefined, error) {
 	if window == 0 {
 		window = rabin.DefaultWindow
 	}
+	bufSize := 4 * p.Max
+	if bufSize < 256*1024 {
+		bufSize = 256 * 1024
+	}
 	return &ContentDefined{
-		r:       r,
-		p:       p,
-		mask:    uint64(p.Avg - 1),
-		magic:   uint64(p.Avg - 1),
-		hash:    rabin.New(window),
-		readBuf: make([]byte, 64*1024),
+		r:      r,
+		p:      p,
+		mask:   uint64(p.Avg - 1),
+		magic:  uint64(p.Avg - 1),
+		window: window,
+		hash:   rabin.New(window),
+		buf:    make([]byte, bufSize),
 	}, nil
 }
 
-// fill reads more data into the lookahead buffer. It returns false when the
-// underlying reader is exhausted and the buffer is empty.
-func (c *ContentDefined) fill() (bool, error) {
-	if c.eof {
-		return len(c.buf) > 0, nil
+// fill reads more data directly into the lookahead buffer, compacting the
+// consumed prefix away when the remaining write space has become small.
+// It returns any read error; io.EOF is recorded in c.eof instead.
+func (c *ContentDefined) fill() error {
+	if len(c.buf)-c.end < minFillSpace && c.start > 0 {
+		c.end = copy(c.buf, c.buf[c.start:c.end])
+		c.start = 0
 	}
-	n, err := c.r.Read(c.readBuf)
-	if n > 0 {
-		c.buf = append(c.buf, c.readBuf[:n]...)
-	}
+	n, err := c.r.Read(c.buf[c.end:])
+	c.end += n
 	if err != nil {
 		if errors.Is(err, io.EOF) {
 			c.eof = true
-			return len(c.buf) > 0, nil
+			return nil
 		}
-		return false, fmt.Errorf("chunker: read: %w", err)
+		return fmt.Errorf("chunker: read: %w", err)
 	}
-	return true, nil
+	return nil
+}
+
+// findCut returns the boundary position within data (1 <= cut <= len(data)),
+// assuming data is either Max bytes long or the final remainder of the
+// stream. Boundaries match the reference byte-at-a-time algorithm exactly:
+// the rolling hash restarts at the chunk's first byte, and the first
+// position at or past Min whose fingerprint matches cuts the chunk.
+func (c *ContentDefined) findCut(data []byte) int {
+	if len(data) <= c.p.Min {
+		return len(data)
+	}
+	c.hash.Reset()
+	// The fingerprint at any position depends only on the trailing window
+	// bytes, so positions before Min need only the window preceding Min to
+	// be rolled in — bytes before Min-window are never hashed.
+	pre := c.p.Min - c.window
+	if pre < 0 {
+		pre = 0
+	}
+	if fp := c.hash.Update(data[pre:c.p.Min]); fp&c.mask == c.magic {
+		return c.p.Min
+	}
+	if c.p.Min >= c.window {
+		// The whole window at every scan position lies inside data, so the
+		// contiguous scan applies: the departing byte is read straight from
+		// data and the circular window buffer is never touched.
+		cut, ok := c.hash.ScanContig(data, c.p.Min, c.mask, c.magic)
+		if ok {
+			return cut
+		}
+		return len(data)
+	}
+	n, ok := c.hash.Scan(data[c.p.Min:], c.mask, c.magic)
+	if ok {
+		return c.p.Min + n
+	}
+	return len(data)
 }
 
 // Next implements Chunker.
 func (c *ContentDefined) Next() (Chunk, error) {
-	c.hash.Reset()
-	cut := -1
-	pos := 0
-	for cut < 0 {
-		// Ensure at least one unprocessed byte is available.
-		for pos >= len(c.buf) {
-			ok, err := c.fill()
-			if err != nil {
-				return Chunk{}, err
-			}
-			if !ok || (c.eof && pos >= len(c.buf)) {
-				// Stream exhausted: emit the remainder, if any.
-				if pos == 0 {
-					return Chunk{}, io.EOF
-				}
-				cut = pos
-				break
-			}
-		}
-		if cut >= 0 {
-			break
-		}
-		fp := c.hash.Roll(c.buf[pos])
-		pos++
-		if pos >= c.p.Max {
-			cut = pos
-		} else if pos >= c.p.Min && fp&c.mask == c.magic {
-			cut = pos
+	// Ensure a full Max-sized lookahead (or the stream remainder).
+	for c.end-c.start < c.p.Max && !c.eof {
+		if err := c.fill(); err != nil {
+			return Chunk{}, err
 		}
 	}
-	data := make([]byte, cut)
-	copy(data, c.buf[:cut])
-	c.buf = c.buf[:copy(c.buf, c.buf[cut:])]
-	ch := Chunk{Data: data, Offset: c.offset, Fingerprint: fphash.FromBytes(data)}
+	avail := c.end - c.start
+	if avail == 0 {
+		return Chunk{}, io.EOF
+	}
+	lookahead := c.buf[c.start:c.end]
+	if avail > c.p.Max {
+		lookahead = lookahead[:c.p.Max]
+	}
+	cut := c.findCut(lookahead)
+	data := getBuf(cut)
+	copy(data, lookahead[:cut])
+	ch := Chunk{Data: data, Offset: c.offset}
+	if !c.p.DeferFingerprint {
+		ch.Fingerprint = fphash.FromBytes(data)
+	}
+	c.start += cut
 	c.offset += int64(cut)
 	return ch, nil
 }
 
+// chunkCountHint estimates how many chunks remain, for All's preallocation.
+func (c *ContentDefined) chunkCountHint() int {
+	return remainingHint(c.r, c.p.Avg)
+}
+
+// remainingHint divides the reader's remaining length (when it exposes one,
+// as bytes.Reader and strings.Reader do) by an average chunk size estimate.
+func remainingHint(r io.Reader, avgChunk int) int {
+	lr, ok := r.(interface{ Len() int })
+	if !ok || avgChunk <= 0 {
+		return 0
+	}
+	return lr.Len()/avgChunk + 1
+}
+
 // All drains a chunker, returning every chunk. It is a convenience for
-// tests and small inputs; large streams should iterate Next directly.
+// tests and small inputs; large streams should iterate Next directly. The
+// output slice is preallocated from the chunker's average-chunk-size
+// estimate when the underlying reader exposes its remaining length.
 func All(c Chunker) ([]Chunk, error) {
 	var out []Chunk
+	if h, ok := c.(interface{ chunkCountHint() int }); ok {
+		if n := h.chunkCountHint(); n > 0 {
+			out = make([]Chunk, 0, n)
+		}
+	}
 	for {
 		ch, err := c.Next()
 		if errors.Is(err, io.EOF) {

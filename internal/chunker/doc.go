@@ -1,0 +1,53 @@
+// Package chunker partitions byte streams into chunks, the first stage of
+// the deduplication pipeline (Section 2.1 of the paper).
+//
+// Two chunkers are provided:
+//
+//   - Fixed: fixed-size chunking, as used by the paper's VM dataset (4 KB
+//     chunks of virtual machine images).
+//   - ContentDefined: variable-size content-defined chunking driven by a
+//     rolling Rabin fingerprint, with configurable minimum, average, and
+//     maximum chunk sizes, as used by the FSL and synthetic datasets (8 KB
+//     average).
+//
+// Both implement the Chunker interface and stream from an io.Reader, so
+// arbitrarily large inputs can be chunked with bounded memory.
+//
+// # Ingest path
+//
+// ContentDefined reads directly into a fixed lookahead buffer and scans it
+// with the bulk Rabin APIs (rabin.Hash.Update / rabin.Hash.Scan), keeping
+// the fingerprint and window state in registers for whole buffer slices
+// instead of making one method call per byte. Because the rolling hash is
+// reset at every chunk start and a boundary is only legal after Min bytes,
+// the bytes before Min-window need never be hashed at all — the fingerprint
+// at any position depends only on the trailing window. Each emitted chunk
+// is copied exactly once, from the lookahead buffer into its own buffer;
+// the seed implementation's second copy (reader to lookahead) is gone.
+//
+// # Buffer ownership and pooling
+//
+// Chunk.Data buffers are drawn from a package-level sync.Pool. A chunk's
+// buffer is owned by the caller from the moment Next returns it:
+//
+//   - Callers that keep chunks (chunker.All, tests) simply let the garbage
+//     collector reclaim them; no Release is required for correctness.
+//   - Streaming consumers (the dedup client's backup pipeline) should call
+//     Chunk.Release once the chunk's bytes are no longer referenced. The
+//     buffer returns to the pool and is handed out by a later Next call,
+//     making the steady-state ingest path allocation-free.
+//
+// After Release the chunk's Data must not be read or written — the buffer
+// may already back another chunk. Releasing the same chunk twice is
+// likewise a caller bug. Sub-slices of Data share the buffer, so they die
+// with it at Release.
+//
+// # Deferred fingerprinting
+//
+// By default Next computes Chunk.Fingerprint (truncated SHA-256 of the
+// content) before returning. Params.DeferFingerprint leaves Fingerprint
+// zero so a downstream worker pool can hash chunks in parallel instead of
+// serializing SHA-256 behind the chunker — the dedup client's backup
+// pipeline does exactly that, and skips plaintext fingerprinting entirely
+// for encryption modes that never use it.
+package chunker

@@ -3,7 +3,7 @@ package core
 import (
 	"fmt"
 	"math/rand"
-	"sort"
+	"slices"
 
 	"freqdedup/internal/fphash"
 	"freqdedup/internal/trace"
@@ -73,15 +73,22 @@ func DefaultLocalityConfig() LocalityConfig {
 // frequency and pairs them rank-for-rank. The returned pairs cover
 // min(|F_C|, |F_M|) chunks.
 func BasicAttack(c, m *trace.Backup) []Pair {
-	fc := make(counts, len(c.Chunks))
+	// The two frequency tables are independent; build them concurrently.
+	var fm *freqTable
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		fm = newFreqTable(len(m.Chunks))
+		for i, ch := range m.Chunks {
+			fm.bump(ch.FP, i, ch.Size)
+		}
+	}()
+	fc := newFreqTable(len(c.Chunks))
 	for i, ch := range c.Chunks {
-		fc.bump(ch.FP, i)
+		fc.bump(ch.FP, i, ch.Size)
 	}
-	fm := make(counts, len(m.Chunks))
-	for i, ch := range m.Chunks {
-		fm.bump(ch.FP, i)
-	}
-	return freqAnalysis(fc, fm, 0, c.Sizes(), m.Sizes(), false, false)
+	<-done
+	return freqAnalysis(fc.flat(), fm.flat(), 0, false, false)
 }
 
 // AttackStats reports the internals of one locality-attack run — the
@@ -116,25 +123,20 @@ func LocalityAttackWithStats(c, m *trace.Backup, cfg LocalityConfig) ([]Pair, At
 	if cfg.Mode == 0 {
 		cfg.Mode = CiphertextOnly
 	}
-	fc, lc, rc := countStream(c)
-	fm, lm, rm := countStream(m)
-	cSizes, mSizes := c.Sizes(), m.Sizes()
+	fc, lc, rc, fm, lm, rm := countStreams(c, m)
 
 	// Initialize the inferred set G (FIFO queue) and the result set T.
 	var g []Pair
 	switch cfg.Mode {
 	case KnownPlaintext:
 		for _, p := range cfg.Leaked {
-			if _, inC := fc[p.C]; !inC {
-				continue
-			}
-			if _, inM := fm[p.M]; !inM {
+			if !fc.has(p.C) || !fm.has(p.M) {
 				continue
 			}
 			g = append(g, p)
 		}
 	default:
-		g = freqAnalysis(fc, fm, cfg.U, cSizes, mSizes, cfg.SizeAware, false)
+		g = freqAnalysis(fc.flat(), fm.flat(), cfg.U, cfg.SizeAware, false)
 	}
 
 	stats := AttackStats{Seeds: len(g)}
@@ -150,17 +152,19 @@ func LocalityAttackWithStats(c, m *trace.Backup, cfg LocalityConfig) ([]Pair, At
 	for head := 0; head < len(g); head++ {
 		cur := g[head]
 		stats.Iterations++
-		tl := freqAnalysis(lc[cur.C], lm[cur.M], cfg.V, cSizes, mSizes, cfg.SizeAware, !cfg.ArbitraryTies)
-		tr := freqAnalysis(rc[cur.C], rm[cur.M], cfg.V, cSizes, mSizes, cfg.SizeAware, !cfg.ArbitraryTies)
-		for _, p := range append(tl, tr...) {
-			if _, seen := t[p.C]; seen {
-				continue
-			}
-			t[p.C] = p.M
-			if cfg.W <= 0 || len(g)-head <= cfg.W {
-				g = append(g, p)
-			} else {
-				stats.DroppedByW++
+		tl := freqAnalysis(lc[cur.C].flat(fc), lm[cur.M].flat(fm), cfg.V, cfg.SizeAware, !cfg.ArbitraryTies)
+		tr := freqAnalysis(rc[cur.C].flat(fc), rm[cur.M].flat(fm), cfg.V, cfg.SizeAware, !cfg.ArbitraryTies)
+		for _, side := range [2][]Pair{tl, tr} {
+			for _, p := range side {
+				if _, seen := t[p.C]; seen {
+					continue
+				}
+				t[p.C] = p.M
+				if cfg.W <= 0 || len(g)-head <= cfg.W {
+					g = append(g, p)
+				} else {
+					stats.DroppedByW++
+				}
 			}
 		}
 		if pending := len(g) - head - 1; pending > stats.PeakQueue {
@@ -172,7 +176,7 @@ func LocalityAttackWithStats(c, m *trace.Backup, cfg LocalityConfig) ([]Pair, At
 	for cf, mf := range t {
 		out = append(out, Pair{C: cf, M: mf})
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].C.Less(out[j].C) })
+	slices.SortFunc(out, func(a, b Pair) int { return a.C.Compare(b.C) })
 	stats.Inferred = len(out)
 	return out, stats
 }
@@ -224,7 +228,7 @@ func SampleLeaked(target *trace.Backup, truth GroundTruth, leakageRate float64, 
 		seen[ch.FP] = struct{}{}
 		uniq = append(uniq, ch.FP)
 	}
-	sort.Slice(uniq, func(i, j int) bool { return uniq[i].Less(uniq[j]) })
+	slices.SortFunc(uniq, fphash.Fingerprint.Compare)
 	n := int(float64(len(uniq))*leakageRate + 0.5)
 	if n > len(uniq) {
 		n = len(uniq)

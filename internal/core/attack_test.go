@@ -268,12 +268,19 @@ func TestModeString(t *testing.T) {
 func TestCountStream(t *testing.T) {
 	b := stream("b", 4096, 1, 2, 1, 3)
 	f, l, r := countStream(b)
-	if f[fp(1)].count != 2 || f[fp(2)].count != 1 || f[fp(3)].count != 1 {
-		t.Fatalf("frequencies wrong: %v", f)
+	statOf := func(id uint64) stat {
+		s, ok := f.get(fp(id))
+		if !ok {
+			t.Fatalf("chunk %d missing from frequency table", id)
+		}
+		return s
+	}
+	if statOf(1).count != 2 || statOf(2).count != 1 || statOf(3).count != 1 {
+		t.Fatalf("frequencies wrong: %v", f.entries)
 	}
 	// First-seen positions for tie-breaking.
-	if f[fp(1)].first != 0 || f[fp(2)].first != 1 || f[fp(3)].first != 3 {
-		t.Fatalf("first positions wrong: %v", f)
+	if statOf(1).first != 0 || statOf(2).first != 1 || statOf(3).first != 3 {
+		t.Fatalf("first positions wrong: %v", f.entries)
 	}
 	if l[fp(2)][fp(1)].count != 1 || l[fp(1)][fp(2)].count != 1 || l[fp(3)][fp(1)].count != 1 {
 		t.Fatalf("left neighbors wrong: %v", l)

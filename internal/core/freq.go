@@ -18,6 +18,18 @@
 // inference rate: correctly inferred unique ciphertext chunks over total
 // unique ciphertext chunks in the latest backup.
 //
+// # Data layout
+//
+// The whole-stream frequency tables F_C / F_M are flat: one append-only
+// []freqEntry arena in first-occurrence order plus a fingerprint-to-index
+// map. Duplicates cost one map lookup and an in-place increment, building
+// the table allocates nothing per entry, and ranking sorts a copy of the
+// arena directly — no per-entry pointers anywhere (the seed implementation
+// kept a heap-allocated *stat per unique chunk, which dominated every
+// attack's allocation profile). Chunk sizes are recorded at count time, so
+// no separate fingerprint-to-size map is ever materialized. The per-chunk
+// neighbor tables L_X / R_X keep small value-struct maps per row.
+//
 // # Tie-breaking
 //
 // The paper notes that how frequency ties are broken affects inference
@@ -39,7 +51,7 @@
 package core
 
 import (
-	"sort"
+	"slices"
 
 	"freqdedup/internal/fphash"
 	"freqdedup/internal/trace"
@@ -54,47 +66,131 @@ type Pair struct {
 // stat is one chunk's (or neighbor pair's) frequency record: its occurrence
 // count and the stream position of its first occurrence (for tie-breaking).
 type stat struct {
-	count int
-	first int
+	count int32
+	first int32
 }
 
-// counts is an associative array from fingerprint to frequency — F_C / F_M
-// of the paper, or one neighbor-table row L_X[X] / R_X[X].
-type counts map[fphash.Fingerprint]*stat
+// freqEntry is one chunk with its frequency record and size (for the
+// advanced attack's classification).
+type freqEntry struct {
+	fp   fphash.Fingerprint
+	stat stat
+	size uint32
+}
+
+// freqTable is a whole-stream frequency table (F_C / F_M of the paper):
+// a flat entry arena in first-occurrence order, indexed by fingerprint.
+type freqTable struct {
+	idx     map[fphash.Fingerprint]int32
+	entries []freqEntry
+}
+
+// newFreqTable returns a table pre-sized for a stream of n chunks.
+func newFreqTable(n int) *freqTable {
+	return &freqTable{
+		idx:     make(map[fphash.Fingerprint]int32, n),
+		entries: make([]freqEntry, 0, n),
+	}
+}
+
+// bump counts one occurrence of fp at stream position pos with the given
+// chunk size. Duplicates are one map lookup and an in-place increment.
+func (t *freqTable) bump(fp fphash.Fingerprint, pos int, size uint32) {
+	if i, ok := t.idx[fp]; ok {
+		t.entries[i].stat.count++
+		return
+	}
+	t.idx[fp] = int32(len(t.entries))
+	t.entries = append(t.entries, freqEntry{
+		fp:   fp,
+		stat: stat{count: 1, first: int32(pos)},
+		size: size,
+	})
+}
+
+// has reports whether fp occurs in the stream.
+func (t *freqTable) has(fp fphash.Fingerprint) bool {
+	_, ok := t.idx[fp]
+	return ok
+}
+
+// get returns fp's frequency record.
+func (t *freqTable) get(fp fphash.Fingerprint) (stat, bool) {
+	i, ok := t.idx[fp]
+	if !ok {
+		return stat{}, false
+	}
+	return t.entries[i].stat, true
+}
+
+// sizeOf returns the chunk size recorded for fp (0 if absent).
+func (t *freqTable) sizeOf(fp fphash.Fingerprint) uint32 {
+	i, ok := t.idx[fp]
+	if !ok {
+		return 0
+	}
+	return t.entries[i].size
+}
+
+// flat returns a copy of the entry arena for ranking.
+func (t *freqTable) flat() []freqEntry {
+	return append([]freqEntry(nil), t.entries...)
+}
+
+// counts is a value-struct frequency map — one neighbor-table row L_X[X] /
+// R_X[X] of the paper. Rows are small (backup streams are local), so a map
+// per row beats arena bookkeeping, and value records keep it pointer-free.
+type counts map[fphash.Fingerprint]stat
 
 // bump increments the count for fp, recording position pos on first sight.
 func (c counts) bump(fp fphash.Fingerprint, pos int) {
 	if s, ok := c[fp]; ok {
 		s.count++
+		c[fp] = s
 		return
 	}
-	c[fp] = &stat{count: 1, first: pos}
+	c[fp] = stat{count: 1, first: int32(pos)}
+}
+
+// flat flattens a neighbor row into rankable entries, resolving each
+// neighbor's chunk size from its stream's frequency table.
+func (c counts) flat(sizes *freqTable) []freqEntry {
+	out := make([]freqEntry, 0, len(c))
+	for fp, s := range c {
+		out = append(out, freqEntry{fp: fp, stat: s, size: sizes.sizeOf(fp)})
+	}
+	return out
 }
 
 // neighborTable maps each chunk to the co-occurrence counts of its left (or
 // right) neighbors — L_X / R_X of the paper.
 type neighborTable map[fphash.Fingerprint]counts
 
+// neighborRowHint sizes newly created neighbor-table rows: most chunks
+// co-occur with a handful of distinct neighbors (backup streams are highly
+// local), so one small pre-sized bucket avoids the common grow-and-rehash.
+const neighborRowHint = 4
+
 // countStream builds F, L, and R for a backup stream (the COUNT function of
 // Algorithm 2): chunk frequencies plus left/right neighbor co-occurrence
 // frequencies.
-func countStream(b *trace.Backup) (f counts, l, r neighborTable) {
-	f = make(counts, len(b.Chunks))
+func countStream(b *trace.Backup) (f *freqTable, l, r neighborTable) {
+	f = newFreqTable(len(b.Chunks))
 	l = make(neighborTable, len(b.Chunks))
 	r = make(neighborTable, len(b.Chunks))
 	for i, c := range b.Chunks {
-		f.bump(c.FP, i)
+		f.bump(c.FP, i, c.Size)
 		if i > 0 {
 			left := b.Chunks[i-1].FP
 			lc := l[c.FP]
 			if lc == nil {
-				lc = make(counts)
+				lc = make(counts, neighborRowHint)
 				l[c.FP] = lc
 			}
 			lc.bump(left, i)
 			rc := r[left]
 			if rc == nil {
-				rc = make(counts)
+				rc = make(counts, neighborRowHint)
 				r[left] = rc
 			}
 			rc.bump(c.FP, i)
@@ -103,53 +199,98 @@ func countStream(b *trace.Backup) (f counts, l, r neighborTable) {
 	return f, l, r
 }
 
-// freqEntry is one chunk with its frequency record (and size, for the
-// advanced attack's classification).
-type freqEntry struct {
-	fp   fphash.Fingerprint
-	stat stat
-	size uint32
+// countStreams runs countStream over the ciphertext and plaintext backups
+// concurrently — the two tables are independent, and together they are the
+// setup cost of every locality-attack run.
+func countStreams(c, m *trace.Backup) (fc *freqTable, lc, rc neighborTable, fm *freqTable, lm, rm neighborTable) {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		fm, lm, rm = countStream(m)
+	}()
+	fc, lc, rc = countStream(c)
+	<-done
+	return
 }
 
-// rankLess orders entries by descending frequency. When posTies is set,
+// rankCompare orders entries by descending frequency. When posTies is set,
 // ties break by first stream occurrence (neighbor-table analyses);
 // otherwise by fingerprint (whole-stream analyses — arbitrary, as in the
-// paper). Fingerprint order is the final key either way, for determinism.
-func rankLess(a, b freqEntry, posTies bool) bool {
-	if a.stat.count != b.stat.count {
-		return a.stat.count > b.stat.count
+// paper). Fingerprint order is the final key either way, for determinism;
+// it is compared as one big-endian word, which orders identically to the
+// lexicographic byte order and costs one load per side instead of a byte
+// loop. Counts and positions are compared by subtraction: both are stream
+// positions/occurrence counts, far below the int32 overflow range.
+func rankCompare(a, b freqEntry, posTies bool) int {
+	if d := b.stat.count - a.stat.count; d != 0 {
+		return int(d)
 	}
-	if posTies && a.stat.first != b.stat.first {
-		return a.stat.first < b.stat.first
+	if posTies {
+		if d := a.stat.first - b.stat.first; d != 0 {
+			return int(d)
+		}
 	}
-	return a.fp.Less(b.fp)
+	au, bu := a.fp.Uint64(), b.fp.Uint64()
+	switch {
+	case au < bu:
+		return -1
+	case au > bu:
+		return 1
+	}
+	return 0
 }
 
-// rank sorts a frequency table into matching order.
-func rank(f counts, sizes map[fphash.Fingerprint]uint32, posTies bool) []freqEntry {
-	out := make([]freqEntry, 0, len(f))
-	for fp, s := range f {
-		out = append(out, freqEntry{fp: fp, stat: *s, size: sizes[fp]})
+// rankIndexThreshold is the table size above which rank sorts an index
+// array instead of the entries themselves: past a couple thousand entries
+// the sort's data movement (24-byte elements) costs more than the final
+// permutation pass, while the tiny neighbor rows sort faster in place.
+const rankIndexThreshold = 2048
+
+// rank sorts entries into matching order with slices.SortFunc — flat value
+// entries, no reflection, no per-entry indirection. Large tables are
+// sorted index-based: the sort moves 4-byte positions and one permutation
+// pass materializes the ranked order. The input slice is consumed (it may
+// be sorted in place or abandoned); callers pass throwaway copies.
+func rank(entries []freqEntry, posTies bool) []freqEntry {
+	if len(entries) >= rankIndexThreshold {
+		order := make([]int32, len(entries))
+		for i := range order {
+			order[i] = int32(i)
+		}
+		slices.SortFunc(order, func(i, j int32) int { return rankCompare(entries[i], entries[j], posTies) })
+		out := make([]freqEntry, len(entries))
+		for k, i := range order {
+			out[k] = entries[i]
+		}
+		return out
 	}
-	sort.Slice(out, func(i, j int) bool { return rankLess(out[i], out[j], posTies) })
-	return out
+	if posTies {
+		slices.SortFunc(entries, func(a, b freqEntry) int { return rankCompare(a, b, true) })
+	} else {
+		slices.SortFunc(entries, func(a, b freqEntry) int { return rankCompare(a, b, false) })
+	}
+	return entries
 }
 
-// freqAnalysis pairs the i-th most frequent ciphertext chunk with the i-th
-// most frequent plaintext chunk, returning at most x pairs (x <= 0 means
-// unbounded) — the FREQ-ANALYSIS function of Algorithms 1 and 2.
-func freqAnalysis(fc, fm counts, x int, cSizes, mSizes map[fphash.Fingerprint]uint32, sizeAware, posTies bool) []Pair {
+// freqAnalysis pairs the i-th most frequent ciphertext entry with the i-th
+// most frequent plaintext entry, returning at most x pairs (x <= 0 means
+// unbounded) — the FREQ-ANALYSIS function of Algorithms 1 and 2. The entry
+// slices are sorted in place (callers pass throwaway copies).
+func freqAnalysis(ec, em []freqEntry, x int, sizeAware, posTies bool) []Pair {
 	if sizeAware {
-		return freqAnalysisBySize(fc, fm, x, cSizes, mSizes, posTies)
+		return freqAnalysisBySize(ec, em, x, posTies)
 	}
-	rc := rank(fc, cSizes, posTies)
-	rm := rank(fm, mSizes, posTies)
+	rc := rank(ec, posTies)
+	rm := rank(em, posTies)
 	n := len(rc)
 	if len(rm) < n {
 		n = len(rm)
 	}
 	if x > 0 && x < n {
 		n = x
+	}
+	if n == 0 {
+		return nil
 	}
 	pairs := make([]Pair, n)
 	for i := 0; i < n; i++ {
@@ -165,23 +306,23 @@ func blocks(size uint32) uint32 {
 }
 
 // freqAnalysisBySize is the advanced attack's frequency analysis
-// (Algorithm 3): chunks are first classified by size in cipher blocks, and
-// rank matching happens within each size class, returning up to x pairs per
-// class.
-func freqAnalysisBySize(fc, fm counts, x int, cSizes, mSizes map[fphash.Fingerprint]uint32, posTies bool) []Pair {
-	classify := func(f counts, sizes map[fphash.Fingerprint]uint32) map[uint32][]freqEntry {
+// (Algorithm 3): entries are first classified by size in cipher blocks,
+// and rank matching happens within each size class, returning up to x
+// pairs per class.
+func freqAnalysisBySize(ec, em []freqEntry, x int, posTies bool) []Pair {
+	classify := func(entries []freqEntry) map[uint32][]freqEntry {
 		by := make(map[uint32][]freqEntry)
-		for fp, s := range f {
-			cls := blocks(sizes[fp])
-			by[cls] = append(by[cls], freqEntry{fp: fp, stat: *s, size: sizes[fp]})
+		for _, e := range entries {
+			cls := blocks(e.size)
+			by[cls] = append(by[cls], e)
 		}
 		for _, list := range by {
-			sort.Slice(list, func(i, j int) bool { return rankLess(list[i], list[j], posTies) })
+			rank(list, posTies)
 		}
 		return by
 	}
-	bc := classify(fc, cSizes)
-	bm := classify(fm, mSizes)
+	bc := classify(ec)
+	bm := classify(em)
 
 	// Deterministic class order.
 	classes := make([]uint32, 0, len(bc))
@@ -190,7 +331,7 @@ func freqAnalysisBySize(fc, fm counts, x int, cSizes, mSizes map[fphash.Fingerpr
 			classes = append(classes, s)
 		}
 	}
-	sort.Slice(classes, func(i, j int) bool { return classes[i] < classes[j] })
+	slices.Sort(classes)
 
 	var pairs []Pair
 	for _, s := range classes {

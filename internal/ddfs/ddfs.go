@@ -99,13 +99,18 @@ func New(cfg Config) *System {
 	if cfg.ExpectedFingerprints == 0 {
 		cfg.ExpectedFingerprints = 1 << 20
 	}
+	// Pre-size the index for the expected fingerprint population (it holds
+	// every unique chunk eventually) and the open-container buffer for one
+	// container's worth of entries (4 KB chunks, the smallest the paper's
+	// datasets use, bound the count), so neither rehashes on the hot path.
+	bufferedHint := cfg.ContainerBytes / 4096
 	return &System{
 		cfg:        cfg,
-		index:      make(map[fphash.Fingerprint]int),
+		index:      make(map[fphash.Fingerprint]int, cfg.ExpectedFingerprints),
 		bloom:      bloom.NewWithEstimates(cfg.ExpectedFingerprints, cfg.BloomFPP),
 		cache:      lru.New[int](cfg.CacheBytes, nil),
 		containers: container.New(cfg.ContainerBytes),
-		buffered:   make(map[fphash.Fingerprint]struct{}),
+		buffered:   make(map[fphash.Fingerprint]struct{}, bufferedHint),
 	}
 }
 

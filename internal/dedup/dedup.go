@@ -7,6 +7,7 @@ import (
 	"math/rand"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"freqdedup/internal/chunker"
 	"freqdedup/internal/fphash"
@@ -109,11 +110,11 @@ func NewClient(store *Store, cfg Config) (*Client, error) {
 	return &Client{cfg: cfg, store: store, rng: rand.New(rand.NewSource(seed))}, nil
 }
 
-// uploadJob is one chunk's position in the upload plan: which chunk to
-// encrypt and, for EncMinHash, the precomputed segment key.
-type uploadJob struct {
-	chunkIdx int
-	segKey   mle.Key
+// encJob is one chunk's slot in an encrypt window: the chunk to encrypt
+// and, for EncMinHash, the precomputed segment key.
+type encJob struct {
+	chunk  chunker.Chunk
+	segKey mle.Key
 }
 
 // uploadResult is a worker's output for one job: the ciphertext chunk,
@@ -124,30 +125,159 @@ type uploadResult struct {
 	key mle.Key
 }
 
+// uploadWindowChunks bounds how many chunks Backup encrypts and uploads at
+// a time: ~8 MiB of ciphertext at the default 8 KiB average chunk size,
+// and still hundreds of jobs per window so the worker fan-out stays
+// saturated.
+const uploadWindowChunks = 1024
+
+// chunkQueueDepth is the capacity of the streaming producer's chunk
+// channel: enough lookahead that the chunker keeps running while a window
+// is being encrypted, small enough that resident plaintext stays bounded
+// (depth + window chunks).
+const chunkQueueDepth = 256
+
 // Backup chunks, encrypts, and uploads the stream, returning the recipe
 // needed to restore it. The recipe must be sealed with the user's key
 // before being stored anywhere untrusted (mle.Recipe.Seal).
 //
-// Backup is a three-stage pipeline. The chunker runs sequentially (the
-// rolling hash is inherently serial), the upload plan — segmentation,
-// MinHash segment keys, and the scrambled upload order — is fixed up
-// front, and then Config.Workers goroutines fan out over the plan to
-// derive keys, encrypt, and fingerprint ciphertexts. Results are
-// reassembled in plan order before the final PutBatch upload, so the
-// store sees chunks in exactly the order the serial engine produced:
-// recipes, dedup ratios, and (for a single-shard store) container layout
-// are bit-for-bit independent of the worker count.
+// Backup is a streaming pipeline. A producer goroutine runs the
+// content-defined chunker (deferring plaintext SHA-256 out of the serial
+// path) and feeds a bounded channel; the consumer gathers fixed-size
+// windows and fans each one out to Config.Workers goroutines that derive
+// keys, encrypt, and fingerprint ciphertexts, then uploads the window with
+// one PutBatch and releases the plaintext buffers back to the chunker
+// pool. At most chunkQueueDepth + uploadWindowChunks plaintext chunks are
+// resident regardless of stream length.
+//
+// Scrambling and MinHash encryption need whole-stream segmentation (the
+// segment divisor depends on the stream's mean chunk size), so those
+// configurations buffer the chunk list and build the upload plan up front,
+// exactly like the pre-streaming engine — results are bit-for-bit
+// identical to it in every mode, and independent of the worker and shard
+// counts.
 func (c *Client) Backup(r io.Reader) (*mle.Recipe, error) {
-	cdc, err := chunker.NewContentDefined(r, c.cfg.Chunking)
+	params := c.cfg.Chunking
+	params.DeferFingerprint = true
+	cdc, err := chunker.NewContentDefined(r, params)
 	if err != nil {
 		return nil, err
 	}
+	if c.cfg.Scramble || c.cfg.Encryption == EncMinHash {
+		return c.backupPlanned(cdc)
+	}
+	return c.backupStreaming(cdc)
+}
+
+// chunkMsg is one producer-to-consumer handoff: a chunk or a chunking
+// error.
+type chunkMsg struct {
+	chunk chunker.Chunk
+	err   error
+}
+
+// backupStreaming is the bounded streaming path for configurations whose
+// upload order is the chunk order (no scrambling, no segment keys): chunks
+// flow from the producer goroutine through window-sized encrypt fan-outs
+// straight into the store, and never accumulate beyond the pipeline bound.
+func (c *Client) backupStreaming(cdc *chunker.ContentDefined) (*mle.Recipe, error) {
+	chunks := make(chan chunkMsg, chunkQueueDepth)
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		defer close(chunks)
+		for {
+			ch, err := cdc.Next()
+			if errors.Is(err, io.EOF) {
+				return
+			}
+			var msg chunkMsg
+			if err != nil {
+				msg = chunkMsg{err: fmt.Errorf("dedup: chunking: %w", err)}
+			} else {
+				msg = chunkMsg{chunk: ch}
+			}
+			select {
+			case chunks <- msg:
+			case <-done:
+				return
+			}
+			if err != nil {
+				return
+			}
+		}
+	}()
+
+	recipe := &mle.Recipe{}
+	window := make([]encJob, 0, uploadWindowChunks)
+	results := make([]uploadResult, uploadWindowChunks)
+	batch := make([]PutChunk, 0, uploadWindowChunks)
+	flush := func() error {
+		if len(window) == 0 {
+			return nil
+		}
+		res := results[:len(window)]
+		if err := c.runEncryptStage(window, res); err != nil {
+			return err
+		}
+		batch = batch[:0]
+		for _, r := range res {
+			batch = append(batch, PutChunk{FP: r.cfp, Data: r.ct})
+			recipe.Entries = append(recipe.Entries, mle.RecipeEntry{
+				Fingerprint: r.cfp,
+				Key:         r.key,
+				Size:        uint32(len(r.ct)),
+			})
+		}
+		// Ownership transfer: the ciphertexts were freshly allocated by the
+		// encrypt stage and are never touched again, so the store may keep
+		// them without its defensive copy.
+		c.store.PutBatchOwned(batch)
+		for i := range window {
+			window[i].chunk.Release()
+		}
+		window = window[:0]
+		return nil
+	}
+	for msg := range chunks {
+		if msg.err != nil {
+			return nil, msg.err
+		}
+		window = append(window, encJob{chunk: msg.chunk})
+		if len(window) == uploadWindowChunks {
+			if err := flush(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := flush(); err != nil {
+		return nil, err
+	}
+	return recipe, nil
+}
+
+// backupPlanned is the whole-stream planning path for scrambling and
+// MinHash encryption: drain the chunker, fingerprint the plaintext chunks
+// with the worker pool, segment, fix the upload plan (consuming the
+// scrambling RNG on this goroutine so the plan is a deterministic function
+// of input, config, and seed), then encrypt and upload in bounded windows
+// of the plan.
+func (c *Client) backupPlanned(cdc *chunker.ContentDefined) (*mle.Recipe, error) {
 	chunks, err := chunker.All(cdc)
 	if err != nil {
 		return nil, fmt.Errorf("dedup: chunking: %w", err)
 	}
 	if len(chunks) == 0 {
 		return &mle.Recipe{}, nil
+	}
+
+	// Plaintext fingerprints were deferred out of the chunker; compute
+	// them with the worker fan-out (segmentation and MinHash need them).
+	if err := c.parallelFor(len(chunks), func(i int) error {
+		chunks[i].Fingerprint = fphash.FromBytes(chunks[i].Data)
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 
 	// Recipe entries are in original chunk order; uploads may be
@@ -164,10 +294,12 @@ func (c *Client) Backup(r io.Reader) (*mle.Recipe, error) {
 	}
 
 	// Build the upload plan: per-segment keys (MinHash) and the exact
-	// chunk order the store will see. Scrambling consumes c.rng here, on
-	// one goroutine, so the plan is a deterministic function of the
-	// input, the config, and the scramble seed.
-	plan := make([]uploadJob, 0, len(chunks))
+	// chunk order the store will see.
+	type planEntry struct {
+		chunkIdx int
+		segKey   mle.Key
+	}
+	plan := make([]planEntry, 0, len(chunks))
 	for _, s := range segs {
 		var segKey mle.Key
 		if c.cfg.Encryption == EncMinHash {
@@ -189,7 +321,7 @@ func (c *Client) Backup(r io.Reader) (*mle.Recipe, error) {
 			order = scrambleOrder(order, c.rng)
 		}
 		for _, idx := range order {
-			plan = append(plan, uploadJob{chunkIdx: idx, segKey: segKey})
+			plan = append(plan, planEntry{chunkIdx: idx, segKey: segKey})
 		}
 	}
 
@@ -199,117 +331,117 @@ func (c *Client) Backup(r io.Reader) (*mle.Recipe, error) {
 	// memory). Windows run in plan order and each PutBatch preserves
 	// batch order within a shard, so the store sees exactly the serial
 	// sequence regardless of window boundaries.
+	window := make([]encJob, 0, uploadWindowChunks)
+	results := make([]uploadResult, uploadWindowChunks)
 	batch := make([]PutChunk, 0, uploadWindowChunks)
 	for lo := 0; lo < len(plan); lo += uploadWindowChunks {
 		hi := lo + uploadWindowChunks
 		if hi > len(plan) {
 			hi = len(plan)
 		}
-		window := plan[lo:hi]
-		results, err := c.runEncryptStage(chunks, window)
-		if err != nil {
+		window = window[:0]
+		for _, pe := range plan[lo:hi] {
+			window = append(window, encJob{chunk: chunks[pe.chunkIdx], segKey: pe.segKey})
+		}
+		res := results[:len(window)]
+		if err := c.runEncryptStage(window, res); err != nil {
 			return nil, err
 		}
 		batch = batch[:0]
-		for p, res := range results {
-			batch = append(batch, PutChunk{FP: res.cfp, Data: res.ct})
-			recipe.Entries[window[p].chunkIdx] = mle.RecipeEntry{
-				Fingerprint: res.cfp,
-				Key:         res.key,
-				Size:        uint32(len(res.ct)),
+		for p, r := range res {
+			batch = append(batch, PutChunk{FP: r.cfp, Data: r.ct})
+			recipe.Entries[plan[lo+p].chunkIdx] = mle.RecipeEntry{
+				Fingerprint: r.cfp,
+				Key:         r.key,
+				Size:        uint32(len(r.ct)),
 			}
 		}
-		c.store.PutBatch(batch)
+		c.store.PutBatchOwned(batch)
+		// Each chunk appears in exactly one plan slot, so this window's
+		// plaintext buffers are dead once encrypted and uploaded.
+		for i := range window {
+			window[i].chunk.Release()
+		}
 	}
 	return recipe, nil
 }
 
-// uploadWindowChunks bounds how many encrypted chunks Backup holds before
-// flushing them to the store: ~8 MiB of ciphertext at the default 8 KiB
-// average chunk size, and still hundreds of jobs per window so the worker
-// fan-out stays saturated.
-const uploadWindowChunks = 1024
-
-// runEncryptStage executes the fan-out stage of the backup pipeline:
-// Workers goroutines pull jobs from the plan, derive the chunk key,
-// encrypt, and fingerprint the ciphertext. Results land at their plan
-// position, so the output order is independent of goroutine scheduling.
-func (c *Client) runEncryptStage(chunks []chunker.Chunk, plan []uploadJob) ([]uploadResult, error) {
-	results := make([]uploadResult, len(plan))
+// parallelFor runs fn(0..n-1) on min(Config.Workers, n) goroutines pulling
+// indexes from a shared atomic counter. The first error stops the fan-out
+// and is returned. With one worker (or one item) it runs inline.
+func (c *Client) parallelFor(n int, fn func(i int) error) error {
 	workers := c.cfg.Workers
-	if workers > len(plan) {
-		workers = len(plan)
+	if workers > n {
+		workers = n
 	}
 	if workers <= 1 {
-		for p := range plan {
-			if err := c.encryptOne(chunks, plan, results, p); err != nil {
-				return nil, err
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
 			}
 		}
-		return results, nil
+		return nil
 	}
-
 	var (
-		wg       sync.WaitGroup
+		next     atomic.Int64
+		failed   atomic.Bool
 		errMu    sync.Mutex
 		firstErr error
-		next     int
-		nextMu   sync.Mutex
+		wg       sync.WaitGroup
 	)
-	fail := func(err error) {
-		errMu.Lock()
-		if firstErr == nil {
-			firstErr = err
-		}
-		errMu.Unlock()
-	}
-	failed := func() bool {
-		errMu.Lock()
-		defer errMu.Unlock()
-		return firstErr != nil
-	}
-	take := func() int {
-		nextMu.Lock()
-		defer nextMu.Unlock()
-		if next >= len(plan) {
-			return -1
-		}
-		p := next
-		next++
-		return p
-	}
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
-			for {
-				p := take()
-				if p < 0 || failed() {
+			for !failed.Load() {
+				i := int(next.Add(1)) - 1
+				if i >= n {
 					return
 				}
-				if err := c.encryptOne(chunks, plan, results, p); err != nil {
-					fail(err)
+				if err := fn(i); err != nil {
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					errMu.Unlock()
+					failed.Store(true)
 					return
 				}
 			}
 		}()
 	}
 	wg.Wait()
-	return results, firstErr
+	return firstErr
 }
 
-// encryptOne processes plan position p: key derivation, deterministic
-// encryption, and ciphertext fingerprinting for one chunk.
-func (c *Client) encryptOne(chunks []chunker.Chunk, plan []uploadJob, results []uploadResult, p int) error {
-	job := plan[p]
-	ch := chunks[job.chunkIdx]
+// runEncryptStage executes the fan-out stage of the backup pipeline:
+// Workers goroutines pull jobs from the window, derive the chunk key,
+// encrypt, and fingerprint the ciphertext. Results land at their window
+// position, so the output order is independent of goroutine scheduling.
+func (c *Client) runEncryptStage(jobs []encJob, results []uploadResult) error {
+	return c.parallelFor(len(jobs), func(i int) error {
+		return c.encryptOne(jobs[i], &results[i])
+	})
+}
+
+// encryptOne processes one job: key derivation, deterministic encryption,
+// and ciphertext fingerprinting for one chunk. Plaintext fingerprinting
+// was deferred out of the chunker, so modes that need it (server-aided key
+// derivation) compute it here, inside the worker fan-out; convergent
+// encryption never needs it at all.
+func (c *Client) encryptOne(job encJob, res *uploadResult) error {
+	ch := job.chunk
 	var key mle.Key
 	switch c.cfg.Encryption {
 	case EncConvergent:
 		key = mle.ConvergentKey(ch.Data)
 	case EncServerAided:
+		fp := ch.Fingerprint
+		if fp.IsZero() {
+			fp = fphash.FromBytes(ch.Data)
+		}
 		var err error
-		key, err = c.cfg.Deriver.DeriveKey(ch.Fingerprint)
+		key, err = c.cfg.Deriver.DeriveKey(fp)
 		if err != nil {
 			return fmt.Errorf("dedup: derive key: %w", err)
 		}
@@ -317,7 +449,7 @@ func (c *Client) encryptOne(chunks []chunker.Chunk, plan []uploadJob, results []
 		key = job.segKey
 	}
 	ct := mle.EncryptDeterministic(key, ch.Data)
-	results[p] = uploadResult{ct: ct, cfp: fphash.FromBytes(ct), key: key}
+	*res = uploadResult{ct: ct, cfp: fphash.FromBytes(ct), key: key}
 	return nil
 }
 

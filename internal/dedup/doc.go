@@ -18,12 +18,20 @@
 //     and locks each shard once. Each shard has its own open container, so
 //     container packing is append-safe under concurrent writers without a
 //     global packer lock.
-//   - Client.Backup is a bounded worker pipeline. Chunking is serial (the
-//     rolling hash is), the upload plan — segmentation, MinHash segment
-//     keys, scrambled order — is fixed up front on one goroutine, and
-//     Config.Workers goroutines then fan out over the plan to derive keys,
-//     encrypt (AES-256-CTR, the hot path), and fingerprint ciphertexts.
-//     Results are reassembled in plan order before a single PutBatch.
+//   - Client.Backup is a bounded streaming pipeline. A producer goroutine
+//     runs the content-defined chunker (batch Rabin scanning over a fixed
+//     lookahead buffer, plaintext SHA-256 deferred out of the serial path)
+//     and feeds a bounded channel; the consumer gathers fixed windows and
+//     fans each out to Config.Workers goroutines that derive keys, encrypt
+//     (AES-256-CTR, the hot path), and fingerprint ciphertexts, then
+//     uploads the window with one PutBatch and releases the plaintext
+//     buffers to the chunker pool. Resident plaintext is bounded by the
+//     queue depth plus one window, regardless of stream length.
+//   - Scrambling and MinHash encryption need whole-stream segmentation
+//     (the segment divisor depends on the stream's mean chunk size), so
+//     those configurations buffer the chunk list and fix the upload plan
+//     up front on one goroutine, then run the same windowed fan-out over
+//     the plan.
 //   - Retention (RegisterBackup / DeleteBackup / GC, see gc.go) is
 //     store-level under its own lock; GC additionally takes every shard
 //     lock in index order, the package's global lock order.

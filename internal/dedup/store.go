@@ -34,15 +34,20 @@ type shard struct {
 	logicalChunks int
 }
 
-// put is the single-shard Put body; the caller holds s.mu.
-func (s *shard) put(fp fphash.Fingerprint, data []byte) (duplicate bool) {
+// put is the single-shard Put body; the caller holds s.mu. When owned is
+// true the store takes ownership of data and stores it without the
+// defensive copy.
+func (s *shard) put(fp fphash.Fingerprint, data []byte, owned bool) (duplicate bool) {
 	s.logicalChunks++
 	s.logicalBytes += uint64(len(data))
 	if _, ok := s.index[fp]; ok {
 		return true
 	}
-	buf := make([]byte, len(data))
-	copy(buf, data)
+	buf := data
+	if !owned {
+		buf = make([]byte, len(data))
+		copy(buf, data)
+	}
 	loc := s.containers.Append(container.Entry{FP: fp, Size: uint32(len(data)), Data: buf})
 	s.index[fp] = loc
 	s.physicalBytes += uint64(len(data))
@@ -118,7 +123,7 @@ func (s *Store) Put(fp fphash.Fingerprint, data []byte) (duplicate bool) {
 	sh := s.shardFor(fp)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	return sh.put(fp, data)
+	return sh.put(fp, data, false)
 }
 
 // PutChunk is one chunk of a PutBatch upload.
@@ -137,6 +142,19 @@ type PutChunk struct {
 // order, so with a single shard the container layout is identical to
 // issuing the Puts sequentially.
 func (s *Store) PutBatch(chunks []PutChunk) []bool {
+	return s.putBatch(chunks, false)
+}
+
+// PutBatchOwned is PutBatch with ownership transfer: the store keeps the
+// Data slices of non-duplicate chunks instead of copying them, so the
+// caller must not read or write any chunk's Data after the call. The
+// backup pipeline uses it for freshly encrypted ciphertexts it never
+// touches again; callers that reuse their buffers must use PutBatch.
+func (s *Store) PutBatchOwned(chunks []PutChunk) []bool {
+	return s.putBatch(chunks, true)
+}
+
+func (s *Store) putBatch(chunks []PutChunk, owned bool) []bool {
 	dups := make([]bool, len(chunks))
 	if len(chunks) == 0 {
 		return dups
@@ -145,7 +163,7 @@ func (s *Store) PutBatch(chunks []PutChunk) []bool {
 		sh := s.shards[0]
 		sh.mu.Lock()
 		for i, c := range chunks {
-			dups[i] = sh.put(c.FP, c.Data)
+			dups[i] = sh.put(c.FP, c.Data, owned)
 		}
 		sh.mu.Unlock()
 		return dups
@@ -161,7 +179,7 @@ func (s *Store) PutBatch(chunks []PutChunk) []bool {
 		sh := s.shards[si]
 		sh.mu.Lock()
 		for _, i := range idxs {
-			dups[i] = sh.put(chunks[i].FP, chunks[i].Data)
+			dups[i] = sh.put(chunks[i].FP, chunks[i].Data, owned)
 		}
 		sh.mu.Unlock()
 	}

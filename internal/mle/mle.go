@@ -92,7 +92,13 @@ func ConvergentKey(chunk []byte) Key {
 // plaintext yields a distinct key under MLE, a key-derived IV is never
 // reused across distinct plaintexts.
 func ivFor(k Key) [aes.BlockSize]byte {
-	sum := sha256.Sum256(append(k[:], []byte("freqdedup-iv")...))
+	// Fixed-size scratch keeps this allocation-free on the per-chunk
+	// encrypt path; the hashed bytes are identical to key || label.
+	const label = "freqdedup-iv"
+	var buf [len(Key{}) + len(label)]byte
+	copy(buf[:], k[:])
+	copy(buf[len(Key{}):], label)
+	sum := sha256.Sum256(buf[:])
 	var iv [aes.BlockSize]byte
 	copy(iv[:], sum[:aes.BlockSize])
 	return iv

@@ -9,6 +9,8 @@
 // with a precomputed "pop" table.
 package rabin
 
+import "sync"
+
 // Poly is an irreducible polynomial of degree 64 over GF(2), represented by
 // its low 64 coefficient bits (the x^64 term is implicit). This particular
 // polynomial is irreducible; any irreducible polynomial of degree 64 yields
@@ -30,6 +32,24 @@ type tables struct {
 }
 
 var shared = newTables(DefaultWindow)
+
+// tableCache memoizes newTables per window size: the mod half is
+// window-independent and the pop half costs 256*(window-1) reduction steps,
+// so recomputing it on every New with a non-default window is pure waste.
+// Tables are immutable after construction, so sharing them is safe.
+var tableCache sync.Map // int -> *tables
+
+// tablesFor returns the (possibly cached) tables for a window size.
+func tablesFor(window int) *tables {
+	if window == DefaultWindow {
+		return shared
+	}
+	if t, ok := tableCache.Load(window); ok {
+		return t.(*tables)
+	}
+	t, _ := tableCache.LoadOrStore(window, newTables(window))
+	return t.(*tables)
+}
 
 func newTables(window int) *tables {
 	t := &tables{}
@@ -76,11 +96,7 @@ func New(window int) *Hash {
 	if window <= 0 {
 		panic("rabin: window must be positive")
 	}
-	tab := shared
-	if window != DefaultWindow {
-		tab = newTables(window)
-	}
-	h := &Hash{tab: tab, window: window, buf: make([]byte, window)}
+	h := &Hash{tab: tablesFor(window), window: window, buf: make([]byte, window)}
 	return h
 }
 
@@ -105,6 +121,116 @@ func (h *Hash) Roll(b byte) uint64 {
 	h.fp ^= h.tab.pop[out]
 	h.fp = (h.fp << 8) ^ uint64(b) ^ h.tab.mod[h.fp>>56]
 	return h.fp
+}
+
+// Update rolls the window forward over every byte of p in one call and
+// returns the final fingerprint. It is equivalent to calling Roll for each
+// byte but keeps the fingerprint, window position, and table pointers in
+// locals for the whole scan, which is what makes the chunker's bulk path
+// fast.
+func (h *Hash) Update(p []byte) uint64 {
+	fp, pos := h.fp, h.pos
+	buf := h.buf
+	window := h.window
+	mod, pop := &h.tab.mod, &h.tab.pop
+	for _, b := range p {
+		out := buf[pos]
+		buf[pos] = b
+		pos++
+		if pos == window {
+			pos = 0
+		}
+		fp ^= pop[out]
+		fp = (fp << 8) ^ uint64(b) ^ mod[fp>>56]
+	}
+	h.fp, h.pos = fp, pos
+	return fp
+}
+
+// Scan rolls the window forward through p until the fingerprint after some
+// byte satisfies fp&mask == magic. It returns the number of bytes consumed
+// and whether the last consumed byte produced a match; consumed == len(p)
+// with matched == false means p was exhausted without a match. Like Update,
+// the whole scan runs on locals — this is the content-defined chunker's
+// inner loop.
+func (h *Hash) Scan(p []byte, mask, magic uint64) (consumed int, matched bool) {
+	fp, pos := h.fp, h.pos
+	buf := h.buf
+	window := h.window
+	mod, pop := &h.tab.mod, &h.tab.pop
+	// Process p in runs bounded by the distance to the circular buffer's
+	// wrap point, so the inner loop carries no wrap branch and indexes both
+	// slices with the same induction variable (bounds checks hoist).
+	for len(p) > 0 {
+		run := window - pos
+		if run > len(p) {
+			run = len(p)
+		}
+		seg := p[:run]
+		win := buf[pos : pos+run]
+		for i := 0; i < len(seg); i++ {
+			b := seg[i]
+			out := win[i]
+			win[i] = b
+			fp ^= pop[out]
+			fp = (fp << 8) ^ uint64(b) ^ mod[fp>>56]
+			if fp&mask == magic {
+				pos += i + 1
+				if pos == window {
+					pos = 0
+				}
+				h.fp, h.pos = fp, pos
+				return consumed + i + 1, true
+			}
+		}
+		consumed += run
+		p = p[run:]
+		pos += run
+		if pos == window {
+			pos = 0
+		}
+	}
+	h.fp, h.pos = fp, pos
+	return consumed, false
+}
+
+// ScanContig scans data[from:] for a position whose rolling fingerprint
+// satisfies fp&mask == magic, exploiting that in a contiguous buffer the
+// byte leaving the window at position j is simply data[j-window] — no
+// circular window buffer is read or written at all. The caller must have
+// established h's state over data[from-window:from] (e.g. with Update from
+// a Reset hash), and from must be >= window. It returns the first matching
+// position's end offset (cut, such that data[:cut] ends at the match) and
+// whether a match occurred; without a match it returns len(data), false.
+//
+// ScanContig does not maintain the window buffer, so after it returns only
+// a Reset (or a fresh chunk-start Update) may follow; Roll would observe a
+// stale window. The content-defined chunker, which resets per chunk, is
+// the intended caller.
+func (h *Hash) ScanContig(data []byte, from int, mask, magic uint64) (cut int, matched bool) {
+	if from < h.window {
+		panic("rabin: ScanContig needs from >= window")
+	}
+	fp := h.fp
+	mod, pop := &h.tab.mod, &h.tab.pop
+	// Two views of data offset by the window width, trimmed to equal
+	// length so the single induction variable needs no bounds checks: the
+	// byte entering the window is lead[i], the byte leaving is lag[i].
+	lead := data[from:]
+	lag := data[from-h.window:]
+	lag = lag[:len(lead)]
+	for i := 0; i < len(lead); i++ {
+		b := lead[i]
+		out := lag[i]
+		fp ^= pop[out]
+		fp = (fp << 8) ^ uint64(b) ^ mod[fp>>56]
+		if fp&mask == magic {
+			h.fp = fp
+			return from + i + 1, true
+		}
+	}
+	h.fp = fp
+	return len(data), false
 }
 
 // Sum64 returns the current fingerprint of the window contents.

@@ -149,11 +149,200 @@ func TestDistribution(t *testing.T) {
 	}
 }
 
-func BenchmarkRoll(b *testing.B) {
+// TestUpdateMatchesRoll: the bulk update must leave the hash in exactly the
+// state a byte-at-a-time Roll loop would, from any starting state.
+func TestUpdateMatchesRoll(t *testing.T) {
+	for _, window := range []int{1, 7, DefaultWindow, 64} {
+		rng := rand.New(rand.NewSource(11))
+		for _, n := range []int{0, 1, window - 1, window, window + 1, 5*window + 3} {
+			if n < 0 {
+				continue
+			}
+			data := make([]byte, n)
+			for i := range data {
+				data[i] = byte(rng.Intn(256))
+			}
+			hr, hu := New(window), New(window)
+			// Pollute both with a shared prefix so Update starts mid-state.
+			prefix := []byte("prefix state pollution")
+			var want uint64
+			for _, b := range prefix {
+				want = hr.Roll(b)
+			}
+			hu.Update(prefix)
+			for _, b := range data {
+				want = hr.Roll(b)
+			}
+			got := hu.Update(data)
+			if n+len(prefix) > 0 && got != want {
+				t.Fatalf("window=%d n=%d: Update fp %#x, Roll fp %#x", window, n, got, want)
+			}
+			if hr.Sum64() != hu.Sum64() {
+				t.Fatalf("window=%d n=%d: states diverge", window, n)
+			}
+		}
+	}
+}
+
+// TestScanMatchesRollLoop: Scan must consume exactly as many bytes as a
+// Roll loop testing fp&mask == magic after each byte, and leave identical
+// state.
+func TestScanMatchesRollLoop(t *testing.T) {
+	const window = DefaultWindow
+	rng := rand.New(rand.NewSource(13))
+	data := make([]byte, 64*1024)
+	for i := range data {
+		data[i] = byte(rng.Intn(256))
+	}
+	for _, avg := range []uint64{256, 4096} {
+		mask, magic := avg-1, avg-1
+		hs, hr := New(window), New(window)
+		consumed, matched := hs.Scan(data, mask, magic)
+
+		wantConsumed, wantMatched := len(data), false
+		for i, b := range data {
+			if hr.Roll(b)&mask == magic {
+				wantConsumed, wantMatched = i+1, true
+				break
+			}
+		}
+		if consumed != wantConsumed || matched != wantMatched {
+			t.Fatalf("avg=%d: Scan = (%d, %v), Roll loop = (%d, %v)",
+				avg, consumed, matched, wantConsumed, wantMatched)
+		}
+		if hs.Sum64() != hr.Sum64() {
+			t.Fatalf("avg=%d: Scan state %#x differs from Roll state %#x",
+				avg, hs.Sum64(), hr.Sum64())
+		}
+	}
+}
+
+// TestScanContigMatchesRollLoop: the contiguous scan must cut exactly
+// where a Roll loop over the same data cuts, for several starting offsets.
+func TestScanContigMatchesRollLoop(t *testing.T) {
+	const window = DefaultWindow
+	rng := rand.New(rand.NewSource(17))
+	data := make([]byte, 32*1024)
+	for i := range data {
+		data[i] = byte(rng.Intn(256))
+	}
+	for _, from := range []int{window, window + 1, 2048} {
+		for _, avg := range []uint64{512, 4096, 1 << 62} {
+			mask := avg - 1
+			magic := avg - 1
+			if avg == 1<<62 {
+				magic = avg // impossible: forces a full no-match scan
+			}
+			hc := New(window)
+			hc.Update(data[from-window : from])
+			cut, matched := hc.ScanContig(data, from, mask, magic)
+
+			hr := New(window)
+			var fp uint64
+			for _, b := range data[from-window : from] {
+				fp = hr.Roll(b)
+			}
+			wantCut, wantMatched := len(data), false
+			for j := from; j < len(data); j++ {
+				fp = hr.Roll(data[j])
+				if fp&mask == magic {
+					wantCut, wantMatched = j+1, true
+					break
+				}
+			}
+			if cut != wantCut || matched != wantMatched {
+				t.Fatalf("from=%d avg=%d: ScanContig = (%d, %v), Roll loop = (%d, %v)",
+					from, avg, cut, matched, wantCut, wantMatched)
+			}
+			if hc.Sum64() != fp {
+				t.Fatalf("from=%d avg=%d: fp %#x, Roll fp %#x", from, avg, hc.Sum64(), fp)
+			}
+		}
+	}
+}
+
+func TestScanContigPanicsOnShortPrefix(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ScanContig with from < window did not panic")
+		}
+	}()
+	New(DefaultWindow).ScanContig(make([]byte, 100), 10, 1, 1)
+}
+
+// TestTablesCached: non-default windows reuse cached tables across New
+// calls (pointer identity) and still produce correct fingerprints.
+func TestTablesCached(t *testing.T) {
+	a, b := New(17), New(17)
+	if a.tab != b.tab {
+		t.Fatal("tables for window 17 not shared between New calls")
+	}
+	if a.tab == shared {
+		t.Fatal("non-default window must not reuse the default-window tables")
+	}
+	data := []byte("cache correctness check over a modest input string")
+	var got uint64
+	for _, c := range data {
+		got = a.Roll(c)
+	}
+	want := Fingerprint(data[len(data)-17:])
+	if got != want {
+		t.Fatalf("cached-table roll fp %#x, direct fp %#x", got, want)
+	}
+}
+
+func BenchmarkRabinRoll(b *testing.B) {
 	h := New(DefaultWindow)
 	b.SetBytes(1)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		h.Roll(byte(i))
+	}
+}
+
+func BenchmarkRabinUpdate(b *testing.B) {
+	h := New(DefaultWindow)
+	data := make([]byte, 64*1024)
+	rng := rand.New(rand.NewSource(3))
+	for i := range data {
+		data[i] = byte(rng.Intn(256))
+	}
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Update(data)
+	}
+}
+
+func BenchmarkRabinScanContig(b *testing.B) {
+	h := New(DefaultWindow)
+	data := make([]byte, 64*1024)
+	rng := rand.New(rand.NewSource(5))
+	for i := range data {
+		data[i] = byte(rng.Intn(256))
+	}
+	b.SetBytes(int64(len(data) - DefaultWindow))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Reset()
+		h.Update(data[:DefaultWindow])
+		// Impossible magic forces a full scan (mask has low bits only).
+		h.ScanContig(data, DefaultWindow, 0xFFF, 0x1FFF)
+	}
+}
+
+func BenchmarkRabinScan(b *testing.B) {
+	h := New(DefaultWindow)
+	data := make([]byte, 64*1024)
+	rng := rand.New(rand.NewSource(4))
+	for i := range data {
+		data[i] = byte(rng.Intn(256))
+	}
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		// An impossible magic value (mask has low bits only) forces a full
+		// scan of the buffer, measuring sustained scan throughput.
+		h.Scan(data, 0xFFF, 0x1FFF)
 	}
 }

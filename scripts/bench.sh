@@ -1,0 +1,57 @@
+#!/bin/sh
+# Benchmark baseline runner: runs the throughput-critical benchmark suite
+# (backup pipeline, sharded store, chunker, Rabin primitives, attack
+# micro-benchmarks) with -benchmem and writes the results as a dated JSON
+# baseline (BENCH_<date>.json) for regression tracking across PRs.
+#
+#   scripts/bench.sh              # 1s per benchmark (default)
+#   BENCHTIME=5x scripts/bench.sh # fixed iteration count
+#   scripts/bench.sh --smoke      # one iteration each, no JSON (the
+#                                 # `make check` / check.sh rot gate)
+#
+# This file is the single source of the tracked-benchmark pattern; the
+# Makefile and scripts/check.sh run the smoke mode through it.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+PATTERN='BenchmarkBackup|BenchmarkStoreShards|BenchmarkChunker|BenchmarkRabin|BenchmarkContentDefined|BenchmarkFixed|BenchmarkBasicAttackFSL|BenchmarkLocalityAttackFSL|BenchmarkAdvancedAttackFSL'
+PKGS='. ./internal/chunker ./internal/rabin'
+
+if [ "${1:-}" = "--smoke" ]; then
+	# shellcheck disable=SC2086
+	go test -run=NONE -bench "$PATTERN" -benchtime=1x $PKGS >/dev/null
+	echo "bench smoke: OK"
+	exit 0
+fi
+
+BENCHTIME="${BENCHTIME:-1s}"
+date="$(date -u +%Y%m%d)"
+out="BENCH_${date}.json"
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+# shellcheck disable=SC2086
+go test -run=NONE -bench "$PATTERN" -benchmem -benchtime "$BENCHTIME" \
+	$PKGS | tee "$tmp"
+
+awk -v goversion="$(go version)" -v maxprocs="$(nproc 2>/dev/null || echo 0)" -v date="$date" '
+BEGIN {
+	printf "{\n  \"date\": \"%s\",\n  \"go\": \"%s\",\n  \"gomaxprocs\": %s,\n  \"benchmarks\": [\n", date, goversion, maxprocs
+	first = 1
+}
+/^Benchmark/ {
+	name = $1
+	iters = $2
+	metrics = ""
+	for (i = 3; i + 1 <= NF; i += 2) {
+		metrics = metrics sprintf("%s\"%s\": %s", (metrics == "") ? "" : ", ", $(i + 1), $i)
+	}
+	if (!first) printf ",\n"
+	first = 0
+	printf "    {\"name\": \"%s\", \"iterations\": %s, %s}", name, iters, metrics
+}
+END { printf "\n  ]\n}\n" }
+' "$tmp" >"$out"
+
+echo "wrote $out"

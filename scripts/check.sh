@@ -22,4 +22,7 @@ go build ./...
 echo "== go test -race"
 go test -race ./...
 
+echo "== bench smoke (-benchtime=1x)"
+scripts/bench.sh --smoke
+
 echo "check: OK"
