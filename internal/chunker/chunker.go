@@ -56,6 +56,11 @@ func getBuf(n int) []byte {
 		return []byte{}
 	}
 	k := bits.Len(uint(n - 1))
+	if k >= len(bufPools) {
+		// Beyond the largest pooled class (>4 GiB): plain allocation,
+		// never pooled.
+		return make([]byte, n)
+	}
 	if h, ok := bufPools[k].Get().(*[]byte); ok {
 		buf := (*h)[:n]
 		*h = nil
@@ -69,6 +74,12 @@ func getBuf(n int) []byte {
 func putBuf(buf []byte) {
 	c := cap(buf)
 	if c == 0 {
+		return
+	}
+	if uint64(c) > 1<<32 {
+		// Beyond the largest pooled class — from getBuf's unpooled path
+		// (which rejects requests over 4 GiB); never pooled, or a multi-GiB
+		// allocation would circulate serving much smaller requests.
 		return
 	}
 	k := bits.Len(uint(c)) - 1 // floor(log2(c)): every buffer here has cap >= 1<<k
@@ -347,6 +358,11 @@ func All(c Chunker) ([]Chunk, error) {
 			return out, nil
 		}
 		if err != nil {
+			// The accumulated chunks are unreachable to the caller; hand
+			// their buffers back to the pool.
+			for _, prev := range out {
+				prev.Release()
+			}
 			return nil, err
 		}
 		out = append(out, ch)

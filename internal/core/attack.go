@@ -88,7 +88,9 @@ func BasicAttack(c, m *trace.Backup) []Pair {
 		fc.bump(ch.FP, i, ch.Size)
 	}
 	<-done
-	return freqAnalysis(fc.flat(), fm.flat(), 0, false, false)
+	// Both tables are discarded after the analysis, so their arenas can be
+	// ranked in place directly — no flat() copies.
+	return freqAnalysis(fc.entries, fm.entries, 0, false, false)
 }
 
 // AttackStats reports the internals of one locality-attack run — the

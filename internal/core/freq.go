@@ -95,6 +95,9 @@ func newFreqTable(n int) *freqTable {
 
 // bump counts one occurrence of fp at stream position pos with the given
 // chunk size. Duplicates are one map lookup and an in-place increment.
+// The size recorded at first occurrence is canonical: if a truncated
+// fingerprint collides across chunks of different sizes, first-wins is
+// the (arbitrary) classification rule for the size-aware attack.
 func (t *freqTable) bump(fp fphash.Fingerprint, pos int, size uint32) {
 	if i, ok := t.idx[fp]; ok {
 		t.entries[i].stat.count++
@@ -248,9 +251,13 @@ const rankIndexThreshold = 2048
 
 // rank sorts entries into matching order with slices.SortFunc — flat value
 // entries, no reflection, no per-entry indirection. Large tables are
-// sorted index-based: the sort moves 4-byte positions and one permutation
-// pass materializes the ranked order. The input slice is consumed (it may
-// be sorted in place or abandoned); callers pass throwaway copies.
+// sorted index-based: the sort moves 4-byte positions instead of whole
+// entries, then one permutation pass materializes the ranked order. The
+// sort is always in place: both paths leave the input slice ranked and
+// return it, so ignoring the return value is safe. Callers pass either
+// throwaway copies or a freqTable's live arena — in the latter case the
+// table's idx positions no longer match entry order afterward, so the
+// table must not be used again.
 func rank(entries []freqEntry, posTies bool) []freqEntry {
 	if len(entries) >= rankIndexThreshold {
 		order := make([]int32, len(entries))
@@ -262,7 +269,8 @@ func rank(entries []freqEntry, posTies bool) []freqEntry {
 		for k, i := range order {
 			out[k] = entries[i]
 		}
-		return out
+		copy(entries, out)
+		return entries
 	}
 	if posTies {
 		slices.SortFunc(entries, func(a, b freqEntry) int { return rankCompare(a, b, true) })
@@ -275,7 +283,8 @@ func rank(entries []freqEntry, posTies bool) []freqEntry {
 // freqAnalysis pairs the i-th most frequent ciphertext entry with the i-th
 // most frequent plaintext entry, returning at most x pairs (x <= 0 means
 // unbounded) — the FREQ-ANALYSIS function of Algorithms 1 and 2. The entry
-// slices are sorted in place (callers pass throwaway copies).
+// slices are sorted in place; callers must not rely on their prior order
+// afterward (see rank's arena caveat).
 func freqAnalysis(ec, em []freqEntry, x int, sizeAware, posTies bool) []Pair {
 	if sizeAware {
 		return freqAnalysisBySize(ec, em, x, posTies)
@@ -316,8 +325,8 @@ func freqAnalysisBySize(ec, em []freqEntry, x int, posTies bool) []Pair {
 			cls := blocks(e.size)
 			by[cls] = append(by[cls], e)
 		}
-		for _, list := range by {
-			rank(list, posTies)
+		for cls, list := range by {
+			by[cls] = rank(list, posTies)
 		}
 		return by
 	}

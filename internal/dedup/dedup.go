@@ -156,6 +156,11 @@ const chunkQueueDepth = 256
 // exactly like the pre-streaming engine — results are bit-for-bit
 // identical to it in every mode, and independent of the worker and shard
 // counts.
+//
+// If Backup returns an error, the chunking goroutine may still be
+// completing one final in-progress read of r before it shuts down. Do not
+// reuse, reset, or close a non-thread-safe r immediately after a failed
+// Backup; readers that tolerate concurrent use (*os.File) are unaffected.
 func (c *Client) Backup(r io.Reader) (*mle.Recipe, error) {
 	params := c.cfg.Chunking
 	params.DeferFingerprint = true
@@ -183,10 +188,41 @@ type chunkMsg struct {
 func (c *Client) backupStreaming(cdc *chunker.ContentDefined) (*mle.Recipe, error) {
 	chunks := make(chan chunkMsg, chunkQueueDepth)
 	done := make(chan struct{})
-	defer close(done)
+	window := make([]encJob, 0, uploadWindowChunks)
+	// On any return, stop the producer and hand every chunk still in
+	// flight — buffered in the channel or gathered in an unflushed window —
+	// back to the chunker pool, so repeated failing backups stay as
+	// allocation-lean as successful ones. The channel is drained on a
+	// goroutine: the producer may be blocked in a stalled Read, and an
+	// error return must not wait for it. On the success path the channel
+	// is already closed and drained and the window is empty, so this is a
+	// no-op.
+	defer func() {
+		close(done)
+		go func() {
+			for msg := range chunks {
+				msg.chunk.Release()
+			}
+		}()
+		for i := range window {
+			window[i].chunk.Release()
+		}
+	}()
 	go func() {
 		defer close(chunks)
 		for {
+			// Stop before touching the reader again once the consumer has
+			// bailed: the drain goroutine keeps the send case below ready,
+			// so the select alone would let the producer keep issuing
+			// reads on a reader the caller owns again after the error
+			// return. At most the one in-flight cdc.Next — which may span
+			// several reads while filling its lookahead — escapes (see
+			// Backup's doc).
+			select {
+			case <-done:
+				return
+			default:
+			}
 			ch, err := cdc.Next()
 			if errors.Is(err, io.EOF) {
 				return
@@ -200,6 +236,10 @@ func (c *Client) backupStreaming(cdc *chunker.ContentDefined) (*mle.Recipe, erro
 			select {
 			case chunks <- msg:
 			case <-done:
+				// The consumer bailed; reclaim the undelivered chunk
+				// (Release on the zero chunk of an error message is a
+				// no-op).
+				ch.Release()
 				return
 			}
 			if err != nil {
@@ -209,7 +249,6 @@ func (c *Client) backupStreaming(cdc *chunker.ContentDefined) (*mle.Recipe, erro
 	}()
 
 	recipe := &mle.Recipe{}
-	window := make([]encJob, 0, uploadWindowChunks)
 	results := make([]uploadResult, uploadWindowChunks)
 	batch := make([]PutChunk, 0, uploadWindowChunks)
 	flush := func() error {
@@ -270,6 +309,16 @@ func (c *Client) backupPlanned(cdc *chunker.ContentDefined) (*mle.Recipe, error)
 	if len(chunks) == 0 {
 		return &mle.Recipe{}, nil
 	}
+	// On any error return, hand back every chunk the upload loop has not
+	// yet released (released chunks are marked by a nil Data, for which
+	// Release is a no-op) — the planned path holds the whole stream's
+	// chunks, so a failed backup would otherwise abandon all of them to
+	// the GC. On the success path everything is already released.
+	defer func() {
+		for i := range chunks {
+			chunks[i].Release()
+		}
+	}()
 
 	// Plaintext fingerprints were deferred out of the chunker; compute
 	// them with the worker fan-out (segmentation and MinHash need them).
@@ -358,9 +407,12 @@ func (c *Client) backupPlanned(cdc *chunker.ContentDefined) (*mle.Recipe, error)
 		}
 		c.store.PutBatchOwned(batch)
 		// Each chunk appears in exactly one plan slot, so this window's
-		// plaintext buffers are dead once encrypted and uploaded.
-		for i := range window {
-			window[i].chunk.Release()
+		// plaintext buffers are dead once encrypted and uploaded. Release
+		// through the chunks slice and nil the Data there so the deferred
+		// error-path cleanup never double-releases.
+		for _, pe := range plan[lo:hi] {
+			chunks[pe.chunkIdx].Release()
+			chunks[pe.chunkIdx].Data = nil
 		}
 	}
 	return recipe, nil

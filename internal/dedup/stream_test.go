@@ -91,6 +91,29 @@ func TestStreamingBackupMatchesPlannedResults(t *testing.T) {
 			t.Fatalf("workers=%d: restore mismatch", workers)
 		}
 	}
+
+	// Scramble routes through backupPlanned; scrambling reorders uploads,
+	// not recipe entries, so the planned path's recipe must match the
+	// streaming path's bit for bit.
+	store := NewStoreWithShards(64<<10, 1)
+	client, err := NewClient(store, Config{Workers: 2, Scramble: true, ScrambleSeed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recipe, err := client.Backup(&slowReader{data: data, max: 64 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(recipe, wantRecipe) {
+		t.Fatal("planned-path (scramble) recipe differs from streaming recipe")
+	}
+	var out bytes.Buffer
+	if err := client.Restore(recipe, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out.Bytes(), data) {
+		t.Fatal("planned-path restore mismatch")
+	}
 }
 
 // TestStreamingBackupEmptyStream: the empty stream yields an empty recipe,

@@ -65,15 +65,6 @@ func (b *Backup) Frequencies() map[fphash.Fingerprint]int {
 	return freq
 }
 
-// Sizes returns a map from fingerprint to chunk size.
-func (b *Backup) Sizes() map[fphash.Fingerprint]uint32 {
-	sizes := make(map[fphash.Fingerprint]uint32, len(b.Chunks))
-	for _, c := range b.Chunks {
-		sizes[c.FP] = c.Size
-	}
-	return sizes
-}
-
 // Dataset is a series of full backups of the same primary data over time.
 type Dataset struct {
 	Name    string

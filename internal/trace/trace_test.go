@@ -49,10 +49,6 @@ func TestBackupAccessors(t *testing.T) {
 	if freq[fphash.FromUint64(1)] != 2 || freq[fphash.FromUint64(2)] != 1 {
 		t.Fatalf("Frequencies wrong: %v", freq)
 	}
-	sizes := b.Sizes()
-	if sizes[fphash.FromUint64(2)] != 200 {
-		t.Fatalf("Sizes wrong: %v", sizes)
-	}
 }
 
 func TestDatasetStats(t *testing.T) {

@@ -19,8 +19,14 @@ PATTERN='BenchmarkBackup|BenchmarkStoreShards|BenchmarkChunker|BenchmarkRabin|Be
 PKGS='. ./internal/chunker ./internal/rabin'
 
 if [ "${1:-}" = "--smoke" ]; then
+	smokelog="$(mktemp)"
+	trap 'rm -f "$smokelog"' EXIT
 	# shellcheck disable=SC2086
-	go test -run=NONE -bench "$PATTERN" -benchtime=1x $PKGS >/dev/null
+	if ! go test -run=NONE -bench "$PATTERN" -benchtime=1x $PKGS >"$smokelog" 2>&1; then
+		cat "$smokelog"
+		echo "bench smoke: FAILED"
+		exit 1
+	fi
 	echo "bench smoke: OK"
 	exit 0
 fi
@@ -31,11 +37,18 @@ out="BENCH_${date}.json"
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
+# Capture first and check the exit status — a pipeline into tee would
+# report tee's status and let a failing benchmark write a bogus baseline.
 # shellcheck disable=SC2086
-go test -run=NONE -bench "$PATTERN" -benchmem -benchtime "$BENCHTIME" \
-	$PKGS | tee "$tmp"
+if ! go test -run=NONE -bench "$PATTERN" -benchmem -benchtime "$BENCHTIME" \
+	$PKGS >"$tmp" 2>&1; then
+	cat "$tmp"
+	echo "bench: FAILED, no baseline written" >&2
+	exit 1
+fi
+cat "$tmp"
 
-awk -v goversion="$(go version)" -v maxprocs="$(nproc 2>/dev/null || echo 0)" -v date="$date" '
+awk -v goversion="$(go version)" -v maxprocs="${GOMAXPROCS:-$(nproc 2>/dev/null || echo 0)}" -v date="$date" '
 BEGIN {
 	printf "{\n  \"date\": \"%s\",\n  \"go\": \"%s\",\n  \"gomaxprocs\": %s,\n  \"benchmarks\": [\n", date, goversion, maxprocs
 	first = 1
