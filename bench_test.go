@@ -10,6 +10,7 @@ package freqdedup
 import (
 	"bytes"
 	"fmt"
+	"io"
 	"math/rand"
 	"runtime"
 	"sync/atomic"
@@ -394,6 +395,50 @@ func BenchmarkChunkerCDCFingerprinted(b *testing.B) {
 	}
 }
 
+// --- Restore pipeline benchmarks (PR 3): BenchmarkRestoreSerial is the
+// --- chunk-at-a-time baseline; BenchmarkRestoreParallel fans container
+// --- fetch+decrypt out to GOMAXPROCS workers, swept across restore
+// --- container-cache sizes (0 = uncached, 1 = single buffer, 64 = the
+// --- whole working set).
+
+func benchRestore(b *testing.B, workers, cacheContainers int) {
+	data := benchStream(16 << 20)
+	store := NewStore(0)
+	backup, err := NewClient(store, ClientConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	recipe, err := backup.Backup(bytes.NewReader(data))
+	if err != nil {
+		b.Fatal(err)
+	}
+	client, err := NewClient(store, ClientConfig{
+		Workers:                workers,
+		RestoreCacheContainers: cacheContainers,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := client.Restore(recipe, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRestoreSerial(b *testing.B) { benchRestore(b, 1, 0) }
+
+func BenchmarkRestoreParallel(b *testing.B) {
+	for _, cache := range []int{0, 1, 64} {
+		b.Run(fmt.Sprintf("cache=%d", cache), func(b *testing.B) {
+			benchRestore(b, runtime.GOMAXPROCS(0), cache)
+		})
+	}
+}
+
 // BenchmarkStoreShards measures concurrent PutBatch throughput against
 // the shard count: GOMAXPROCS uploaders hammer one store with disjoint
 // chunk batches. shards=1 is the serialized baseline.
@@ -424,7 +469,9 @@ func BenchmarkStoreShards(b *testing.B) {
 						fp := fphash.FromUint64(base + n)
 						batch[i] = StoreChunk{FP: fphash.FromUint64(fp.Mix(0)), Data: data}
 					}
-					store.PutBatch(batch)
+					if _, err := store.PutBatch(batch); err != nil {
+						b.Fatal(err)
+					}
 				}
 			})
 		})

@@ -10,16 +10,22 @@
 // effect of -shards and -workers is visible on real hardware. -chunker
 // isolates the streaming ingest stage (content-defined chunking with
 // pooled buffers and deferred fingerprinting), the serial stage that
-// bounds backup throughput.
+// bounds backup throughput. -restore drives the persistence round trip
+// end to end: backup into a file-backed store under -dir, seal and close
+// it, reopen it with dedup.Open, and restore through the parallel
+// container pipeline, verifying the bytes and reporting restore MB/s.
 //
 //	ddfsbench            # both cache regimes
 //	ddfsbench -cache 0.25
 //	ddfsbench -pipeline -mb 64 -shards 16 -workers 0
 //	ddfsbench -chunker -mb 256
+//	ddfsbench -restore -mb 64 -workers 0 -cachecontainers 64
+//	ddfsbench -restore -dir /tmp/ddfs-store   # keep the store around
 package main
 
 import (
 	"bytes"
+	"crypto/sha256"
 	"flag"
 	"fmt"
 	"io"
@@ -40,14 +46,26 @@ func main() {
 		"benchmark the byte-level backup pipeline instead of the metadata experiments")
 	chunkerOnly := flag.Bool("chunker", false,
 		"benchmark the streaming content-defined chunker alone (the ingest stage)")
+	restoreMode := flag.Bool("restore", false,
+		"benchmark backup-to-disk, reopen, and parallel restore end to end")
+	dir := flag.String("dir", "",
+		"store directory for -restore (empty = temporary directory, removed afterwards)")
 	streamMB := flag.Int("mb", 64, "pipeline stream size in MiB")
 	shards := flag.Int("shards", dedup.DefaultShards, "store shard count (1 = serial engine layout)")
-	workers := flag.Int("workers", 0, "encrypt workers per client (0 = GOMAXPROCS)")
+	workers := flag.Int("workers", 0, "encrypt/restore workers per client (0 = GOMAXPROCS)")
 	clients := flag.Int("clients", 1, "concurrent backup clients sharing one store")
+	cacheContainers := flag.Int("cachecontainers", 64,
+		"restore container-cache capacity in containers (0 = uncached)")
 	flag.Parse()
 
 	if *chunkerOnly {
 		if err := runChunker(*streamMB); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *restoreMode {
+		if err := runRestore(*streamMB, *shards, *workers, *cacheContainers, *dir); err != nil {
 			fatal(err)
 		}
 		return
@@ -146,6 +164,105 @@ func runPipeline(streamMB, shards, workers, clients int) error {
 		mb/elapsed.Seconds())
 	fmt.Printf("store: %d logical chunks, %d unique, %d container(s), saving %.1f%%\n",
 		st.LogicalChunks, st.UniqueChunks, store.ContainerCount(), st.Saving()*100)
+	return nil
+}
+
+// countingHashWriter hashes and counts everything written, so a restore
+// can be verified without holding the output stream in memory.
+type countingHashWriter struct {
+	h interface {
+		io.Writer
+		Sum([]byte) []byte
+	}
+	n int64
+}
+
+func (w *countingHashWriter) Write(p []byte) (int, error) {
+	w.n += int64(len(p))
+	return w.h.Write(p)
+}
+
+// runRestore drives the full persistence loop: back a pseudo-random
+// stream up into a file-backed store, seal it with Close, reopen the
+// directory with dedup.Open, restore through the parallel container
+// pipeline, and verify the restored bytes hash-identical to the input.
+func runRestore(streamMB, shards, workers, cacheContainers int, dir string) error {
+	if streamMB <= 0 {
+		return fmt.Errorf("stream size must be positive")
+	}
+	if shards < 0 || shards > 256 {
+		return fmt.Errorf("-shards must be in [1, 256] (0 selects the default), got %d", shards)
+	}
+	if workers < 0 || cacheContainers < 0 {
+		return fmt.Errorf("-workers and -cachecontainers must be non-negative")
+	}
+	if dir == "" {
+		tmp, err := os.MkdirTemp("", "ddfsbench-store-*")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(tmp)
+		dir = tmp
+	}
+
+	data := make([]byte, streamMB<<20)
+	rng := rand.New(rand.NewSource(1))
+	for i := range data {
+		data[i] = byte(rng.Intn(256))
+	}
+	wantSum := sha256.Sum256(data)
+	mb := float64(len(data)) / (1 << 20)
+
+	store, err := dedup.Create(dir, 0, shards)
+	if err != nil {
+		return err
+	}
+	client, err := dedup.NewClient(store, dedup.Config{Workers: workers})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("restore: %d MiB via %s, %d shard(s), %d worker(s), cache %d container(s), GOMAXPROCS=%d\n",
+		streamMB, dir, store.ShardCount(), workers, cacheContainers, runtime.GOMAXPROCS(0))
+
+	start := time.Now()
+	recipe, err := client.Backup(bytes.NewReader(data))
+	if err != nil {
+		return err
+	}
+	if err := store.Close(); err != nil {
+		return err
+	}
+	backupTime := time.Since(start)
+	fmt.Printf("backup+seal: %v (%.1f MB/s to disk)\n", backupTime.Round(time.Millisecond),
+		mb/backupTime.Seconds())
+
+	start = time.Now()
+	reopened, err := dedup.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer reopened.Close()
+	fmt.Printf("reopen: %v (%d unique chunks, %d containers reindexed)\n",
+		time.Since(start).Round(time.Millisecond), reopened.UniqueChunks(), reopened.ContainerCount())
+
+	rc, err := dedup.NewClient(reopened, dedup.Config{
+		Workers:                workers,
+		RestoreCacheContainers: cacheContainers,
+	})
+	if err != nil {
+		return err
+	}
+	out := &countingHashWriter{h: sha256.New()}
+	start = time.Now()
+	if err := rc.Restore(recipe, out); err != nil {
+		return err
+	}
+	restoreTime := time.Since(start)
+	if out.n != int64(len(data)) || !bytes.Equal(out.h.Sum(nil), wantSum[:]) {
+		return fmt.Errorf("restore verification failed: %d bytes restored of %d", out.n, len(data))
+	}
+	fmt.Printf("restore: %v: %.1f MB/s (verified bit-for-bit)\n",
+		restoreTime.Round(time.Millisecond), mb/restoreTime.Seconds())
 	return nil
 }
 

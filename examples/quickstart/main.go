@@ -92,7 +92,10 @@ func main() {
 	if err := store.DeleteBackup("backup-2"); err != nil {
 		log.Fatal(err)
 	}
-	gc := store.GC()
+	gc, err := store.GC()
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("gc: reclaimed %d chunks (%.1f KB) after expiring backup 2\n",
 		gc.ChunksReclaimed, float64(gc.BytesReclaimed)/1024)
 	out.Reset()

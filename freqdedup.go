@@ -27,6 +27,7 @@ package freqdedup
 
 import (
 	"freqdedup/internal/chunker"
+	"freqdedup/internal/container"
 	"freqdedup/internal/core"
 	"freqdedup/internal/dedup"
 	"freqdedup/internal/defense"
@@ -174,7 +175,44 @@ var NewStore = dedup.NewStore
 // shard count.
 var NewStoreWithShards = dedup.NewStoreWithShards
 
-// NewClient returns a backup/restore client for a store.
+// Persistence: sealed containers live behind a pluggable storage backend
+// (see internal/container's package documentation for the on-disk
+// format). The seal is the durability boundary; Store.Close seals open
+// containers on shutdown.
+type (
+	// StoreBackend is pluggable persistent storage for sealed containers.
+	StoreBackend = container.Backend
+	// MemBackend keeps sealed containers in memory (the default backend).
+	MemBackend = container.MemBackend
+	// FileBackend persists sealed containers in per-shard append-only
+	// files with crash-safe seals and atomic GC rewrites.
+	FileBackend = container.FileBackend
+)
+
+// NewStoreWithBackend returns a store persisting sealed containers
+// through the given backend, rebuilding the fingerprint index if the
+// backend already holds containers.
+var NewStoreWithBackend = dedup.NewStoreWithBackend
+
+// CreateStore initializes a new file-backed store directory.
+var CreateStore = dedup.Create
+
+// OpenStore reopens a file-backed store directory created by CreateStore,
+// rebuilding the fingerprint index from container index headers.
+var OpenStore = dedup.Open
+
+// ErrChunkNotFound is returned by Store.Get for unknown fingerprints.
+var ErrChunkNotFound = dedup.ErrNotFound
+
+// ErrStoreCorrupt is wrapped by reads of a damaged store file: data
+// corruption surfaces as an error, never as silent wrong bytes.
+var ErrStoreCorrupt = container.ErrCorrupt
+
+// NewClient returns a backup/restore client for a store. Restores run as
+// a parallel container pipeline (ClientConfig.Workers fetch+decrypt
+// goroutines over a ClientConfig.RestoreCacheContainers-bounded LRU
+// container cache) whose output is bit-for-bit identical to a serial
+// restore at every setting.
 var NewClient = dedup.NewClient
 
 // GCStats reports what a garbage-collection pass reclaimed.

@@ -1,0 +1,136 @@
+package container
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ErrNotFound is returned when a location or container does not exist.
+var ErrNotFound = errors.New("container: not found")
+
+// Backend is pluggable persistent storage for sealed containers. A Store
+// packs chunks into its one open container in memory and hands each
+// container to the backend the moment it seals; the backend is the
+// durability boundary — a sealed container survives whatever the backend
+// survives (process restarts for FileBackend, nothing for MemBackend).
+//
+// Per shard, containers are sealed in strictly increasing, dense ID order
+// (0, 1, 2, ...); Rewrite renumbers them densely again. Entries handed to
+// Seal and Rewrite are immutable from that point on, and every entry
+// satisfies len(Entry.Data) == Entry.Size.
+//
+// Implementations must be safe for concurrent use across shards and for
+// concurrent Load/Scan with Seal on the same shard (the parallel restore
+// pipeline reads sealed containers while backups append).
+type Backend interface {
+	// Seal persists a freshly sealed container for a shard. The container's
+	// ID must be exactly the number of containers already sealed for that
+	// shard. When Seal returns nil the container is durable.
+	Seal(shard int, c *Container) error
+
+	// Load reads a sealed container, data included. It returns ErrNotFound
+	// for an ID that was never sealed.
+	Load(shard, id int) (*Container, error)
+
+	// Scan calls fn for every sealed container of a shard in ID order.
+	// With withData false the backend may leave Entry.Data nil (FP and
+	// Size are always populated); fn must not retain the container past
+	// the call. A non-nil error from fn aborts the scan and is returned.
+	Scan(shard int, withData bool, fn func(*Container) error) error
+
+	// Rewrite atomically replaces a shard's entire sealed-container
+	// sequence with cs (the GC sweep's compacted survivors, densely
+	// renumbered from 0). On error the previous sequence is still intact.
+	Rewrite(shard int, cs []*Container) error
+
+	// Shards returns the shard count the backend was created with.
+	Shards() int
+
+	// Close releases backend resources. The backend must not be used
+	// afterwards.
+	Close() error
+}
+
+// MemBackend keeps sealed containers in memory: the original engine's
+// behavior, now behind the Backend interface. It is the default backend of
+// New and NewStoreWithShards-built dedup stores, and it never returns a
+// non-nil error — callers that only ever use MemBackend (the ddfs
+// metadata simulation) may treat backend errors as impossible.
+type MemBackend struct {
+	mu     sync.RWMutex
+	shards [][]*Container
+}
+
+// NewMemBackend returns an in-memory backend for the given shard count.
+func NewMemBackend(shards int) *MemBackend {
+	if shards < 1 {
+		panic(fmt.Sprintf("container: backend shard count must be positive, got %d", shards))
+	}
+	return &MemBackend{shards: make([][]*Container, shards)}
+}
+
+func (b *MemBackend) checkShard(shard int) {
+	if shard < 0 || shard >= len(b.shards) {
+		panic(fmt.Sprintf("container: shard %d out of range [0, %d)", shard, len(b.shards)))
+	}
+}
+
+// Seal appends the sealed container to the shard's in-memory sequence.
+func (b *MemBackend) Seal(shard int, c *Container) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.checkShard(shard)
+	if c.ID != len(b.shards[shard]) {
+		return fmt.Errorf("container: seal of container %d on shard %d, want %d",
+			c.ID, shard, len(b.shards[shard]))
+	}
+	b.shards[shard] = append(b.shards[shard], c)
+	return nil
+}
+
+// Load returns the sealed container; the caller must not mutate it.
+func (b *MemBackend) Load(shard, id int) (*Container, error) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	b.checkShard(shard)
+	if id < 0 || id >= len(b.shards[shard]) {
+		return nil, ErrNotFound
+	}
+	return b.shards[shard][id], nil
+}
+
+// Scan visits the shard's sealed containers in ID order. Data is always
+// populated (there is no cheaper metadata-only representation in memory).
+func (b *MemBackend) Scan(shard int, withData bool, fn func(*Container) error) error {
+	b.mu.RLock()
+	b.checkShard(shard)
+	cs := b.shards[shard]
+	b.mu.RUnlock()
+	for _, c := range cs {
+		if err := fn(c); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Rewrite replaces the shard's sealed sequence.
+func (b *MemBackend) Rewrite(shard int, cs []*Container) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.checkShard(shard)
+	for i, c := range cs {
+		if c.ID != i {
+			return fmt.Errorf("container: rewrite container ID %d at position %d", c.ID, i)
+		}
+	}
+	b.shards[shard] = cs
+	return nil
+}
+
+// Shards returns the shard count.
+func (b *MemBackend) Shards() int { return len(b.shards) }
+
+// Close is a no-op.
+func (b *MemBackend) Close() error { return nil }

@@ -1,9 +1,3 @@
-// Package container implements the container abstraction of deduplicated
-// storage systems (Section 6.2 and 7.4.1): unique chunks are packed into
-// multi-megabyte containers, the basic read/write units, in logical order.
-// Grouping logically-adjacent chunks per container is what lets the DDFS
-// prefetching strategy (load a whole container's fingerprints on an index
-// hit) exploit chunk locality.
 package container
 
 import (
@@ -16,7 +10,8 @@ import (
 const DefaultBytes = 4 << 20
 
 // Entry is one chunk stored in a container. Data may be nil for
-// metadata-only simulations (package ddfs); Size is always set.
+// metadata-only simulations (package ddfs); Size is always set. Entries
+// with nil Data cannot be persisted through a FileBackend.
 type Entry struct {
 	FP   fphash.Fingerprint
 	Size uint32
@@ -36,90 +31,152 @@ type Container struct {
 	Bytes   int
 }
 
-// Store accumulates chunks into fixed-capacity containers. The zero value
-// is not usable; construct with New.
+// Store accumulates chunks into fixed-capacity containers. The one open
+// (in-progress) container lives in memory; the moment a container seals it
+// is handed to the Backend, which owns sealed-container storage — in
+// memory (MemBackend, the default) or on disk (FileBackend). The zero
+// value is not usable; construct with New or NewWithBackend.
 //
 // A Store is not safe for concurrent use: it is a single packer with one
 // open container, and callers own its locking. The sharded dedup store
 // runs one Store per shard behind the shard lock, which keeps packing
 // append-safe under concurrent writers without a lock here on every
-// Append.
+// Append. (Backends are safe for concurrent use; reads of sealed
+// containers may bypass the packer's lock.)
 type Store struct {
-	capacity int
-	sealed   []*Container
-	current  *Container
-	nextID   int
+	capacity    int
+	backend     Backend
+	shard       int
+	sealed      int // sealed containers so far; also the next container ID
+	sealedBytes int
+	current     *Container
 }
 
-// New returns a store with the given container byte capacity. It panics if
+// New returns a store with the given container byte capacity backed by a
+// private in-memory backend (the pre-persistence behavior). It panics if
 // capacity is not positive.
 func New(capacity int) *Store {
 	if capacity <= 0 {
 		panic(fmt.Sprintf("container: capacity must be positive, got %d", capacity))
 	}
-	return &Store{capacity: capacity}
+	s, err := NewWithBackend(capacity, NewMemBackend(1), 0, nil)
+	if err != nil {
+		// NewMemBackend cannot fail to scan an empty shard.
+		panic(fmt.Sprintf("container: %v", err))
+	}
+	return s
 }
 
-// Append adds a chunk to the current container, sealing it first if the
-// chunk would not fit. It returns the chunk's location. The returned
-// location is stable: containers are never compacted.
-func (s *Store) Append(e Entry) Location {
+// NewWithBackend returns a store packing shard's containers through the
+// given backend. If the backend already holds sealed containers for the
+// shard (a reopened FileBackend), packing resumes after them: the store
+// scans their metadata (one pass, without chunk data) to restore its
+// container count and byte totals, and new containers are numbered after
+// the existing ones. visit, if non-nil, is called for each pre-existing
+// container during that same scan, so callers rebuilding their own state
+// (the dedup store's fingerprint index) do not pay a second metadata
+// pass; a non-nil error from visit aborts construction.
+func NewWithBackend(capacity int, b Backend, shard int, visit func(*Container) error) (*Store, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("container: capacity must be positive, got %d", capacity)
+	}
+	if shard < 0 || shard >= b.Shards() {
+		return nil, fmt.Errorf("container: shard %d out of range [0, %d)", shard, b.Shards())
+	}
+	s := &Store{capacity: capacity, backend: b, shard: shard}
+	err := b.Scan(shard, false, func(c *Container) error {
+		s.sealed++
+		s.sealedBytes += c.Bytes
+		if visit != nil {
+			return visit(c)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Backend returns the store's backend.
+func (s *Store) Backend() Backend { return s.backend }
+
+// Append adds a chunk to the current container, sealing it through the
+// backend first if the chunk would not fit. It returns the chunk's
+// location. The returned location is stable until the next Compact. On a
+// backend seal error nothing is appended and the sealed-but-unwritten
+// container stays current, so the store remains consistent.
+func (s *Store) Append(e Entry) (Location, error) {
 	if s.current == nil {
-		s.current = &Container{ID: s.nextID}
-		s.nextID++
+		s.current = &Container{ID: s.sealed}
 	}
 	if s.current.Bytes > 0 && s.current.Bytes+int(e.Size) > s.capacity {
-		s.Flush()
-		s.current = &Container{ID: s.nextID}
-		s.nextID++
+		if _, err := s.Flush(); err != nil {
+			return Location{}, err
+		}
+		s.current = &Container{ID: s.sealed}
 	}
 	loc := Location{Container: s.current.ID, Index: len(s.current.Entries)}
 	s.current.Entries = append(s.current.Entries, e)
 	s.current.Bytes += int(e.Size)
-	return loc
+	return loc, nil
 }
 
-// Flush seals the current container, if any. It returns the sealed
-// container, or nil if the current container is empty.
-func (s *Store) Flush() *Container {
+// Flush seals the current container, if any, persisting it through the
+// backend. It returns the sealed container, or nil if the current
+// container is empty. When Flush returns a nil error the container is as
+// durable as the backend makes it (FileBackend: fsynced to disk).
+func (s *Store) Flush() (*Container, error) {
 	if s.current == nil || len(s.current.Entries) == 0 {
-		return nil
+		return nil, nil
 	}
 	c := s.current
-	s.sealed = append(s.sealed, c)
+	if err := s.backend.Seal(s.shard, c); err != nil {
+		return nil, err
+	}
+	s.sealed++
+	s.sealedBytes += c.Bytes
 	s.current = nil
-	return c
+	return c, nil
 }
 
-// Get returns the entry at loc. The boolean reports whether the location
-// exists (in a sealed or the in-progress container).
-func (s *Store) Get(loc Location) (Entry, bool) {
-	c, ok := s.container(loc.Container)
-	if !ok || loc.Index < 0 || loc.Index >= len(c.Entries) {
-		return Entry{}, false
+// Get returns the entry at loc, reading sealed containers through the
+// backend. It returns ErrNotFound if the location does not exist and
+// ErrCorrupt (wrapped) if the backend cannot validate the container.
+func (s *Store) Get(loc Location) (Entry, error) {
+	c, err := s.Container(loc.Container)
+	if err != nil {
+		return Entry{}, err
 	}
-	return c.Entries[loc.Index], true
-}
-
-// Container returns the container with the given ID, if it exists.
-func (s *Store) Container(id int) (*Container, bool) {
-	return s.container(id)
-}
-
-func (s *Store) container(id int) (*Container, bool) {
-	if id >= 0 && id < len(s.sealed) {
-		// Sealed containers are appended in ID order.
-		return s.sealed[id], true
+	if loc.Index < 0 || loc.Index >= len(c.Entries) {
+		return Entry{}, ErrNotFound
 	}
+	return c.Entries[loc.Index], nil
+}
+
+// Container returns the container with the given ID: the in-progress one
+// from memory, sealed ones through the backend. The returned container
+// must not be mutated.
+func (s *Store) Container(id int) (*Container, error) {
 	if s.current != nil && s.current.ID == id {
-		return s.current, true
+		return s.current, nil
 	}
-	return nil, false
+	if id < 0 || id >= s.sealed {
+		return nil, ErrNotFound
+	}
+	return s.backend.Load(s.shard, id)
 }
 
-// Count returns the number of containers, including the in-progress one.
+// Current returns the in-progress container, or nil if none is open. The
+// caller must hold whatever lock guards the Store and must not mutate the
+// container; the sharded dedup store uses it to snapshot open-container
+// entries for the restore pipeline without a backend read.
+func (s *Store) Current() *Container { return s.current }
+
+// Count returns the number of containers, including a non-empty
+// in-progress one.
 func (s *Store) Count() int {
-	n := len(s.sealed)
+	n := s.sealed
 	if s.current != nil && len(s.current.Entries) > 0 {
 		n++
 	}
@@ -128,12 +185,84 @@ func (s *Store) Count() int {
 
 // Bytes returns the total stored bytes across all containers.
 func (s *Store) Bytes() int {
-	var n int
-	for _, c := range s.sealed {
-		n += c.Bytes
-	}
+	n := s.sealedBytes
 	if s.current != nil {
 		n += s.current.Bytes
 	}
 	return n
+}
+
+// CompactStats reports what a Compact pass dropped.
+type CompactStats struct {
+	// EntriesDropped is the number of entries keep rejected.
+	EntriesDropped int
+	// BytesDropped is their total size.
+	BytesDropped uint64
+	// ContainersRewritten is the number of pre-compaction containers that
+	// contained at least one dropped entry.
+	ContainersRewritten int
+}
+
+// Compact rewrites the store keeping only entries for which keep returns
+// true, repacking survivors densely in their existing order and
+// renumbering containers from zero — the GC sweep's storage rewrite. The
+// new sealed sequence replaces the old one atomically in the backend
+// (FileBackend: a fresh file renamed over the old); the last, partial
+// container stays open in memory, exactly as if the survivors had been
+// Appended into an empty store.
+//
+// moved, if non-nil, is called with every surviving entry and its
+// post-compaction location, in the new layout order. It may have been
+// called even if Compact returns an error; callers must apply its effects
+// only after a nil return. On error the store and backend are unchanged.
+func (s *Store) Compact(keep func(Entry) bool, moved func(Entry, Location)) (CompactStats, error) {
+	var st CompactStats
+	var newSealed []*Container
+	var cur *Container
+	newBytes := 0
+	place := func(e Entry) {
+		if cur == nil {
+			cur = &Container{ID: len(newSealed)}
+		}
+		if cur.Bytes > 0 && cur.Bytes+int(e.Size) > s.capacity {
+			newBytes += cur.Bytes
+			newSealed = append(newSealed, cur)
+			cur = &Container{ID: len(newSealed)}
+		}
+		loc := Location{Container: cur.ID, Index: len(cur.Entries)}
+		cur.Entries = append(cur.Entries, e)
+		cur.Bytes += int(e.Size)
+		if moved != nil {
+			moved(e, loc)
+		}
+	}
+	visit := func(c *Container) error {
+		dropped := false
+		for _, e := range c.Entries {
+			if keep(e) {
+				place(e)
+			} else {
+				st.EntriesDropped++
+				st.BytesDropped += uint64(e.Size)
+				dropped = true
+			}
+		}
+		if dropped {
+			st.ContainersRewritten++
+		}
+		return nil
+	}
+	if err := s.backend.Scan(s.shard, true, visit); err != nil {
+		return CompactStats{}, err
+	}
+	if s.current != nil {
+		_ = visit(s.current)
+	}
+	if err := s.backend.Rewrite(s.shard, newSealed); err != nil {
+		return CompactStats{}, err
+	}
+	s.sealed = len(newSealed)
+	s.sealedBytes = newBytes
+	s.current = cur
+	return st, nil
 }

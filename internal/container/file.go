@@ -1,0 +1,488 @@
+package container
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"freqdedup/internal/fphash"
+)
+
+// ErrCorrupt is returned when a store file fails structural validation or
+// a container record fails its checksum. It is distinct from ErrNotFound:
+// the data is there but cannot be trusted.
+var ErrCorrupt = errors.New("container: store file corrupt")
+
+// On-disk layout constants. See doc.go for the full format description.
+const (
+	fileMagic   = 0x46444346 // "FDCF": freqdedup container file
+	fileVersion = 1
+	// fileHeaderLen is magic + version + shard + containerBytes, u32 each.
+	fileHeaderLen = 16
+
+	recordMagic = 0x46444331 // "FDC1": one sealed container record
+	// recordHeaderLen is magic + id + entryCount + dataBytes, u32 each.
+	recordHeaderLen = 16
+	// entryMetaLen is one index-header entry: fingerprint + u32 size.
+	entryMetaLen = fphash.Size + 4
+	// recordTrailerLen is the CRC32 over the whole record.
+	recordTrailerLen = 4
+)
+
+// shardFileName returns the file holding a shard's containers.
+func shardFileName(shard int) string { return fmt.Sprintf("shard-%04d.fdc", shard) }
+
+// shardFile is one shard's append-only container file plus its in-memory
+// record index. mu serializes every file operation of the shard: appends
+// are naturally serial, and reads ride the same lock so a GC Rewrite can
+// swap the file handle without a reader holding the old one. Cross-shard
+// operations run fully in parallel.
+type shardFile struct {
+	mu      sync.Mutex
+	f       *os.File
+	offsets []int64 // byte offset of each sealed record, in ID order
+	size    int64   // current end-of-file offset
+	scratch []byte  // record serialization buffer, reused across Seals
+}
+
+// FileBackend persists sealed containers in per-shard append-only files
+// under one directory. Each seal appends a self-contained record (a small
+// index header of fingerprints and sizes, then the chunk data, then a
+// CRC32) and fsyncs, so a container acknowledged as sealed survives a
+// crash; a record torn by a crash mid-append is detected and discarded on
+// Open. GC rewrites a shard by writing a fresh file and renaming it over
+// the old one, so compaction is atomic too.
+type FileBackend struct {
+	dir            string
+	containerBytes int
+	shards         []*shardFile
+}
+
+// CreateFileBackend initializes a new store directory with one empty
+// container file per shard and returns the backend. It fails if the
+// directory already holds a store.
+func CreateFileBackend(dir string, shards, containerBytes int) (*FileBackend, error) {
+	if shards < 1 {
+		return nil, fmt.Errorf("container: backend shard count must be positive, got %d", shards)
+	}
+	if containerBytes <= 0 {
+		return nil, fmt.Errorf("container: capacity must be positive, got %d", containerBytes)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("container: create store dir: %w", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, shardFileName(0))); err == nil {
+		return nil, fmt.Errorf("container: %s already holds a store (use OpenFileBackend)", dir)
+	}
+	b := &FileBackend{dir: dir, containerBytes: containerBytes, shards: make([]*shardFile, shards)}
+	var hdr [fileHeaderLen]byte
+	for i := range b.shards {
+		binary.LittleEndian.PutUint32(hdr[0:], fileMagic)
+		binary.LittleEndian.PutUint32(hdr[4:], fileVersion)
+		binary.LittleEndian.PutUint32(hdr[8:], uint32(i))
+		binary.LittleEndian.PutUint32(hdr[12:], uint32(containerBytes))
+		f, err := os.OpenFile(filepath.Join(dir, shardFileName(i)), os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+		if err != nil {
+			b.Close()
+			return nil, fmt.Errorf("container: create shard file: %w", err)
+		}
+		_, err = f.Write(hdr[:])
+		if err == nil {
+			err = f.Sync()
+		}
+		if err != nil {
+			f.Close()
+			b.Close()
+			return nil, fmt.Errorf("container: write shard header: %w", err)
+		}
+		b.shards[i] = &shardFile{f: f, size: fileHeaderLen}
+	}
+	if err := syncDir(dir); err != nil {
+		b.Close()
+		return nil, err
+	}
+	return b, nil
+}
+
+// OpenFileBackend opens an existing store directory, validating every
+// shard file's header and record chain. A record torn by a crash
+// mid-append (an incomplete header or body at the end of a file) is
+// discarded by truncating the file back to the last complete record —
+// only containers whose Seal was acknowledged are durable. Structural
+// damage anywhere else (bad magic, out-of-sequence IDs, a short file
+// header, shards disagreeing on capacity) returns ErrCorrupt.
+func OpenFileBackend(dir string) (*FileBackend, error) {
+	names, err := filepath.Glob(filepath.Join(dir, "shard-*.fdc"))
+	if err != nil {
+		return nil, err
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("container: %s holds no store (no shard files)", dir)
+	}
+	sort.Strings(names)
+	b := &FileBackend{dir: dir, shards: make([]*shardFile, len(names))}
+	for i, name := range names {
+		if filepath.Base(name) != shardFileName(i) {
+			b.Close()
+			return nil, fmt.Errorf("%w: shard files not dense at %s", ErrCorrupt, name)
+		}
+		sf, capacity, err := openShardFile(name, i)
+		if err != nil {
+			b.Close()
+			return nil, err
+		}
+		if i == 0 {
+			b.containerBytes = capacity
+		} else if capacity != b.containerBytes {
+			sf.f.Close()
+			b.Close()
+			return nil, fmt.Errorf("%w: shard %d capacity %d, shard 0 has %d",
+				ErrCorrupt, i, capacity, b.containerBytes)
+		}
+		b.shards[i] = sf
+	}
+	return b, nil
+}
+
+// openShardFile validates one shard file and builds its record index,
+// truncating a torn tail record left by a crash.
+func openShardFile(name string, shard int) (*shardFile, int, error) {
+	f, err := os.OpenFile(name, os.O_RDWR, 0)
+	if err != nil {
+		return nil, 0, err
+	}
+	fail := func(err error) (*shardFile, int, error) {
+		f.Close()
+		return nil, 0, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		return fail(err)
+	}
+	size := st.Size()
+	var hdr [fileHeaderLen]byte
+	if size < fileHeaderLen {
+		return fail(fmt.Errorf("%w: %s shorter than its header", ErrCorrupt, name))
+	}
+	if _, err := f.ReadAt(hdr[:], 0); err != nil {
+		return fail(err)
+	}
+	if m := binary.LittleEndian.Uint32(hdr[0:]); m != fileMagic {
+		return fail(fmt.Errorf("%w: %s has bad magic %#x", ErrCorrupt, name, m))
+	}
+	if v := binary.LittleEndian.Uint32(hdr[4:]); v != fileVersion {
+		return fail(fmt.Errorf("%w: %s has unsupported version %d", ErrCorrupt, name, v))
+	}
+	if s := binary.LittleEndian.Uint32(hdr[8:]); int(s) != shard {
+		return fail(fmt.Errorf("%w: %s labeled shard %d", ErrCorrupt, name, s))
+	}
+	capacity := int(binary.LittleEndian.Uint32(hdr[12:]))
+	if capacity <= 0 {
+		return fail(fmt.Errorf("%w: %s has capacity %d", ErrCorrupt, name, capacity))
+	}
+
+	sf := &shardFile{f: f}
+	pos := int64(fileHeaderLen)
+	var rec [recordHeaderLen]byte
+	for pos < size {
+		if pos+recordHeaderLen > size {
+			break // torn tail: header itself incomplete
+		}
+		if _, err := f.ReadAt(rec[:], pos); err != nil {
+			return fail(err)
+		}
+		if m := binary.LittleEndian.Uint32(rec[0:]); m != recordMagic {
+			return fail(fmt.Errorf("%w: %s: bad record magic %#x at offset %d", ErrCorrupt, name, m, pos))
+		}
+		id := binary.LittleEndian.Uint32(rec[4:])
+		if int(id) != len(sf.offsets) {
+			return fail(fmt.Errorf("%w: %s: container %d at position %d", ErrCorrupt, name, id, len(sf.offsets)))
+		}
+		entries := int64(binary.LittleEndian.Uint32(rec[8:]))
+		dataBytes := int64(binary.LittleEndian.Uint32(rec[12:]))
+		end := pos + recordHeaderLen + entries*entryMetaLen + dataBytes + recordTrailerLen
+		if end > size {
+			break // torn tail: body incomplete
+		}
+		sf.offsets = append(sf.offsets, pos)
+		pos = end
+	}
+	if pos < size {
+		// Discard the torn tail so future appends start at a record
+		// boundary.
+		if err := f.Truncate(pos); err != nil {
+			return fail(fmt.Errorf("container: truncate torn tail of %s: %w", name, err))
+		}
+		if err := f.Sync(); err != nil {
+			return fail(err)
+		}
+	}
+	sf.size = pos
+	return sf, capacity, nil
+}
+
+// buildRecord serializes c into sf.scratch as one container record.
+func (sf *shardFile) buildRecord(c *Container) ([]byte, error) {
+	dataBytes := 0
+	for _, e := range c.Entries {
+		if len(e.Data) != int(e.Size) {
+			return nil, fmt.Errorf("container: entry %v has %d data bytes, size says %d (metadata-only entries cannot be persisted)",
+				e.FP, len(e.Data), e.Size)
+		}
+		dataBytes += int(e.Size)
+	}
+	n := recordHeaderLen + len(c.Entries)*entryMetaLen + dataBytes + recordTrailerLen
+	if cap(sf.scratch) < n {
+		sf.scratch = make([]byte, n)
+	}
+	buf := sf.scratch[:n]
+	binary.LittleEndian.PutUint32(buf[0:], recordMagic)
+	binary.LittleEndian.PutUint32(buf[4:], uint32(c.ID))
+	binary.LittleEndian.PutUint32(buf[8:], uint32(len(c.Entries)))
+	binary.LittleEndian.PutUint32(buf[12:], uint32(dataBytes))
+	off := recordHeaderLen
+	for _, e := range c.Entries {
+		copy(buf[off:], e.FP[:])
+		binary.LittleEndian.PutUint32(buf[off+fphash.Size:], e.Size)
+		off += entryMetaLen
+	}
+	for _, e := range c.Entries {
+		copy(buf[off:], e.Data)
+		off += len(e.Data)
+	}
+	binary.LittleEndian.PutUint32(buf[off:], crc32.ChecksumIEEE(buf[:off]))
+	return buf, nil
+}
+
+// Seal appends the container's record to the shard file and fsyncs;
+// durability is acknowledged only by a nil return.
+func (b *FileBackend) Seal(shard int, c *Container) error {
+	sf := b.shards[shard]
+	sf.mu.Lock()
+	defer sf.mu.Unlock()
+	if c.ID != len(sf.offsets) {
+		return fmt.Errorf("container: seal of container %d on shard %d, want %d", c.ID, shard, len(sf.offsets))
+	}
+	buf, err := sf.buildRecord(c)
+	if err != nil {
+		return err
+	}
+	if _, err := sf.f.WriteAt(buf, sf.size); err != nil {
+		sf.discardTail()
+		return fmt.Errorf("container: append container %d: %w", c.ID, err)
+	}
+	if err := sf.f.Sync(); err != nil {
+		sf.discardTail()
+		return fmt.Errorf("container: sync container %d: %w", c.ID, err)
+	}
+	sf.offsets = append(sf.offsets, sf.size)
+	sf.size += int64(len(buf))
+	return nil
+}
+
+// discardTail removes whatever a failed append left past the last good
+// record, so a later successful Seal does not bury garbage mid-file
+// (which Open would then reject as structural corruption instead of
+// recovering as a torn tail). Best-effort: if the truncate fails too,
+// Open's tail recovery still handles the case where nothing was
+// appended afterwards.
+func (sf *shardFile) discardTail() {
+	if sf.f.Truncate(sf.size) == nil {
+		_ = sf.f.Sync()
+	}
+}
+
+// readRecord reads and validates the record at offset, returning the
+// container. With withData false the data region is skipped and the CRC
+// (which covers it) is not verified.
+func (sf *shardFile) readRecord(shard int, offset int64, withData bool) (*Container, error) {
+	var hdr [recordHeaderLen]byte
+	if _, err := sf.f.ReadAt(hdr[:], offset); err != nil {
+		return nil, fmt.Errorf("container: read record header: %w", err)
+	}
+	if m := binary.LittleEndian.Uint32(hdr[0:]); m != recordMagic {
+		return nil, fmt.Errorf("%w: bad record magic %#x", ErrCorrupt, m)
+	}
+	id := int(binary.LittleEndian.Uint32(hdr[4:]))
+	entries := int(binary.LittleEndian.Uint32(hdr[8:]))
+	dataBytes := int(binary.LittleEndian.Uint32(hdr[12:]))
+	metaLen := entries * entryMetaLen
+	bodyLen := metaLen + dataBytes + recordTrailerLen
+	if !withData {
+		bodyLen = metaLen
+	}
+	body := make([]byte, bodyLen)
+	if _, err := sf.f.ReadAt(body, offset+recordHeaderLen); err != nil {
+		return nil, fmt.Errorf("container: read record body: %w", err)
+	}
+	if withData {
+		stored := binary.LittleEndian.Uint32(body[metaLen+dataBytes:])
+		crc := crc32.ChecksumIEEE(hdr[:])
+		crc = crc32.Update(crc, crc32.IEEETable, body[:metaLen+dataBytes])
+		if crc != stored {
+			return nil, fmt.Errorf("%w: container %d checksum mismatch (shard %d)", ErrCorrupt, id, shard)
+		}
+	}
+	c := &Container{ID: id, Entries: make([]Entry, entries)}
+	data := body[metaLen:]
+	dataOff := 0
+	for i := range c.Entries {
+		var fp fphash.Fingerprint
+		copy(fp[:], body[i*entryMetaLen:])
+		size := binary.LittleEndian.Uint32(body[i*entryMetaLen+fphash.Size:])
+		e := Entry{FP: fp, Size: size}
+		if withData {
+			if dataOff+int(size) > dataBytes {
+				return nil, fmt.Errorf("%w: container %d entry sizes exceed data region", ErrCorrupt, id)
+			}
+			e.Data = data[dataOff : dataOff+int(size) : dataOff+int(size)]
+		}
+		dataOff += int(size)
+		c.Bytes += int(size)
+		c.Entries[i] = e
+	}
+	if withData && dataOff != dataBytes {
+		return nil, fmt.Errorf("%w: container %d entry sizes sum to %d, data region is %d", ErrCorrupt, id, dataOff, dataBytes)
+	}
+	return c, nil
+}
+
+// Load reads a sealed container from the shard file, verifying its CRC.
+func (b *FileBackend) Load(shard, id int) (*Container, error) {
+	sf := b.shards[shard]
+	sf.mu.Lock()
+	defer sf.mu.Unlock()
+	if id < 0 || id >= len(sf.offsets) {
+		return nil, ErrNotFound
+	}
+	return sf.readRecord(shard, sf.offsets[id], true)
+}
+
+// Scan visits the shard's sealed containers in ID order. With withData
+// false only each record's index header is read (fingerprints and sizes;
+// Entry.Data stays nil), which is how a reopened store rebuilds its
+// fingerprint index without reading chunk data.
+func (b *FileBackend) Scan(shard int, withData bool, fn func(*Container) error) error {
+	sf := b.shards[shard]
+	sf.mu.Lock()
+	defer sf.mu.Unlock()
+	for _, off := range sf.offsets {
+		c, err := sf.readRecord(shard, off, withData)
+		if err != nil {
+			return err
+		}
+		if err := fn(c); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Rewrite atomically replaces the shard's file with one holding cs: the
+// new generation is written to a temporary file, fsynced, and renamed
+// over the old file, so a crash mid-compaction leaves the previous
+// generation intact.
+func (b *FileBackend) Rewrite(shard int, cs []*Container) error {
+	sf := b.shards[shard]
+	sf.mu.Lock()
+	defer sf.mu.Unlock()
+
+	name := filepath.Join(b.dir, shardFileName(shard))
+	tmpName := name + ".rewrite"
+	tmp, err := os.OpenFile(tmpName, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("container: rewrite shard %d: %w", shard, err)
+	}
+	abort := func(err error) error {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	var hdr [fileHeaderLen]byte
+	binary.LittleEndian.PutUint32(hdr[0:], fileMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], fileVersion)
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(shard))
+	binary.LittleEndian.PutUint32(hdr[12:], uint32(b.containerBytes))
+	if _, err := tmp.Write(hdr[:]); err != nil {
+		return abort(err)
+	}
+	offsets := make([]int64, 0, len(cs))
+	size := int64(fileHeaderLen)
+	for i, c := range cs {
+		if c.ID != i {
+			return abort(fmt.Errorf("container: rewrite container ID %d at position %d", c.ID, i))
+		}
+		buf, err := sf.buildRecord(c)
+		if err != nil {
+			return abort(err)
+		}
+		if _, err := tmp.Write(buf); err != nil {
+			return abort(err)
+		}
+		offsets = append(offsets, size)
+		size += int64(len(buf))
+	}
+	if err := tmp.Sync(); err != nil {
+		return abort(err)
+	}
+	if err := os.Rename(tmpName, name); err != nil {
+		return abort(err)
+	}
+	// The rename is the commit point: from here the on-disk shard is the
+	// new generation, so the in-memory state must follow unconditionally
+	// — the renamed temp handle is the new shard file; retire the old
+	// one. The directory sync afterwards is best-effort, like every
+	// other directory sync here.
+	sf.f.Close()
+	sf.f = tmp
+	sf.offsets = offsets
+	sf.size = size
+	_ = syncDir(b.dir)
+	return nil
+}
+
+// Shards returns the shard count.
+func (b *FileBackend) Shards() int { return len(b.shards) }
+
+// ContainerBytes returns the container capacity recorded in the store's
+// file headers, so a reopened store packs with the same geometry.
+func (b *FileBackend) ContainerBytes() int { return b.containerBytes }
+
+// Dir returns the store directory.
+func (b *FileBackend) Dir() string { return b.dir }
+
+// Close closes every shard file. Sealed data is already durable; Close
+// exists to release descriptors.
+func (b *FileBackend) Close() error {
+	var first error
+	for _, sf := range b.shards {
+		if sf == nil || sf.f == nil {
+			continue
+		}
+		sf.mu.Lock()
+		err := sf.f.Close()
+		sf.mu.Unlock()
+		if err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// syncDir fsyncs a directory so renames and file creations within it are
+// durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	// Directory fsync is best-effort: some filesystems reject it.
+	_ = d.Sync()
+	return nil
+}

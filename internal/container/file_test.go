@@ -1,0 +1,323 @@
+package container
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func newFileStore(t *testing.T, capacity, shards int) (*FileBackend, string) {
+	t.Helper()
+	dir := t.TempDir()
+	b, err := CreateFileBackend(dir, shards, capacity)
+	if err != nil {
+		t.Fatalf("CreateFileBackend: %v", err)
+	}
+	t.Cleanup(func() { b.Close() })
+	return b, dir
+}
+
+func TestFileBackendSealLoadRoundTrip(t *testing.T) {
+	b, _ := newFileStore(t, 100, 2)
+	s, err := NewWithBackend(100, b, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var locs []Location
+	for i := uint64(0); i < 9; i++ {
+		locs = append(locs, mustAppend(t, s, dataEntry(i, 40)))
+	}
+	if _, err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for i, loc := range locs {
+		e, err := s.Get(loc)
+		if err != nil {
+			t.Fatalf("Get(%+v): %v", loc, err)
+		}
+		want := dataEntry(uint64(i), 40)
+		if e.FP != want.FP || !bytes.Equal(e.Data, want.Data) {
+			t.Fatalf("entry %d corrupted on round trip", i)
+		}
+	}
+	// The other shard is untouched.
+	if _, err := b.Load(0, 0); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Load on empty shard: %v, want ErrNotFound", err)
+	}
+}
+
+func TestFileBackendReopen(t *testing.T) {
+	b, dir := newFileStore(t, 100, 4)
+	s, err := NewWithBackend(100, b, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 9; i++ {
+		mustAppend(t, s, dataEntry(i, 40))
+	}
+	sealed := s.sealed
+	if _, err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	rb, err := OpenFileBackend(dir)
+	if err != nil {
+		t.Fatalf("OpenFileBackend: %v", err)
+	}
+	defer rb.Close()
+	if rb.Shards() != 4 || rb.ContainerBytes() != 100 {
+		t.Fatalf("reopened backend: %d shards, capacity %d", rb.Shards(), rb.ContainerBytes())
+	}
+	rs, err := NewWithBackend(rb.ContainerBytes(), rb, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.sealed != sealed+1 || rs.Count() != sealed+1 {
+		t.Fatalf("reopened store sees %d containers, want %d", rs.Count(), sealed+1)
+	}
+	// Metadata-only scan: fingerprints and sizes, no data.
+	n := 0
+	err = rb.Scan(2, false, func(c *Container) error {
+		for _, e := range c.Entries {
+			if e.Size != 40 || e.Data != nil {
+				t.Fatalf("meta scan entry = %+v", e)
+			}
+			n++
+		}
+		return nil
+	})
+	if err != nil || n != 9 {
+		t.Fatalf("meta scan: %d entries, err %v", n, err)
+	}
+	// New appends continue the ID sequence.
+	loc, err := rs.Append(dataEntry(100, 40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loc.Container != sealed+1 {
+		t.Fatalf("post-reopen append went to container %d, want %d", loc.Container, sealed+1)
+	}
+}
+
+func TestFileBackendTornTailRecovered(t *testing.T) {
+	b, dir := newFileStore(t, 100, 1)
+	s, err := NewWithBackend(100, b, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 6; i++ {
+		mustAppend(t, s, dataEntry(i, 40))
+	}
+	if _, err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	b.Close()
+
+	// Simulate a crash mid-append: chop the last record in half.
+	name := filepath.Join(dir, shardFileName(0))
+	st, err := os.Stat(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(name, st.Size()-30); err != nil {
+		t.Fatal(err)
+	}
+
+	rb, err := OpenFileBackend(dir)
+	if err != nil {
+		t.Fatalf("open after torn tail: %v", err)
+	}
+	defer rb.Close()
+	rs, err := NewWithBackend(100, rb, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 6 entries of 40 into capacity 100 = 3 containers of 2; the torn one
+	// is gone, its predecessors intact.
+	if rs.Count() != 2 {
+		t.Fatalf("recovered store has %d containers, want 2", rs.Count())
+	}
+	for id := 0; id < 2; id++ {
+		c, err := rb.Load(0, id)
+		if err != nil || len(c.Entries) != 2 {
+			t.Fatalf("recovered container %d: %+v, %v", id, c, err)
+		}
+	}
+	// Appends after recovery reuse the freed ID.
+	rs2 := rs
+	loc, err := rs2.Append(dataEntry(50, 40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loc.Container != 2 {
+		t.Fatalf("post-recovery append container = %d, want 2", loc.Container)
+	}
+}
+
+func TestFileBackendCorruptDataDetected(t *testing.T) {
+	b, dir := newFileStore(t, 100, 1)
+	s, err := NewWithBackend(100, b, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustAppend(t, s, dataEntry(1, 40))
+	mustAppend(t, s, dataEntry(2, 40))
+	if _, err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	b.Close()
+
+	// Flip one data byte inside the (only) record.
+	name := filepath.Join(dir, shardFileName(0))
+	raw, err := os.ReadFile(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-10] ^= 0xff
+	if err := os.WriteFile(name, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	rb, err := OpenFileBackend(dir)
+	if err != nil {
+		t.Fatalf("open scans only structure, should succeed: %v", err)
+	}
+	defer rb.Close()
+	if _, err := rb.Load(0, 0); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Load of corrupted container: %v, want ErrCorrupt", err)
+	}
+}
+
+func TestFileBackendStructuralCorruptionFailsOpen(t *testing.T) {
+	b, dir := newFileStore(t, 100, 1)
+	s, err := NewWithBackend(100, b, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 6; i++ {
+		mustAppend(t, s, dataEntry(i, 40))
+	}
+	if _, err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	b.Close()
+
+	name := filepath.Join(dir, shardFileName(0))
+
+	// A file shorter than its header is not a torn tail.
+	if err := os.Truncate(name, 7); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenFileBackend(dir); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("open of truncated header: %v, want ErrCorrupt", err)
+	}
+
+	// Garbage at a record boundary mid-file is corruption, not recovery.
+	b2, dir2 := newFileStore(t, 100, 1)
+	s2, err := NewWithBackend(100, b2, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 6; i++ {
+		mustAppend(t, s2, dataEntry(i, 40))
+	}
+	if _, err := s2.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	b2.Close()
+	name2 := filepath.Join(dir2, shardFileName(0))
+	raw, err := os.ReadFile(name2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[fileHeaderLen] ^= 0xff // first record's magic
+	if err := os.WriteFile(name2, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenFileBackend(dir2); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("open with bad record magic: %v, want ErrCorrupt", err)
+	}
+}
+
+func TestFileBackendRewrite(t *testing.T) {
+	b, dir := newFileStore(t, 100, 1)
+	s, err := NewWithBackend(100, b, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 10; i++ {
+		mustAppend(t, s, dataEntry(i, 40))
+	}
+	st, err := s.Compact(func(e Entry) bool { return e.FP.Uint64()%2 == 1 }, nil)
+	if err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	if st.EntriesDropped != 5 {
+		t.Fatalf("dropped %d, want 5", st.EntriesDropped)
+	}
+	if _, err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	b.Close()
+
+	// The rewritten file must reopen cleanly with only the survivors.
+	rb, err := OpenFileBackend(dir)
+	if err != nil {
+		t.Fatalf("open after rewrite: %v", err)
+	}
+	defer rb.Close()
+	var got []uint64
+	err = rb.Scan(0, true, func(c *Container) error {
+		for _, e := range c.Entries {
+			got = append(got, e.FP.Uint64())
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []uint64{1, 3, 5, 7, 9}
+	if len(got) != len(want) {
+		t.Fatalf("survivors = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("survivors = %v, want %v", got, want)
+		}
+	}
+	if _, err := os.Stat(filepath.Join(dir, shardFileName(0)+".rewrite")); !os.IsNotExist(err) {
+		t.Fatal("rewrite temp file left behind")
+	}
+}
+
+func TestCreateFileBackendRefusesExisting(t *testing.T) {
+	_, dir := newFileStore(t, 100, 1)
+	if _, err := CreateFileBackend(dir, 1, 100); err == nil {
+		t.Fatal("CreateFileBackend over an existing store succeeded")
+	}
+}
+
+func TestOpenFileBackendEmptyDir(t *testing.T) {
+	if _, err := OpenFileBackend(t.TempDir()); err == nil {
+		t.Fatal("OpenFileBackend of empty dir succeeded")
+	}
+}
+
+func TestFileBackendRejectsMetadataOnlyEntries(t *testing.T) {
+	b, _ := newFileStore(t, 100, 1)
+	s, err := NewWithBackend(100, b, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Append(entry(1, 40)); err != nil {
+		t.Fatal(err) // append itself is fine, the entry sits in memory
+	}
+	if _, err := s.Flush(); err == nil {
+		t.Fatal("sealing a metadata-only entry through a FileBackend succeeded")
+	}
+}

@@ -77,7 +77,7 @@ type System struct {
 	cfg        Config
 	index      map[fphash.Fingerprint]int // on-disk fingerprint index: fp -> container ID
 	bloom      *bloom.Filter
-	cache      *lru.Cache[int] // fingerprint cache: fp -> container ID
+	cache      *lru.Cache[fphash.Fingerprint, int] // fingerprint cache: fp -> container ID
 	containers *container.Store
 	buffered   map[fphash.Fingerprint]struct{} // fps in the not-yet-flushed container
 
@@ -108,7 +108,7 @@ func New(cfg Config) *System {
 		cfg:        cfg,
 		index:      make(map[fphash.Fingerprint]int, cfg.ExpectedFingerprints),
 		bloom:      bloom.NewWithEstimates(cfg.ExpectedFingerprints, cfg.BloomFPP),
-		cache:      lru.New[int](cfg.CacheBytes, nil),
+		cache:      lru.New[fphash.Fingerprint, int](cfg.CacheBytes, nil),
 		containers: container.New(cfg.ContainerBytes),
 		buffered:   make(map[fphash.Fingerprint]struct{}, bufferedHint),
 	}
@@ -166,7 +166,11 @@ func (s *System) storeUnique(c trace.ChunkRef, st *AccessStats) {
 	s.uniques++
 	s.bloom.Add(c.FP)
 	before := s.containers.Count()
-	s.containers.Append(container.Entry{FP: c.FP, Size: c.Size})
+	// The metadata simulation runs on the in-memory backend, which never
+	// fails (see container.MemBackend).
+	if _, err := s.containers.Append(container.Entry{FP: c.FP, Size: c.Size}); err != nil {
+		panic(fmt.Sprintf("ddfs: append on memory backend: %v", err))
+	}
 	if s.containers.Count() > before && len(s.buffered) > 0 {
 		// Append sealed the previous container and opened a new one:
 		// account for the flushed container's index updates.
@@ -177,7 +181,10 @@ func (s *System) storeUnique(c trace.ChunkRef, st *AccessStats) {
 
 // flushCurrent seals the in-progress container, if any.
 func (s *System) flushCurrent(st *AccessStats) {
-	c := s.containers.Flush()
+	c, err := s.containers.Flush()
+	if err != nil {
+		panic(fmt.Sprintf("ddfs: flush on memory backend: %v", err))
+	}
 	if c == nil {
 		return
 	}
@@ -187,9 +194,9 @@ func (s *System) flushCurrent(st *AccessStats) {
 // accountFlush writes the flushed container's fingerprints to the on-disk
 // index (update access) and records their container ID.
 func (s *System) accountFlush(id int, st *AccessStats) {
-	c, ok := s.containers.Container(id)
-	if !ok {
-		panic(fmt.Sprintf("ddfs: flushed container %d missing", id))
+	c, err := s.containers.Container(id)
+	if err != nil {
+		panic(fmt.Sprintf("ddfs: flushed container %d missing: %v", id, err))
 	}
 	for _, e := range c.Entries {
 		s.index[e.FP] = id
@@ -201,9 +208,9 @@ func (s *System) accountFlush(id int, st *AccessStats) {
 // loadContainer reads a container's fingerprints from disk into the cache
 // (loading access) — the paper's step S4.
 func (s *System) loadContainer(id int, st *AccessStats) {
-	c, ok := s.containers.Container(id)
-	if !ok {
-		panic(fmt.Sprintf("ddfs: indexed container %d missing", id))
+	c, err := s.containers.Container(id)
+	if err != nil {
+		panic(fmt.Sprintf("ddfs: indexed container %d missing: %v", id, err))
 	}
 	st.LoadingBytes += uint64(len(c.Entries)) * EntryBytes
 	for _, e := range c.Entries {

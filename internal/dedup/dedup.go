@@ -52,10 +52,19 @@ type Config struct {
 	// used per client.
 	ScrambleSeed int64
 	// Workers is the number of encrypt+fingerprint workers Backup fans
-	// out to (the MLE hot path). 0 selects GOMAXPROCS; 1 runs the stage
-	// inline. Recipes and store contents are identical for every worker
-	// count: parallelism changes wall-clock time only.
+	// out to (the MLE hot path) and the number of container fetch+decrypt
+	// workers Restore fans out to. 0 selects GOMAXPROCS; 1 runs the
+	// stages inline. Recipes, store contents, and restored bytes are
+	// identical for every worker count: parallelism changes wall-clock
+	// time only.
 	Workers int
+	// RestoreCacheContainers bounds the parallel restore pipeline's
+	// container cache, in containers (the cache-size semantics of
+	// ddfs.ContainerSpread): a backup whose adjacent chunks were stored
+	// into the same containers is restored with few container reads. 0
+	// disables the cache — every read batch fetches its container from
+	// the store. Restored bytes are identical at every setting.
+	RestoreCacheContainers int
 }
 
 // Client is the client side of Figure 2: chunk, encrypt, upload. A Client
@@ -99,6 +108,9 @@ func NewClient(store *Store, cfg Config) (*Client, error) {
 	}
 	if cfg.Workers < 0 {
 		return nil, fmt.Errorf("dedup: negative worker count %d", cfg.Workers)
+	}
+	if cfg.RestoreCacheContainers < 0 {
+		return nil, fmt.Errorf("dedup: negative restore cache size %d", cfg.RestoreCacheContainers)
 	}
 	if cfg.Workers == 0 {
 		cfg.Workers = runtime.GOMAXPROCS(0)
@@ -271,7 +283,9 @@ func (c *Client) backupStreaming(cdc *chunker.ContentDefined) (*mle.Recipe, erro
 		// Ownership transfer: the ciphertexts were freshly allocated by the
 		// encrypt stage and are never touched again, so the store may keep
 		// them without its defensive copy.
-		c.store.PutBatchOwned(batch)
+		if _, err := c.store.PutBatchOwned(batch); err != nil {
+			return fmt.Errorf("dedup: upload: %w", err)
+		}
 		for i := range window {
 			window[i].chunk.Release()
 		}
@@ -405,7 +419,9 @@ func (c *Client) backupPlanned(cdc *chunker.ContentDefined) (*mle.Recipe, error)
 				Size:        uint32(len(r.ct)),
 			}
 		}
-		c.store.PutBatchOwned(batch)
+		if _, err := c.store.PutBatchOwned(batch); err != nil {
+			return nil, fmt.Errorf("dedup: upload: %w", err)
+		}
 		// Each chunk appears in exactly one plan slot, so this window's
 		// plaintext buffers are dead once encrypted and uploaded. Release
 		// through the chunks slice and nil the Data there so the deferred
@@ -521,24 +537,4 @@ func scrambleOrder(in []int, rng *rand.Rand) []int {
 		}
 	}
 	return buf[front:back]
-}
-
-// Restore reconstructs the original stream described by recipe, writing it
-// to w. Chunks are fetched by ciphertext fingerprint and decrypted with
-// the per-chunk keys; recipe order restores the pre-scrambling layout.
-func (c *Client) Restore(recipe *mle.Recipe, w io.Writer) error {
-	for i, e := range recipe.Entries {
-		ct, ok := c.store.Get(e.Fingerprint)
-		if !ok {
-			return fmt.Errorf("dedup: restore: chunk %d (%v) missing from store", i, e.Fingerprint)
-		}
-		plain := mle.DecryptDeterministic(e.Key, ct)
-		if len(plain) != int(e.Size) {
-			return fmt.Errorf("dedup: restore: chunk %d size %d, recipe says %d", i, len(plain), e.Size)
-		}
-		if _, err := w.Write(plain); err != nil {
-			return fmt.Errorf("dedup: restore: write: %w", err)
-		}
-	}
-	return nil
 }

@@ -37,15 +37,15 @@ func TestStorePutGet(t *testing.T) {
 	s := NewStore(0)
 	data := []byte("chunk data")
 	fp := fphash.FromBytes(data)
-	if dup := s.Put(fp, data); dup {
-		t.Fatal("first Put reported duplicate")
+	if dup, err := s.Put(fp, data); dup || err != nil {
+		t.Fatalf("first Put = %v, %v", dup, err)
 	}
-	if dup := s.Put(fp, data); !dup {
-		t.Fatal("second Put not deduplicated")
+	if dup, err := s.Put(fp, data); !dup || err != nil {
+		t.Fatalf("second Put = %v, %v, want deduplicated", dup, err)
 	}
-	got, ok := s.Get(fp)
-	if !ok || !bytes.Equal(got, data) {
-		t.Fatal("Get returned wrong data")
+	got, err := s.Get(fp)
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("Get returned wrong data (%v)", err)
 	}
 	st := s.Stats()
 	if st.LogicalChunks != 2 || st.UniqueChunks != 1 {
@@ -60,7 +60,9 @@ func TestStorePutCopiesData(t *testing.T) {
 	s := NewStore(0)
 	data := []byte("mutable buffer")
 	fp := fphash.FromBytes(data)
-	s.Put(fp, data)
+	if _, err := s.Put(fp, data); err != nil {
+		t.Fatal(err)
+	}
 	data[0] = 'X'
 	got, _ := s.Get(fp)
 	if got[0] == 'X' {

@@ -32,9 +32,33 @@
 //     those configurations buffer the chunk list and fix the upload plan
 //     up front on one goroutine, then run the same windowed fan-out over
 //     the plan.
+//   - Client.Restore is a container-granular parallel pipeline. The
+//     recipe is planned into container read batches (maximal runs of
+//     adjacent chunks stored in the same container); Config.Workers
+//     goroutines fetch each batch's container — through an LRU container
+//     cache bounded by Config.RestoreCacheContainers — and decrypt into
+//     pooled buffers; an in-order writer reassembles the stream,
+//     returning each buffer to the pool as it is written. With one
+//     worker and no cache the serial chunk-at-a-time path runs instead.
+//     On any failure the pipeline drains: every in-flight pooled buffer
+//     is handed back, mirroring Backup's drain-on-error contract.
 //   - Retention (RegisterBackup / DeleteBackup / GC, see gc.go) is
 //     store-level under its own lock; GC additionally takes every shard
 //     lock in index order, the package's global lock order.
+//
+// # Persistence
+//
+// Sealed containers live behind a pluggable container.Backend. The
+// default is in-memory (NewStore / NewStoreWithShards); Create / Open /
+// NewStoreWithBackend run the same engine over per-shard append-only
+// files (container.FileBackend) so the store survives process restarts.
+// The durability boundary is the container seal: a sealed container is
+// fsynced before the seal is acknowledged, Close seals the open
+// containers on shutdown, and Open rebuilds the fingerprint index from
+// the files' index headers without reading chunk data. GC compacts
+// through the backend — each shard's rewrite is atomic (fresh file,
+// rename over). Reads of damaged files fail with container.ErrCorrupt
+// (records carry CRCs); they never return wrong bytes.
 //
 // # Invariants
 //
@@ -50,6 +74,9 @@
 //   - With a single shard (NewStoreWithShards(n, 1)) and any worker count,
 //     chunk placement — container IDs, entry order, sealing boundaries —
 //     is bit-for-bit identical to the original serial engine.
+//   - Restore output is byte-identical to the serial restore for every
+//     encryption/defense mode at every worker count and cache size, and
+//     a file-backed store reopened with Open restores the same bytes.
 //   - A Store is safe for concurrent use; a Client is not (its scrambling
 //     RNG is stateful). Run one Client per goroutine.
 package dedup

@@ -99,13 +99,20 @@ type GCStats struct {
 }
 
 // GC reclaims chunks that no registered backup references, compacting
-// their containers shard by shard. Chunks stored before any backup was
-// registered are treated as unreferenced, so callers using retention must
-// register every backup. Locations of surviving chunks change; each
-// shard's fingerprint index is rebuilt accordingly. GC stops the world:
-// it holds the retention lock and every shard lock for the duration of
-// the sweep.
-func (s *Store) GC() GCStats {
+// their containers shard by shard through the storage backend (a
+// file-backed shard is rewritten to a fresh file and atomically renamed).
+// Chunks stored before any backup was registered are treated as
+// unreferenced, so callers using retention must register every backup.
+// Locations of surviving chunks change; each shard's fingerprint index is
+// rebuilt accordingly. GC stops the world: it holds the retention lock
+// and every shard lock for the duration of the sweep.
+//
+// On a backend error the sweep stops: shards compacted before the failure
+// keep their compacted state (each shard's rewrite is atomic — it either
+// fully happened or did not), the failing shard is unchanged, and the
+// partial statistics are returned alongside the error. Re-running GC
+// after the fault clears completes the sweep.
+func (s *Store) GC() (GCStats, error) {
 	s.retMu.Lock()
 	defer s.retMu.Unlock()
 	s.lockAll()
@@ -113,40 +120,26 @@ func (s *Store) GC() GCStats {
 
 	var st GCStats
 	// Determine live fingerprints.
-	live := func(fp fphash.Fingerprint) bool {
-		return s.refs[fp] > 0
+	live := func(e container.Entry) bool {
+		return s.refs[e.FP] > 0
 	}
 
-	// Rewrite each shard's containers, keeping live chunks in their
+	// Compact each shard's containers, keeping live chunks in their
 	// existing order. Shards are independent: a fingerprint never moves
 	// between shards, so each rebuild only consults its own index.
-	for _, sh := range s.shards {
-		old := sh.containers
-		sh.containers = container.New(s.containerBytes)
+	for i, sh := range s.shards {
 		newIndex := make(map[fphash.Fingerprint]container.Location, len(sh.index))
-		for id := 0; ; id++ {
-			c, ok := old.Container(id)
-			if !ok {
-				break
-			}
-			rewritten := false
-			for _, e := range c.Entries {
-				if !live(e.FP) {
-					st.ChunksReclaimed++
-					st.BytesReclaimed += uint64(e.Size)
-					sh.physicalBytes -= uint64(e.Size)
-					rewritten = true
-					continue
-				}
-				loc := sh.containers.Append(e)
-				newIndex[e.FP] = loc
-			}
-			if rewritten {
-				st.ContainersRewritten++
-			}
+		cst, err := sh.containers.Compact(live, func(e container.Entry, loc container.Location) {
+			newIndex[e.FP] = loc
+		})
+		if err != nil {
+			return st, fmt.Errorf("dedup: gc shard %d: %w", i, err)
 		}
-		old.Flush()
 		sh.index = newIndex
+		sh.physicalBytes -= cst.BytesDropped
+		st.ChunksReclaimed += cst.EntriesDropped
+		st.BytesReclaimed += cst.BytesDropped
+		st.ContainersRewritten += cst.ContainersRewritten
 	}
-	return st
+	return st, nil
 }

@@ -39,7 +39,10 @@ func setupTwoBackups(t *testing.T) (*Store, *Client, *mle.Recipe, *mle.Recipe) {
 func TestGCReclaimsNothingWhileReferenced(t *testing.T) {
 	store, client, r1, r2 := setupTwoBackups(t)
 	before := store.Stats().PhysicalBytes
-	st := store.GC()
+	st, err := store.GC()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if st.ChunksReclaimed != 0 || st.BytesReclaimed != 0 {
 		t.Fatalf("GC reclaimed referenced data: %+v", st)
 	}
@@ -61,7 +64,10 @@ func TestGCReclaimsAfterDelete(t *testing.T) {
 	if err := store.DeleteBackup("b1"); err != nil {
 		t.Fatal(err)
 	}
-	st := store.GC()
+	st, err := store.GC()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if st.ChunksReclaimed == 0 || st.BytesReclaimed == 0 {
 		t.Fatalf("GC reclaimed nothing after deleting a backup: %+v", st)
 	}
@@ -78,7 +84,7 @@ func TestGCReclaimsAfterDelete(t *testing.T) {
 	// The deleted backup's unique chunks must be gone.
 	var missing int
 	for _, e := range r1.Entries {
-		if _, ok := store.Get(e.Fingerprint); !ok {
+		if _, err := store.Get(e.Fingerprint); errors.Is(err, ErrNotFound) {
 			missing++
 		}
 	}
@@ -95,7 +101,9 @@ func TestGCDeleteAllBackups(t *testing.T) {
 	if err := store.DeleteBackup("b2"); err != nil {
 		t.Fatal(err)
 	}
-	store.GC()
+	if _, err := store.GC(); err != nil {
+		t.Fatal(err)
+	}
 	if store.Stats().PhysicalBytes != 0 {
 		t.Fatalf("physical bytes %d after deleting everything", store.Stats().PhysicalBytes)
 	}
@@ -130,8 +138,13 @@ func TestGCIdempotent(t *testing.T) {
 	if err := store.DeleteBackup("b1"); err != nil {
 		t.Fatal(err)
 	}
-	store.GC()
-	st := store.GC()
+	if _, err := store.GC(); err != nil {
+		t.Fatal(err)
+	}
+	st, err := store.GC()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if st.ChunksReclaimed != 0 {
 		t.Fatalf("second GC reclaimed %d chunks", st.ChunksReclaimed)
 	}
@@ -166,7 +179,10 @@ func TestGCSharedChunksSurvive(t *testing.T) {
 	if err := store.DeleteBackup("x"); err != nil {
 		t.Fatal(err)
 	}
-	st := store.GC()
+	st, err := store.GC()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if st.ChunksReclaimed != 0 {
 		t.Fatalf("GC reclaimed %d chunks still referenced by backup y", st.ChunksReclaimed)
 	}

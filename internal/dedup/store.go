@@ -1,6 +1,8 @@
 package dedup
 
 import (
+	"errors"
+	"fmt"
 	"sync"
 
 	"freqdedup/internal/container"
@@ -17,6 +19,10 @@ const DefaultShards = 16
 // maxShards bounds the shard count to the range addressable by the
 // one-byte fingerprint prefix (fphash.Fingerprint.Shard).
 const maxShards = 256
+
+// ErrNotFound is returned by Get for a fingerprint the store does not
+// hold.
+var ErrNotFound = errors.New("dedup: chunk not found")
 
 // shard is one lock stripe of the store: a fingerprint index over its own
 // container packer, plus the shard's slice of the dedup statistics.
@@ -36,22 +42,28 @@ type shard struct {
 
 // put is the single-shard Put body; the caller holds s.mu. When owned is
 // true the store takes ownership of data and stores it without the
-// defensive copy.
-func (s *shard) put(fp fphash.Fingerprint, data []byte, owned bool) (duplicate bool) {
-	s.logicalChunks++
-	s.logicalBytes += uint64(len(data))
+// defensive copy. On a backend write error nothing is recorded and the
+// chunk is reported as an upload failure.
+func (s *shard) put(fp fphash.Fingerprint, data []byte, owned bool) (duplicate bool, err error) {
 	if _, ok := s.index[fp]; ok {
-		return true
+		s.logicalChunks++
+		s.logicalBytes += uint64(len(data))
+		return true, nil
 	}
 	buf := data
 	if !owned {
 		buf = make([]byte, len(data))
 		copy(buf, data)
 	}
-	loc := s.containers.Append(container.Entry{FP: fp, Size: uint32(len(data)), Data: buf})
+	loc, err := s.containers.Append(container.Entry{FP: fp, Size: uint32(len(data)), Data: buf})
+	if err != nil {
+		return false, err
+	}
 	s.index[fp] = loc
+	s.logicalChunks++
+	s.logicalBytes += uint64(len(data))
 	s.physicalBytes += uint64(len(data))
-	return false
+	return false, nil
 }
 
 // Store is a deduplicated ciphertext-chunk store: one physical copy per
@@ -59,10 +71,16 @@ func (s *shard) put(fp fphash.Fingerprint, data []byte, owned bool) (duplicate b
 // and the container packer are split into lock-striped shards keyed by
 // fingerprint prefix, so concurrent clients (Figure 2's multi-client
 // architecture) contend only when their chunks collide on a shard.
-// Backups can be registered for retention management and reclaimed with
-// GC (see gc.go). A Store is safe for concurrent use.
+//
+// Sealed containers live in a pluggable container.Backend: in memory by
+// default (NewStore, NewStoreWithShards), or in per-shard append-only
+// files via NewStoreWithBackend / Create / Open, which is what makes a
+// store survive a process restart. Backups can be registered for
+// retention management and reclaimed with GC (see gc.go). A Store is safe
+// for concurrent use.
 type Store struct {
 	shards         []*shard
+	backend        container.Backend
 	containerBytes int
 
 	// Retention state (per-backup chunk references and per-chunk counts),
@@ -79,32 +97,137 @@ func NewStore(containerBytes int) *Store {
 	return NewStoreWithShards(containerBytes, DefaultShards)
 }
 
-// NewStoreWithShards returns an empty store with the given container
-// capacity (container.DefaultBytes if zero) and shard count. Shards must
-// be in [1, 256]; zero selects DefaultShards. With shards == 1 the store
-// degenerates to the original serial engine: a single index and a single
-// container sequence, with chunk placement bit-for-bit identical to it.
+// NewStoreWithShards returns an empty in-memory store with the given
+// container capacity (container.DefaultBytes if zero) and shard count.
+// Shards must be in [1, 256]; zero selects DefaultShards. With shards ==
+// 1 the store degenerates to the original serial engine: a single index
+// and a single container sequence, with chunk placement bit-for-bit
+// identical to it.
 func NewStoreWithShards(containerBytes, shards int) *Store {
-	if containerBytes == 0 {
-		containerBytes = container.DefaultBytes
-	}
 	if shards == 0 {
 		shards = DefaultShards
 	}
 	if shards < 1 || shards > maxShards {
 		panic("dedup: shard count out of range [1, 256]")
 	}
+	s, err := NewStoreWithBackend(containerBytes, container.NewMemBackend(shards))
+	if err != nil {
+		// The memory backend holds no pre-existing state and cannot fail.
+		panic(fmt.Sprintf("dedup: %v", err))
+	}
+	return s
+}
+
+// NewStoreWithBackend returns a store persisting sealed containers
+// through the given backend, with one index shard per backend shard. If
+// containerBytes is zero the backend's recorded capacity is used when it
+// has one (a FileBackend), container.DefaultBytes otherwise.
+//
+// If the backend already holds containers (a reopened store directory),
+// the fingerprint index is rebuilt from their index headers — chunk data
+// is not read — and new chunks pack after the existing containers.
+// Dedup statistics of a reopened store count each pre-existing unique
+// chunk as stored once; cross-restart logical totals are not preserved.
+func NewStoreWithBackend(containerBytes int, backend container.Backend) (*Store, error) {
+	shards := backend.Shards()
+	if shards < 1 || shards > maxShards {
+		return nil, fmt.Errorf("dedup: backend shard count %d out of range [1, 256]", shards)
+	}
+	if containerBytes == 0 {
+		if cb, ok := backend.(interface{ ContainerBytes() int }); ok {
+			containerBytes = cb.ContainerBytes()
+		} else {
+			containerBytes = container.DefaultBytes
+		}
+	}
 	s := &Store{
 		shards:         make([]*shard, shards),
+		backend:        backend,
 		containerBytes: containerBytes,
 	}
 	for i := range s.shards {
-		s.shards[i] = &shard{
-			index:      make(map[fphash.Fingerprint]container.Location),
-			containers: container.New(containerBytes),
+		sh := &shard{
+			index: make(map[fphash.Fingerprint]container.Location),
+		}
+		// The packer's construction scan doubles as the fingerprint-index
+		// rebuild: one metadata pass per shard, no chunk data read.
+		cs, err := container.NewWithBackend(containerBytes, backend, i, func(c *container.Container) error {
+			for idx, e := range c.Entries {
+				sh.index[e.FP] = container.Location{Container: c.ID, Index: idx}
+				sh.physicalBytes += uint64(e.Size)
+				sh.logicalBytes += uint64(e.Size)
+				sh.logicalChunks++
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("dedup: rebuild shard %d index: %w", i, err)
+		}
+		sh.containers = cs
+		s.shards[i] = sh
+	}
+	return s, nil
+}
+
+// Create initializes a new file-backed store directory with the given
+// container capacity (container.DefaultBytes if zero) and shard count
+// (DefaultShards if zero) and returns the empty store. It fails if dir
+// already holds a store.
+func Create(dir string, containerBytes, shards int) (*Store, error) {
+	if containerBytes == 0 {
+		containerBytes = container.DefaultBytes
+	}
+	if shards == 0 {
+		shards = DefaultShards
+	}
+	b, err := container.CreateFileBackend(dir, shards, containerBytes)
+	if err != nil {
+		return nil, err
+	}
+	s, err := NewStoreWithBackend(containerBytes, b)
+	if err != nil {
+		b.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// Open reopens a file-backed store directory created by Create (or by
+// container.CreateFileBackend), rebuilding the fingerprint index from the
+// containers' index headers. Only sealed containers are durable: chunks
+// that were still in open containers when the previous process died are
+// gone (Close seals them on clean shutdown), and a record torn by a
+// mid-append crash is discarded.
+func Open(dir string) (*Store, error) {
+	b, err := container.OpenFileBackend(dir)
+	if err != nil {
+		return nil, err
+	}
+	s, err := NewStoreWithBackend(0, b)
+	if err != nil {
+		b.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// Close seals every shard's open container through the backend and closes
+// the backend. After a clean Close, Open restores every stored chunk.
+// The store must not be used afterwards.
+func (s *Store) Close() error {
+	var first error
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		_, err := sh.containers.Flush()
+		sh.mu.Unlock()
+		if err != nil && first == nil {
+			first = err
 		}
 	}
-	return s
+	if err := s.backend.Close(); err != nil && first == nil {
+		first = err
+	}
+	return first
 }
 
 // ShardCount returns the number of index shards.
@@ -119,7 +242,7 @@ func (s *Store) shardFor(fp fphash.Fingerprint) *shard {
 // chunks. It reports whether the chunk was a duplicate. Only the owning
 // shard is locked, so Puts of chunks on different shards proceed in
 // parallel.
-func (s *Store) Put(fp fphash.Fingerprint, data []byte) (duplicate bool) {
+func (s *Store) Put(fp fphash.Fingerprint, data []byte) (duplicate bool, err error) {
 	sh := s.shardFor(fp)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
@@ -140,8 +263,9 @@ type PutChunk struct {
 // Chunks are grouped by shard so each shard is locked once per batch
 // rather than once per chunk; within a shard, chunks are stored in batch
 // order, so with a single shard the container layout is identical to
-// issuing the Puts sequentially.
-func (s *Store) PutBatch(chunks []PutChunk) []bool {
+// issuing the Puts sequentially. On error, chunks stored before the
+// failing one remain stored (re-uploading them deduplicates).
+func (s *Store) PutBatch(chunks []PutChunk) ([]bool, error) {
 	return s.putBatch(chunks, false)
 }
 
@@ -150,23 +274,26 @@ func (s *Store) PutBatch(chunks []PutChunk) []bool {
 // caller must not read or write any chunk's Data after the call. The
 // backup pipeline uses it for freshly encrypted ciphertexts it never
 // touches again; callers that reuse their buffers must use PutBatch.
-func (s *Store) PutBatchOwned(chunks []PutChunk) []bool {
+func (s *Store) PutBatchOwned(chunks []PutChunk) ([]bool, error) {
 	return s.putBatch(chunks, true)
 }
 
-func (s *Store) putBatch(chunks []PutChunk, owned bool) []bool {
+func (s *Store) putBatch(chunks []PutChunk, owned bool) ([]bool, error) {
 	dups := make([]bool, len(chunks))
 	if len(chunks) == 0 {
-		return dups
+		return dups, nil
 	}
 	if len(s.shards) == 1 {
 		sh := s.shards[0]
 		sh.mu.Lock()
+		defer sh.mu.Unlock()
 		for i, c := range chunks {
-			dups[i] = sh.put(c.FP, c.Data, owned)
+			var err error
+			if dups[i], err = sh.put(c.FP, c.Data, owned); err != nil {
+				return dups, err
+			}
 		}
-		sh.mu.Unlock()
-		return dups
+		return dups, nil
 	}
 	// Group chunk indexes by shard, preserving batch order within each
 	// group to keep per-shard placement deterministic.
@@ -179,27 +306,123 @@ func (s *Store) putBatch(chunks []PutChunk, owned bool) []bool {
 		sh := s.shards[si]
 		sh.mu.Lock()
 		for _, i := range idxs {
-			dups[i] = sh.put(chunks[i].FP, chunks[i].Data, owned)
+			var err error
+			if dups[i], err = sh.put(chunks[i].FP, chunks[i].Data, owned); err != nil {
+				sh.mu.Unlock()
+				return dups, err
+			}
 		}
 		sh.mu.Unlock()
 	}
-	return dups
+	return dups, nil
 }
 
-// Get retrieves a stored ciphertext chunk by fingerprint.
-func (s *Store) Get(fp fphash.Fingerprint) ([]byte, bool) {
+// Get retrieves a stored ciphertext chunk by fingerprint. It returns
+// ErrNotFound for unknown fingerprints; other errors indicate the backend
+// could not produce the chunk (for example container.ErrCorrupt from a
+// damaged store file).
+//
+// The shard lock covers only the index lookup (and the open container,
+// when the chunk is still in it); sealed containers are immutable and
+// read from the backend outside the lock, so a container-sized disk read
+// never blocks the shard's writers. A GC pass can move the chunk between
+// the lookup and the read — the fetched entry's fingerprint is verified,
+// and a stale read retries under the lock, where GC (which holds every
+// shard lock) cannot interleave.
+func (s *Store) Get(fp fphash.Fingerprint) ([]byte, error) {
 	sh := s.shardFor(fp)
+	sh.mu.Lock()
+	loc, ok := sh.index[fp]
+	if !ok {
+		sh.mu.Unlock()
+		return nil, ErrNotFound
+	}
+	if cur := sh.containers.Current(); cur != nil && cur.ID == loc.Container {
+		var data []byte
+		if loc.Index >= 0 && loc.Index < len(cur.Entries) {
+			data = cur.Entries[loc.Index].Data
+		}
+		sh.mu.Unlock()
+		if data == nil {
+			return nil, ErrNotFound
+		}
+		return data, nil
+	}
+	sh.mu.Unlock()
+	return s.getSealed(sh, fp, loc)
+}
+
+// getSealed reads a sealed chunk outside the shard lock, verifying the
+// location is still current, with a locked retry for the GC race.
+func (s *Store) getSealed(sh *shard, fp fphash.Fingerprint, loc container.Location) ([]byte, error) {
+	shardIdx := fp.Shard(len(s.shards))
+	c, err := s.backend.Load(shardIdx, loc.Container)
+	if err == nil && loc.Index >= 0 && loc.Index < len(c.Entries) && c.Entries[loc.Index].FP == fp {
+		return c.Entries[loc.Index].Data, nil
+	}
+	if err != nil && !errors.Is(err, container.ErrNotFound) {
+		return nil, err
+	}
+	// Stale location: a GC pass compacted the shard mid-read. Retake the
+	// lock for an authoritative view.
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	loc, ok := sh.index[fp]
 	if !ok {
-		return nil, false
+		return nil, ErrNotFound
 	}
-	e, ok := sh.containers.Get(loc)
+	e, err := sh.containers.Get(loc)
+	if err != nil {
+		if errors.Is(err, container.ErrNotFound) {
+			return nil, ErrNotFound
+		}
+		return nil, err
+	}
+	return e.Data, nil
+}
+
+// containerRef names one container of one shard: the parallel restore
+// pipeline's read unit and cache key.
+type containerRef struct {
+	shard int
+	id    int
+}
+
+// locate resolves a fingerprint to its container and location. The
+// location is stable until a GC pass moves survivors.
+func (s *Store) locate(fp fphash.Fingerprint) (containerRef, container.Location, bool) {
+	si := fp.Shard(len(s.shards))
+	sh := s.shards[si]
+	sh.mu.Lock()
+	loc, ok := sh.index[fp]
+	sh.mu.Unlock()
 	if !ok {
-		return nil, false
+		return containerRef{}, container.Location{}, false
 	}
-	return e.Data, true
+	return containerRef{shard: si, id: loc.Container}, loc, true
+}
+
+// readContainer fetches one container's entries for the restore pipeline.
+// The open container is snapshotted under the shard lock; sealed
+// containers are immutable and read from the backend outside it (backends
+// are safe for concurrent use), so container reads on different shards —
+// and, for MemBackend, on the same shard — overlap. A concurrent GC can
+// move chunks between a locate and this read; restore verifies each
+// entry's fingerprint and falls back to Get on a mismatch.
+func (s *Store) readContainer(ref containerRef) ([]container.Entry, error) {
+	sh := s.shards[ref.shard]
+	sh.mu.Lock()
+	if cur := sh.containers.Current(); cur != nil && cur.ID == ref.id {
+		entries := append([]container.Entry(nil), cur.Entries...)
+		sh.mu.Unlock()
+		return entries, nil
+	}
+	sh.mu.Unlock()
+	c, err := s.backend.Load(ref.shard, ref.id)
+	if err != nil {
+		return nil, err
+	}
+	return c.Entries, nil
 }
 
 // Stats reports deduplication effectiveness of everything stored so far,

@@ -2,6 +2,7 @@ package dedup
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"math/rand"
 	"reflect"
@@ -52,10 +53,16 @@ func TestPutBatchMatchesSequentialPuts(t *testing.T) {
 			seq := NewStoreWithShards(0, shards)
 			seqDups := make([]bool, len(chunks))
 			for i, c := range chunks {
-				seqDups[i] = seq.Put(c.FP, c.Data)
+				var err error
+				if seqDups[i], err = seq.Put(c.FP, c.Data); err != nil {
+					t.Fatal(err)
+				}
 			}
 			bat := NewStoreWithShards(0, shards)
-			batDups := bat.PutBatch(chunks)
+			batDups, err := bat.PutBatch(chunks)
+			if err != nil {
+				t.Fatal(err)
+			}
 
 			if !reflect.DeepEqual(seqDups, batDups) {
 				t.Fatal("PutBatch duplicate flags differ from sequential Puts")
@@ -64,9 +71,9 @@ func TestPutBatchMatchesSequentialPuts(t *testing.T) {
 				t.Fatalf("stats differ: %+v vs %+v", seq.Stats(), bat.Stats())
 			}
 			for _, c := range chunks {
-				got, ok := bat.Get(c.FP)
-				if !ok || !bytes.Equal(got, c.Data) {
-					t.Fatalf("Get(%v) after PutBatch wrong", c.FP)
+				got, err := bat.Get(c.FP)
+				if err != nil || !bytes.Equal(got, c.Data) {
+					t.Fatalf("Get(%v) after PutBatch wrong (%v)", c.FP, err)
 				}
 			}
 		})
@@ -75,8 +82,8 @@ func TestPutBatchMatchesSequentialPuts(t *testing.T) {
 
 func TestPutBatchEmpty(t *testing.T) {
 	s := NewStore(0)
-	if dups := s.PutBatch(nil); len(dups) != 0 {
-		t.Fatalf("PutBatch(nil) = %v", dups)
+	if dups, err := s.PutBatch(nil); len(dups) != 0 || err != nil {
+		t.Fatalf("PutBatch(nil) = %v, %v", dups, err)
 	}
 }
 
@@ -84,7 +91,9 @@ func TestStatsIdenticalAcrossShardCounts(t *testing.T) {
 	load := func(s *Store) {
 		for i := 0; i < 500; i++ {
 			data := randData(int64(i%200), 128) // 200 unique, 500 logical
-			s.Put(fphash.FromBytes(data), data)
+			if _, err := s.Put(fphash.FromBytes(data), data); err != nil {
+				t.Fatal(err)
+			}
 		}
 	}
 	want := trace.DedupStats{}
@@ -128,18 +137,24 @@ func TestConcurrentPutGetPutBatch(t *testing.T) {
 		go func(g int) {
 			defer wg.Done()
 			// Batched upload of the shared pool.
-			store.PutBatch(shared)
+			if _, err := store.PutBatch(shared); err != nil {
+				errs <- err
+				return
+			}
 			for i := 0; i < perG; i++ {
 				data := randData(int64(g*perG+i), 256)
 				fp := fphash.FromBytes(data)
-				store.Put(fp, data)
-				got, ok := store.Get(fp)
-				if !ok || !bytes.Equal(got, data) {
-					errs <- fmt.Errorf("goroutine %d: Get after Put failed", g)
+				if _, err := store.Put(fp, data); err != nil {
+					errs <- err
 					return
 				}
-				if _, ok := store.Get(shared[i%len(shared)].FP); !ok {
-					errs <- fmt.Errorf("goroutine %d: shared chunk missing", g)
+				got, err := store.Get(fp)
+				if err != nil || !bytes.Equal(got, data) {
+					errs <- fmt.Errorf("goroutine %d: Get after Put failed (%v)", g, err)
+					return
+				}
+				if _, err := store.Get(shared[i%len(shared)].FP); err != nil {
+					errs <- fmt.Errorf("goroutine %d: shared chunk missing (%v)", g, err)
 					return
 				}
 				_ = store.Stats() // aggregate while writers run
@@ -195,7 +210,11 @@ func (s *refStore) put(fp fphash.Fingerprint, data []byte) {
 	}
 	buf := make([]byte, len(data))
 	copy(buf, data)
-	s.index[fp] = s.containers.Append(container.Entry{FP: fp, Size: uint32(len(data)), Data: buf})
+	loc, err := s.containers.Append(container.Entry{FP: fp, Size: uint32(len(data)), Data: buf})
+	if err != nil {
+		panic(err) // memory backend never fails
+	}
+	s.index[fp] = loc
 }
 
 // refBackup replicates the original serial Client.Backup loop: chunk,
@@ -265,8 +284,9 @@ func sameLayout(t *testing.T, got, want *container.Store) {
 		t.Fatalf("container count %d, want %d", got.Count(), want.Count())
 	}
 	for id := 0; ; id++ {
-		gc, gok := got.Container(id)
-		wc, wok := want.Container(id)
+		gc, gerr := got.Container(id)
+		wc, werr := want.Container(id)
+		gok, wok := gerr == nil, werr == nil
 		if gok != wok {
 			t.Fatalf("container %d: exists %v, want %v", id, gok, wok)
 		}
@@ -494,7 +514,10 @@ func TestGCShardedStore(t *testing.T) {
 		t.Fatal(err)
 	}
 	before := store.Stats().PhysicalBytes
-	st := store.GC()
+	st, err := store.GC()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if st.ChunksReclaimed == 0 {
 		t.Fatal("GC reclaimed nothing")
 	}
@@ -510,7 +533,7 @@ func TestGCShardedStore(t *testing.T) {
 	}
 	missing := make(map[fphash.Fingerprint]struct{})
 	for _, e := range r1.Entries {
-		if _, ok := store.Get(e.Fingerprint); !ok {
+		if _, err := store.Get(e.Fingerprint); errors.Is(err, ErrNotFound) {
 			missing[e.Fingerprint] = struct{}{}
 		}
 	}

@@ -1,55 +1,57 @@
-// Package lru provides a least-recently-used cache keyed by chunk
-// fingerprints, used as the in-memory fingerprint cache of the DDFS-like
-// prototype (Section 7.4, steps S1 and S4): when the cache is full, the
-// least-recently-used entries are evicted.
+// Package lru provides a least-recently-used cache with a generic
+// comparable key. It serves two roles in the reproduction: keyed by chunk
+// fingerprints it is the in-memory fingerprint cache of the DDFS-like
+// prototype (Section 7.4, steps S1 and S4), and keyed by container IDs it
+// is the container read cache of the parallel restore pipeline — both
+// evict the least-recently-used entries when full.
 //
-// The cache tracks an abstract byte cost per entry so it can be bounded by
+// The cache tracks an abstract cost per entry so it can be bounded by
 // total metadata bytes (the paper bounds the fingerprint cache at 512 MB or
-// 4 GB of 32-byte metadata entries) rather than by entry count.
+// 4 GB of 32-byte metadata entries) or, with unit costs, by entry count
+// (the restore pipeline bounds its cache in containers).
 package lru
 
 import (
 	"container/list"
-
-	"freqdedup/internal/fphash"
 )
 
-// Cache is a byte-bounded LRU cache. The zero value is not usable;
-// construct with New.
-type Cache[V any] struct {
-	capacity  uint64 // max total bytes; 0 means unbounded
+// Cache is a cost-bounded LRU cache. The zero value is not usable;
+// construct with New. A Cache is not safe for concurrent use; callers
+// that share one across goroutines own its locking.
+type Cache[K comparable, V any] struct {
+	capacity  uint64 // max total cost; 0 means unbounded
 	used      uint64
 	ll        *list.List
-	items     map[fphash.Fingerprint]*list.Element
-	onEvict   func(fphash.Fingerprint, V)
+	items     map[K]*list.Element
+	onEvict   func(K, V)
 	hits      uint64
 	misses    uint64
 	evictions uint64
 }
 
-type entry[V any] struct {
-	key  fphash.Fingerprint
+type entry[K comparable, V any] struct {
+	key  K
 	val  V
 	cost uint64
 }
 
-// New creates a cache bounded at capacity bytes. capacity == 0 means
+// New creates a cache bounded at capacity total cost. capacity == 0 means
 // unbounded. onEvict, if non-nil, is called for each evicted entry.
-func New[V any](capacity uint64, onEvict func(fphash.Fingerprint, V)) *Cache[V] {
-	return &Cache[V]{
+func New[K comparable, V any](capacity uint64, onEvict func(K, V)) *Cache[K, V] {
+	return &Cache[K, V]{
 		capacity: capacity,
 		ll:       list.New(),
-		items:    make(map[fphash.Fingerprint]*list.Element),
+		items:    make(map[K]*list.Element),
 		onEvict:  onEvict,
 	}
 }
 
-// Get looks up a fingerprint, marking it most recently used on a hit.
-func (c *Cache[V]) Get(key fphash.Fingerprint) (V, bool) {
+// Get looks up a key, marking it most recently used on a hit.
+func (c *Cache[K, V]) Get(key K) (V, bool) {
 	if el, ok := c.items[key]; ok {
 		c.ll.MoveToFront(el)
 		c.hits++
-		return el.Value.(*entry[V]).val, true
+		return el.Value.(*entry[K, V]).val, true
 	}
 	c.misses++
 	var zero V
@@ -58,17 +60,17 @@ func (c *Cache[V]) Get(key fphash.Fingerprint) (V, bool) {
 
 // Contains reports whether the key is cached without updating recency or
 // hit statistics.
-func (c *Cache[V]) Contains(key fphash.Fingerprint) bool {
+func (c *Cache[K, V]) Contains(key K) bool {
 	_, ok := c.items[key]
 	return ok
 }
 
-// Put inserts or updates an entry with the given byte cost and evicts
+// Put inserts or updates an entry with the given cost and evicts
 // least-recently-used entries until the cache fits its capacity. A single
 // entry larger than the whole capacity is not admitted.
-func (c *Cache[V]) Put(key fphash.Fingerprint, val V, cost uint64) {
+func (c *Cache[K, V]) Put(key K, val V, cost uint64) {
 	if el, ok := c.items[key]; ok {
-		e := el.Value.(*entry[V])
+		e := el.Value.(*entry[K, V])
 		c.used -= e.cost
 		e.val, e.cost = val, cost
 		c.used += cost
@@ -79,13 +81,13 @@ func (c *Cache[V]) Put(key fphash.Fingerprint, val V, cost uint64) {
 	if c.capacity != 0 && cost > c.capacity {
 		return
 	}
-	el := c.ll.PushFront(&entry[V]{key: key, val: val, cost: cost})
+	el := c.ll.PushFront(&entry[K, V]{key: key, val: val, cost: cost})
 	c.items[key] = el
 	c.used += cost
 	c.evict()
 }
 
-func (c *Cache[V]) evict() {
+func (c *Cache[K, V]) evict() {
 	if c.capacity == 0 {
 		return
 	}
@@ -94,7 +96,7 @@ func (c *Cache[V]) evict() {
 		if el == nil {
 			return
 		}
-		e := el.Value.(*entry[V])
+		e := el.Value.(*entry[K, V])
 		c.ll.Remove(el)
 		delete(c.items, e.key)
 		c.used -= e.cost
@@ -106,12 +108,12 @@ func (c *Cache[V]) evict() {
 }
 
 // Remove deletes a key if present, returning whether it was cached.
-func (c *Cache[V]) Remove(key fphash.Fingerprint) bool {
+func (c *Cache[K, V]) Remove(key K) bool {
 	el, ok := c.items[key]
 	if !ok {
 		return false
 	}
-	e := el.Value.(*entry[V])
+	e := el.Value.(*entry[K, V])
 	c.ll.Remove(el)
 	delete(c.items, key)
 	c.used -= e.cost
@@ -119,22 +121,22 @@ func (c *Cache[V]) Remove(key fphash.Fingerprint) bool {
 }
 
 // Len returns the number of cached entries.
-func (c *Cache[V]) Len() int { return len(c.items) }
+func (c *Cache[K, V]) Len() int { return len(c.items) }
 
-// Used returns the total byte cost of cached entries.
-func (c *Cache[V]) Used() uint64 { return c.used }
+// Used returns the total cost of cached entries.
+func (c *Cache[K, V]) Used() uint64 { return c.used }
 
-// Capacity returns the configured byte capacity (0 = unbounded).
-func (c *Cache[V]) Capacity() uint64 { return c.capacity }
+// Capacity returns the configured cost capacity (0 = unbounded).
+func (c *Cache[K, V]) Capacity() uint64 { return c.capacity }
 
 // Stats returns cumulative hit, miss, and eviction counts.
-func (c *Cache[V]) Stats() (hits, misses, evictions uint64) {
+func (c *Cache[K, V]) Stats() (hits, misses, evictions uint64) {
 	return c.hits, c.misses, c.evictions
 }
 
 // Clear empties the cache without invoking eviction callbacks.
-func (c *Cache[V]) Clear() {
+func (c *Cache[K, V]) Clear() {
 	c.ll.Init()
-	c.items = make(map[fphash.Fingerprint]*list.Element)
+	c.items = make(map[K]*list.Element)
 	c.used = 0
 }

@@ -9,7 +9,7 @@ import (
 func fp(v uint64) fphash.Fingerprint { return fphash.FromUint64(v) }
 
 func TestPutGet(t *testing.T) {
-	c := New[string](0, nil)
+	c := New[fphash.Fingerprint, string](0, nil)
 	c.Put(fp(1), "one", 8)
 	got, ok := c.Get(fp(1))
 	if !ok || got != "one" {
@@ -22,7 +22,7 @@ func TestPutGet(t *testing.T) {
 
 func TestEvictionOrder(t *testing.T) {
 	var evicted []uint64
-	c := New[int](3*8, func(k fphash.Fingerprint, _ int) {
+	c := New[fphash.Fingerprint, int](3*8, func(k fphash.Fingerprint, _ int) {
 		evicted = append(evicted, k.Uint64())
 	})
 	c.Put(fp(1), 1, 8)
@@ -40,7 +40,7 @@ func TestEvictionOrder(t *testing.T) {
 }
 
 func TestByteBoundedEviction(t *testing.T) {
-	c := New[int](100, nil)
+	c := New[fphash.Fingerprint, int](100, nil)
 	c.Put(fp(1), 1, 60)
 	c.Put(fp(2), 2, 60) // exceeds 100 -> evict 1
 	if c.Contains(fp(1)) {
@@ -52,7 +52,7 @@ func TestByteBoundedEviction(t *testing.T) {
 }
 
 func TestOversizedEntryRejected(t *testing.T) {
-	c := New[int](50, nil)
+	c := New[fphash.Fingerprint, int](50, nil)
 	c.Put(fp(1), 1, 100)
 	if c.Len() != 0 || c.Used() != 0 {
 		t.Fatalf("oversized entry was admitted: len=%d used=%d", c.Len(), c.Used())
@@ -60,7 +60,7 @@ func TestOversizedEntryRejected(t *testing.T) {
 }
 
 func TestUpdateExistingAdjustsCost(t *testing.T) {
-	c := New[int](100, nil)
+	c := New[fphash.Fingerprint, int](100, nil)
 	c.Put(fp(1), 1, 10)
 	c.Put(fp(1), 2, 30)
 	if c.Used() != 30 {
@@ -75,7 +75,7 @@ func TestUpdateExistingAdjustsCost(t *testing.T) {
 }
 
 func TestUpdateMovesToFront(t *testing.T) {
-	c := New[int](2*8, nil)
+	c := New[fphash.Fingerprint, int](2*8, nil)
 	c.Put(fp(1), 1, 8)
 	c.Put(fp(2), 2, 8)
 	c.Put(fp(1), 10, 8) // refresh 1; 2 becomes LRU
@@ -89,7 +89,7 @@ func TestUpdateMovesToFront(t *testing.T) {
 }
 
 func TestRemove(t *testing.T) {
-	c := New[int](0, nil)
+	c := New[fphash.Fingerprint, int](0, nil)
 	c.Put(fp(1), 1, 8)
 	if !c.Remove(fp(1)) {
 		t.Fatal("Remove returned false for present key")
@@ -103,7 +103,7 @@ func TestRemove(t *testing.T) {
 }
 
 func TestStats(t *testing.T) {
-	c := New[int](0, nil)
+	c := New[fphash.Fingerprint, int](0, nil)
 	c.Put(fp(1), 1, 8)
 	c.Get(fp(1))
 	c.Get(fp(2))
@@ -114,7 +114,7 @@ func TestStats(t *testing.T) {
 }
 
 func TestContainsDoesNotAffectRecency(t *testing.T) {
-	c := New[int](2*8, nil)
+	c := New[fphash.Fingerprint, int](2*8, nil)
 	c.Put(fp(1), 1, 8)
 	c.Put(fp(2), 2, 8)
 	c.Contains(fp(1)) // must NOT refresh 1
@@ -126,7 +126,7 @@ func TestContainsDoesNotAffectRecency(t *testing.T) {
 
 func TestClear(t *testing.T) {
 	evictions := 0
-	c := New[int](0, func(fphash.Fingerprint, int) { evictions++ })
+	c := New[fphash.Fingerprint, int](0, func(fphash.Fingerprint, int) { evictions++ })
 	c.Put(fp(1), 1, 8)
 	c.Put(fp(2), 2, 8)
 	c.Clear()
@@ -139,7 +139,7 @@ func TestClear(t *testing.T) {
 }
 
 func TestUnboundedNeverEvicts(t *testing.T) {
-	c := New[int](0, nil)
+	c := New[fphash.Fingerprint, int](0, nil)
 	for i := uint64(0); i < 10000; i++ {
 		c.Put(fp(i), int(i), 1<<20)
 	}
@@ -152,8 +152,28 @@ func TestUnboundedNeverEvicts(t *testing.T) {
 	}
 }
 
+// TestNonFingerprintKey exercises the generic key parameter with the
+// restore pipeline's key shape: a (shard, container) pair with unit costs,
+// bounding the cache by entry count.
+func TestNonFingerprintKey(t *testing.T) {
+	type containerKey struct{ shard, id int }
+	c := New[containerKey, []byte](2, nil)
+	c.Put(containerKey{0, 1}, []byte("a"), 1)
+	c.Put(containerKey{1, 1}, []byte("b"), 1)
+	c.Put(containerKey{0, 2}, []byte("c"), 1) // evicts {0,1}
+	if c.Contains(containerKey{0, 1}) {
+		t.Fatal("LRU entry survived a unit-cost eviction")
+	}
+	if v, ok := c.Get(containerKey{1, 1}); !ok || string(v) != "b" {
+		t.Fatalf("Get({1,1}) = %q,%v, want b,true", v, ok)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", c.Len())
+	}
+}
+
 func BenchmarkPutGet(b *testing.B) {
-	c := New[int](1<<20, nil)
+	c := New[fphash.Fingerprint, int](1<<20, nil)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		k := fp(uint64(i % 100000))

@@ -126,6 +126,19 @@ func DecryptDeterministic(k Key, ciphertext []byte) []byte {
 	return EncryptDeterministic(k, ciphertext)
 }
 
+// DecryptDeterministicInto decrypts ciphertext into dst, which must be at
+// least len(ciphertext) bytes; the plaintext occupies the first
+// len(ciphertext) bytes of dst. It exists so the restore pipeline can
+// decrypt into pooled buffers without a per-chunk allocation.
+func DecryptDeterministicInto(k Key, ciphertext, dst []byte) {
+	block, err := aes.NewCipher(k[:])
+	if err != nil {
+		panic(fmt.Sprintf("mle: aes: %v", err))
+	}
+	iv := ivFor(k)
+	cipher.NewCTR(block, iv[:]).XORKeyStream(dst, ciphertext)
+}
+
 // Convergent is the classical MLE scheme: per-chunk key = hash of content.
 type Convergent struct{}
 

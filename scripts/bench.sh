@@ -1,8 +1,9 @@
 #!/bin/sh
 # Benchmark baseline runner: runs the throughput-critical benchmark suite
-# (backup pipeline, sharded store, chunker, Rabin primitives, attack
-# micro-benchmarks) with -benchmem and writes the results as a dated JSON
-# baseline (BENCH_<date>.json) for regression tracking across PRs.
+# (backup pipeline, restore pipeline with its container-cache sweep,
+# sharded store, chunker, Rabin primitives, attack micro-benchmarks) with
+# -benchmem and writes the results as a dated JSON baseline
+# (BENCH_<date>.json) for regression tracking across PRs.
 #
 #   scripts/bench.sh              # 1s per benchmark (default)
 #   BENCHTIME=5x scripts/bench.sh # fixed iteration count
@@ -15,7 +16,7 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-PATTERN='BenchmarkBackup|BenchmarkStoreShards|BenchmarkChunker|BenchmarkRabin|BenchmarkContentDefined|BenchmarkFixed|BenchmarkBasicAttackFSL|BenchmarkLocalityAttackFSL|BenchmarkAdvancedAttackFSL'
+PATTERN='BenchmarkBackup|BenchmarkRestoreSerial|BenchmarkRestoreParallel|BenchmarkStoreShards|BenchmarkChunker|BenchmarkRabin|BenchmarkContentDefined|BenchmarkFixed|BenchmarkBasicAttackFSL|BenchmarkLocalityAttackFSL|BenchmarkAdvancedAttackFSL'
 PKGS='. ./internal/chunker ./internal/rabin'
 
 if [ "${1:-}" = "--smoke" ]; then

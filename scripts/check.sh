@@ -1,28 +1,40 @@
 #!/bin/sh
-# Full development gate: formatting, vet, build, race tests. Equivalent to
-# `make check` for environments without make.
-set -eu
+# Full development gate: formatting, vet, build, race tests, bench smoke.
+# Equivalent to `make check` for environments without make, and the exact
+# command CI runs (.github/workflows/ci.yml).
+#
+# Each stage fails fast with a distinct exit message, so a red CI run
+# names its stage in the last line. GOFLAGS is honored untouched: export
+# e.g. GOFLAGS=-count=1 to defeat test caching. Set CHECK_SKIP_BENCH=1 to
+# skip the bench smoke stage (CI runs it as a separate non-blocking job).
+set -u
 
 cd "$(dirname "$0")/.."
 
-echo "== gofmt"
-out="$(gofmt -l .)"
-if [ -n "$out" ]; then
-	echo "gofmt needed on:"
-	echo "$out"
+fail() {
+	echo "check: FAILED at stage: $1" >&2
 	exit 1
+}
+
+echo "== gofmt"
+diff="$(gofmt -d .)" || fail "gofmt (command failed)"
+if [ -n "$diff" ]; then
+	echo "$diff"
+	fail "gofmt (apply the diff above with: gofmt -w .)"
 fi
 
 echo "== go vet"
-go vet ./...
+go vet ./... || fail "go vet"
 
 echo "== go build"
-go build ./...
+go build ./... || fail "go build"
 
 echo "== go test -race"
-go test -race ./...
+go test -race ./... || fail "go test -race"
 
-echo "== bench smoke (-benchtime=1x)"
-scripts/bench.sh --smoke
+if [ "${CHECK_SKIP_BENCH:-0}" != "1" ]; then
+	echo "== bench smoke (-benchtime=1x)"
+	scripts/bench.sh --smoke || fail "bench smoke"
+fi
 
 echo "check: OK"
