@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race bench bench-smoke
+.PHONY: check fmt vet staticcheck build test race bench bench-smoke
 
-check: fmt vet build race bench-smoke
+check: fmt vet staticcheck build race bench-smoke
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -15,6 +15,15 @@ fmt:
 
 vet:
 	$(GO) vet ./...
+
+# Static analysis; degrades to a notice on machines without the binary
+# (go install honnef.co/go/tools/cmd/staticcheck@latest).
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping"; \
+	fi
 
 build:
 	$(GO) build ./...

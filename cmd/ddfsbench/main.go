@@ -10,30 +10,35 @@
 // effect of -shards and -workers is visible on real hardware. -chunker
 // isolates the streaming ingest stage (content-defined chunking with
 // pooled buffers and deferred fingerprinting), the serial stage that
-// bounds backup throughput. -restore drives the persistence round trip
-// end to end: backup into a file-backed store under -dir, seal and close
-// it, reopen it with dedup.Open, and restore through the parallel
-// container pipeline, verifying the bytes and reporting restore MB/s.
+// bounds backup throughput. -restore drives the repository round trip
+// end to end: CreateRepository under -dir, Backup (sealed recipe into the
+// crash-safe snapshot catalog), close, OpenRepository (catalog replayed,
+// refcounts restored), Verify, and a parallel-pipeline Restore with
+// SHA-256 verification. Ctrl-C cancels the in-flight stage cleanly
+// through the context plumbing.
 //
 //	ddfsbench            # both cache regimes
 //	ddfsbench -cache 0.25
 //	ddfsbench -pipeline -mb 64 -shards 16 -workers 0
 //	ddfsbench -chunker -mb 256
 //	ddfsbench -restore -mb 64 -workers 0 -cachecontainers 64
-//	ddfsbench -restore -dir /tmp/ddfs-store   # keep the store around
+//	ddfsbench -restore -dir /tmp/ddfs-store   # keep the repository around
 package main
 
 import (
 	"bytes"
+	"context"
 	"crypto/sha256"
 	"flag"
 	"fmt"
 	"io"
 	"math/rand"
 	"os"
+	"os/signal"
 	"runtime"
 	"time"
 
+	"freqdedup"
 	"freqdedup/internal/chunker"
 	"freqdedup/internal/dedup"
 	"freqdedup/internal/eval"
@@ -182,10 +187,12 @@ func (w *countingHashWriter) Write(p []byte) (int, error) {
 	return w.h.Write(p)
 }
 
-// runRestore drives the full persistence loop: back a pseudo-random
-// stream up into a file-backed store, seal it with Close, reopen the
-// directory with dedup.Open, restore through the parallel container
-// pipeline, and verify the restored bytes hash-identical to the input.
+// runRestore drives the full repository loop: back a pseudo-random
+// stream up through Repository.Backup (snapshot sealed into the durable
+// catalog), close, OpenRepository (catalog replayed, reference counts
+// restored), Verify the store, and Restore through the parallel container
+// pipeline, checking the restored bytes hash-identical to the input.
+// Ctrl-C cancels whichever stage is in flight via its context.
 func runRestore(streamMB, shards, workers, cacheContainers int, dir string) error {
 	if streamMB <= 0 {
 		return fmt.Errorf("stream size must be positive")
@@ -204,6 +211,8 @@ func runRestore(streamMB, shards, workers, cacheContainers int, dir string) erro
 		defer os.RemoveAll(tmp)
 		dir = tmp
 	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	data := make([]byte, streamMB<<20)
 	rng := rand.New(rand.NewSource(1))
@@ -213,48 +222,52 @@ func runRestore(streamMB, shards, workers, cacheContainers int, dir string) erro
 	wantSum := sha256.Sum256(data)
 	mb := float64(len(data)) / (1 << 20)
 
-	store, err := dedup.Create(dir, 0, shards)
-	if err != nil {
-		return err
-	}
-	client, err := dedup.NewClient(store, dedup.Config{Workers: workers})
+	repo, err := freqdedup.CreateRepository(dir,
+		freqdedup.WithShards(shards),
+		freqdedup.WithWorkers(workers),
+		freqdedup.WithRestoreCache(cacheContainers),
+	)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("restore: %d MiB via %s, %d shard(s), %d worker(s), cache %d container(s), GOMAXPROCS=%d\n",
-		streamMB, dir, store.ShardCount(), workers, cacheContainers, runtime.GOMAXPROCS(0))
+		streamMB, dir, shards, workers, cacheContainers, runtime.GOMAXPROCS(0))
 
 	start := time.Now()
-	recipe, err := client.Backup(bytes.NewReader(data))
+	snap, err := repo.Backup(ctx, "bench", bytes.NewReader(data))
 	if err != nil {
 		return err
 	}
-	if err := store.Close(); err != nil {
+	if err := repo.Close(); err != nil {
 		return err
 	}
 	backupTime := time.Since(start)
-	fmt.Printf("backup+seal: %v (%.1f MB/s to disk)\n", backupTime.Round(time.Millisecond),
-		mb/backupTime.Seconds())
+	fmt.Printf("backup+seal: %v (%.1f MB/s to disk, %d chunks, snapshot durable in catalog)\n",
+		backupTime.Round(time.Millisecond), mb/backupTime.Seconds(), snap.Chunks)
 
 	start = time.Now()
-	reopened, err := dedup.Open(dir)
+	reopened, err := freqdedup.OpenRepository(dir,
+		freqdedup.WithWorkers(workers),
+		freqdedup.WithRestoreCache(cacheContainers),
+	)
 	if err != nil {
 		return err
 	}
 	defer reopened.Close()
-	fmt.Printf("reopen: %v (%d unique chunks, %d containers reindexed)\n",
-		time.Since(start).Round(time.Millisecond), reopened.UniqueChunks(), reopened.ContainerCount())
+	st := reopened.Stats()
+	fmt.Printf("reopen: %v (%d snapshot(s), %d unique chunks reindexed)\n",
+		time.Since(start).Round(time.Millisecond), len(reopened.Snapshots()), st.UniqueChunks)
 
-	rc, err := dedup.NewClient(reopened, dedup.Config{
-		Workers:                workers,
-		RestoreCacheContainers: cacheContainers,
-	})
-	if err != nil {
+	start = time.Now()
+	if err := reopened.Verify(ctx); err != nil {
 		return err
 	}
+	fmt.Printf("verify: %v (every chunk checksummed and fingerprint-checked)\n",
+		time.Since(start).Round(time.Millisecond))
+
 	out := &countingHashWriter{h: sha256.New()}
 	start = time.Now()
-	if err := rc.Restore(recipe, out); err != nil {
+	if err := reopened.Restore(ctx, "bench", out); err != nil {
 		return err
 	}
 	restoreTime := time.Since(start)

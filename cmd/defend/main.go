@@ -1,17 +1,24 @@
 // Command defend evaluates the paper's defenses (Section 7): MinHash
-// encryption and scrambling.
+// encryption and scrambling, and inspects live repositories built with
+// the freqdedup.Repository API.
 //
 //	defend -fig 10          # defense effectiveness vs leakage rate
 //	defend -fig 11          # storage saving MLE vs combined
 //	defend -fig all
 //	defend -trace fsl.trace -scheme combined   # savings on a trace file
+//	defend -repo /path/to/repository           # snapshots, savings, verify
+//	defend -repo /path/to/repository -key "hunter2..."
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"time"
 
+	"freqdedup"
 	"freqdedup/internal/defense"
 	"freqdedup/internal/eval"
 	"freqdedup/internal/trace"
@@ -21,9 +28,13 @@ func main() {
 	figFlag := flag.String("fig", "", "reproduce figures: 10, 11, ablations, or all")
 	tracePath := flag.String("trace", "", "trace file to evaluate (single-run mode)")
 	schemeName := flag.String("scheme", "combined", "scheme: mle, minhash, or combined")
+	repoPath := flag.String("repo", "", "repository directory to inspect (snapshot list, savings, verify)")
+	repoKey := flag.String("key", "", "repository key for -repo (raw bytes, zero-padded; empty = zero key)")
 	flag.Parse()
 
 	switch {
+	case *repoPath != "":
+		runRepo(*repoPath, *repoKey)
 	case *figFlag != "":
 		runFigures(*figFlag)
 	case *tracePath != "":
@@ -32,6 +43,39 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+// runRepo opens a repository read-only-in-spirit (nothing is mutated) and
+// reports what retention and dedup have achieved: the sorted snapshot
+// list with sizes and chunk counts, the storage saving, and a full
+// Verify. Ctrl-C cancels a long verify through its context.
+func runRepo(path, keyStr string) {
+	var key freqdedup.Key
+	copy(key[:], keyStr)
+	repo, err := freqdedup.OpenRepository(path, freqdedup.WithRepositoryKey(key))
+	if err != nil {
+		fatal(err)
+	}
+	defer repo.Close()
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	snaps := repo.Snapshots()
+	fmt.Printf("repository %s: %d snapshot(s)\n", path, len(snaps))
+	for _, s := range snaps {
+		fmt.Printf("  %-24s %10.2f MB %8d chunks  %s\n",
+			s.Name, float64(s.LogicalBytes)/(1<<20), s.Chunks,
+			s.CreatedAt.Format(time.RFC3339))
+	}
+	st := repo.Stats()
+	fmt.Printf("dedup: %d logical chunks, %d unique, %.2f MB physical (saving %.1f%%)\n",
+		st.LogicalChunks, st.UniqueChunks, float64(st.PhysicalBytes)/(1<<20), st.Saving()*100)
+	start := time.Now()
+	if err := repo.Verify(ctx); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("verify: OK in %v (checksums, fingerprints, and every snapshot's references)\n",
+		time.Since(start).Round(time.Millisecond))
 }
 
 func runFigures(which string) {

@@ -1,10 +1,12 @@
 // Keymanager example: server-aided MLE over a real TCP connection — a
 // DupLESS-style key manager with rate limiting, an authenticated client,
-// and duplicate-preserving encryption through the network (Section 2.2).
+// duplicate-preserving encryption through the network (Section 2.2), and
+// a Repository whose chunk keys come from the key manager.
 package main
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"log"
@@ -54,6 +56,52 @@ func main() {
 	fmt.Printf("identical chunks -> identical ciphertexts: %v (dedup works)\n",
 		bytes.Equal(ct1, ct2))
 	_ = key
+
+	// The full system view: a Repository whose per-chunk keys are derived
+	// by a key manager (EncServerAided), so no client can derive keys —
+	// or mount an offline brute-force attack — without talking to it.
+	// Backups derive one key per chunk, so this one runs against an
+	// unthrottled key manager; the throttled one above stays dedicated to
+	// the rate-limit demonstration.
+	bulkServer, err := freqdedup.NewKeyServer(freqdedup.KeyServerConfig{
+		Secret: []byte("system-wide secret held only by the key manager"),
+		Token:  token,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	bulkLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go bulkServer.Serve(bulkLn) //nolint:errcheck // stops on Close
+	defer bulkServer.Close()
+	bulkClient, err := freqdedup.DialKeyManager(bulkLn.Addr().String(), token)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer bulkClient.Close()
+
+	repo, err := freqdedup.CreateRepository("", // in-memory for the demo
+		freqdedup.WithEncryption(freqdedup.EncServerAided),
+		freqdedup.WithKeyDeriver(bulkClient),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer repo.Close()
+	ctx := context.Background()
+	data := bytes.Repeat([]byte("server-aided deduplicated backup data. "), 8192)
+	snap, err := repo.Backup(ctx, "snap-1", bytes.NewReader(data))
+	if err != nil {
+		log.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := repo.Restore(ctx, "snap-1", &out); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("repository round trip via key manager: %v (%d chunks, keys derived remotely)\n",
+		bytes.Equal(out.Bytes(), data), snap.Chunks)
 
 	// Burn through the rate limit to demonstrate the brute-force defense.
 	var limited int

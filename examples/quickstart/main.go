@@ -1,33 +1,39 @@
-// Quickstart: the full byte-level encrypted-deduplication pipeline of
-// Figure 2 — chunk a file with content-defined chunking, encrypt each
-// chunk with convergent encryption, deduplicate into a shared store,
-// restore, and verify.
+// Quickstart: the full byte-level encrypted-deduplication system of
+// Figure 2 through its front door — create a repository, back up two
+// versions of the same data (most chunks deduplicate), survive a process
+// "restart", expire a snapshot, garbage-collect, and restore bit-for-bit.
 package main
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
+	"os"
 
 	"freqdedup"
 )
 
 func main() {
-	// A shared deduplicated store, as the cloud side would run: the
-	// fingerprint index is lock-striped into shards so many clients can
-	// upload concurrently (freqdedup.NewStoreWithShards picks the count
-	// explicitly; 1 shard reproduces the serial engine exactly).
-	store := freqdedup.NewStore(0)
-
-	// The client's encrypt+fingerprint stage fans out to GOMAXPROCS
-	// workers by default (ClientConfig.Workers); recipes and stored
-	// chunks are identical at every worker count.
-	client, err := freqdedup.NewClient(store, freqdedup.ClientConfig{})
+	dir, err := os.MkdirTemp("", "freqdedup-quickstart-*")
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("store: %d shards\n", store.ShardCount())
+	defer os.RemoveAll(dir)
+	ctx := context.Background()
+
+	// Recipes are sealed under the user's own key before they touch disk
+	// (Section 3.3: metadata is conventionally encrypted). The same key
+	// reopens the repository.
+	var userKey freqdedup.Key
+	copy(userKey[:], "the user's own secret key......")
+
+	repo, err := freqdedup.CreateRepository(dir, freqdedup.WithRepositoryKey(userKey))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("repository created at %s\n", dir)
 
 	// First backup: 4 MB of pseudo-random "primary data".
 	v1 := make([]byte, 4<<20)
@@ -35,75 +41,63 @@ func main() {
 	for i := range v1 {
 		v1[i] = byte(rng.Intn(256))
 	}
-	recipe1, err := client.Backup(bytes.NewReader(v1))
+	s1, err := repo.Backup(ctx, "monday", bytes.NewReader(v1))
 	if err != nil {
 		log.Fatal(err)
 	}
-	st := store.Stats()
-	fmt.Printf("backup 1: %d chunks, %d stored physically (%.1f MB)\n",
-		st.LogicalChunks, st.UniqueChunks, float64(st.PhysicalBytes)/(1<<20))
+	fmt.Printf("backup %q: %d chunks, %.1f MB logical\n",
+		s1.Name, s1.Chunks, float64(s1.LogicalBytes)/(1<<20))
 
 	// Second backup: the same data with a small edit — most chunks
-	// deduplicate against the first backup.
+	// deduplicate against the first snapshot.
 	v2 := append([]byte(nil), v1...)
 	copy(v2[1<<20:], []byte("a small edit in the middle of the backup"))
-	if _, err := client.Backup(bytes.NewReader(v2)); err != nil {
+	if _, err := repo.Backup(ctx, "tuesday", bytes.NewReader(v2)); err != nil {
 		log.Fatal(err)
 	}
-	st = store.Stats()
-	fmt.Printf("backup 2: %d logical chunks total, still only %d physical (saving %.1f%%)\n",
+	st := repo.Stats()
+	fmt.Printf("backup \"tuesday\": %d logical chunks total, only %d physical (saving %.1f%%)\n",
 		st.LogicalChunks, st.UniqueChunks, st.Saving()*100)
 
-	// Recipes are sealed under the user's own key before leaving the
-	// client (Section 3.3: metadata is conventionally encrypted).
-	var userKey freqdedup.Key
-	copy(userKey[:], "the user's own secret key......")
-	sealed, err := recipe1.Seal(userKey)
+	// "Restart": close the repository and reopen it. The snapshot catalog
+	// brings back the full snapshot list and every chunk reference.
+	if err := repo.Close(); err != nil {
+		log.Fatal(err)
+	}
+	repo, err = freqdedup.OpenRepository(dir, freqdedup.WithRepositoryKey(userKey))
 	if err != nil {
 		log.Fatal(err)
 	}
-	opened, err := freqdedup.OpenRecipe(sealed, userKey)
-	if err != nil {
+	defer repo.Close()
+	fmt.Print("reopened; snapshots:")
+	for _, s := range repo.Snapshots() {
+		fmt.Printf(" %s(%d chunks)", s.Name, s.Chunks)
+	}
+	fmt.Println()
+	if err := repo.Verify(ctx); err != nil {
 		log.Fatal(err)
 	}
+	fmt.Println("verify: every chunk checks out, every snapshot restorable")
 
-	// Restore backup 1 and verify bit-for-bit.
+	// Retention: expire tuesday and garbage-collect. Thanks to the
+	// catalog, GC after a reopen reclaims only what nothing references.
+	if err := repo.Delete(ctx, "tuesday"); err != nil {
+		log.Fatal(err)
+	}
+	gc, err := repo.GC(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("gc: reclaimed %d chunks (%.1f KB) after expiring \"tuesday\"\n",
+		gc.ChunksReclaimed, float64(gc.BytesReclaimed)/1024)
+
+	// Restore monday and check it bit-for-bit.
 	var out bytes.Buffer
-	if err := client.Restore(opened, &out); err != nil {
+	if err := repo.Restore(ctx, "monday", &out); err != nil {
 		log.Fatal(err)
 	}
 	if !bytes.Equal(out.Bytes(), v1) {
 		log.Fatal("restore mismatch")
 	}
-	fmt.Println("restore: backup 1 reconstructed bit-for-bit from the sealed recipe")
-
-	// Retention: register both backups, expire backup 2, and garbage
-	// collect — chunks still referenced by backup 1 survive.
-	recipe2, err := client.Backup(bytes.NewReader(v2))
-	if err != nil {
-		log.Fatal(err)
-	}
-	if err := store.RegisterBackup("backup-1", recipe1); err != nil {
-		log.Fatal(err)
-	}
-	if err := store.RegisterBackup("backup-2", recipe2); err != nil {
-		log.Fatal(err)
-	}
-	if err := store.DeleteBackup("backup-2"); err != nil {
-		log.Fatal(err)
-	}
-	gc, err := store.GC()
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("gc: reclaimed %d chunks (%.1f KB) after expiring backup 2\n",
-		gc.ChunksReclaimed, float64(gc.BytesReclaimed)/1024)
-	out.Reset()
-	if err := client.Restore(opened, &out); err != nil {
-		log.Fatal(err)
-	}
-	if !bytes.Equal(out.Bytes(), v1) {
-		log.Fatal("restore after GC mismatch")
-	}
-	fmt.Println("restore after gc: backup 1 still intact")
+	fmt.Println("restore after gc: \"monday\" reconstructed bit-for-bit")
 }

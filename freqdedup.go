@@ -10,15 +10,20 @@
 // internal packages so downstream users have a single import. The building
 // blocks:
 //
+//   - Repository: the system front door. CreateRepository and
+//     OpenRepository give a durable, snapshot-granular encrypted dedup
+//     store — Backup/Restore/Snapshots/Delete/GC/Verify with a crash-safe
+//     snapshot catalog and context-aware (cancellable) pipelines. Start
+//     here; the lower-level Store/Client pair remains for research rigs
+//     that need to wire the stages by hand.
 //   - Attacks: BasicAttack, LocalityAttack (with LocalityConfig;
 //     SizeAware selects the advanced variant), scored by InferenceRate.
 //   - Defenses: EncryptMLE / EncryptMinHash / scheme-driven Encrypt, plus
 //     StorageSavings for the efficiency evaluation.
 //   - Workloads: Dataset / Backup and the three generators
 //     (GenerateFSL, GenerateSynthetic, GenerateVM).
-//   - Byte-level pipeline: NewStore / NewClient back a real
-//     chunk-encrypt-dedup-restore flow; NewKeyServer / DialKeyManager
-//     provide server-aided MLE over TCP.
+//   - Byte-level pipeline: the Store / Client pair backing Repository;
+//     NewKeyServer / DialKeyManager provide server-aided MLE over TCP.
 //   - Experiments: the eval runners regenerate each of the paper's
 //     figures (see package internal/eval via the Fig* wrappers).
 //
@@ -167,12 +172,18 @@ const DefaultStoreShards = dedup.DefaultShards
 
 // NewStore returns an empty deduplicated store with DefaultStoreShards
 // index shards.
+//
+// Deprecated: use CreateRepository(""). The Repository front door adds a
+// durable snapshot catalog, context-aware pipelines, and Verify; the raw
+// Store keeps retention state only in memory.
 var NewStore = dedup.NewStore
 
 // NewStoreWithShards returns an empty deduplicated store with an explicit
 // shard count in [1, 256]. Shard count 1 reproduces the serial engine's
 // container layout bit for bit; dedup statistics are identical for every
 // shard count.
+//
+// Deprecated: use CreateRepository("", WithShards(n)).
 var NewStoreWithShards = dedup.NewStoreWithShards
 
 // Persistence: sealed containers live behind a pluggable storage backend
@@ -189,16 +200,39 @@ type (
 	FileBackend = container.FileBackend
 )
 
+// NewMemStoreBackend returns an in-memory StoreBackend with the given
+// shard count — for Repository's WithBackend and NewStoreWithBackend.
+var NewMemStoreBackend = container.NewMemBackend
+
+// CreateFileStoreBackend initializes a new file-backed StoreBackend
+// directory with the given shard count and container capacity.
+var CreateFileStoreBackend = container.CreateFileBackend
+
+// OpenFileStoreBackend reopens a directory created by
+// CreateFileStoreBackend, validating structure and recovering from a
+// crash-torn tail.
+var OpenFileStoreBackend = container.OpenFileBackend
+
 // NewStoreWithBackend returns a store persisting sealed containers
 // through the given backend, rebuilding the fingerprint index if the
 // backend already holds containers.
+//
+// Deprecated: use CreateRepository / OpenRepository with WithBackend.
 var NewStoreWithBackend = dedup.NewStoreWithBackend
 
 // CreateStore initializes a new file-backed store directory.
+//
+// Deprecated: use CreateRepository — it adds the snapshot catalog beside
+// the container shards, which is what makes GC after a reopen safe.
 var CreateStore = dedup.Create
 
 // OpenStore reopens a file-backed store directory created by CreateStore,
-// rebuilding the fingerprint index from container index headers.
+// rebuilding the fingerprint index from container index headers. Note
+// that a reopened raw store has no retention state: GC before
+// re-registering every backup reclaims everything.
+//
+// Deprecated: use OpenRepository, which replays the snapshot catalog and
+// restores the reference counts.
 var OpenStore = dedup.Open
 
 // ErrChunkNotFound is returned by Store.Get for unknown fingerprints.
@@ -213,6 +247,9 @@ var ErrStoreCorrupt = container.ErrCorrupt
 // goroutines over a ClientConfig.RestoreCacheContainers-bounded LRU
 // container cache) whose output is bit-for-bit identical to a serial
 // restore at every setting.
+//
+// Deprecated: use Repository.Backup and Repository.Restore, which manage
+// recipes, sealing, and retention for you and accept a context.
 var NewClient = dedup.NewClient
 
 // GCStats reports what a garbage-collection pass reclaimed.

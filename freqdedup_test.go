@@ -2,6 +2,7 @@ package freqdedup_test
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"math/rand"
 	"net"
@@ -126,7 +127,8 @@ func TestFacadeDefensePipeline(t *testing.T) {
 }
 
 // TestFacadeKeyManagerRoundTrip runs server-aided MLE through the facade's
-// network key manager.
+// network key manager, driving the byte-level pipeline through the
+// Repository front door.
 func TestFacadeKeyManagerRoundTrip(t *testing.T) {
 	var token [32]byte
 	copy(token[:], "integration token")
@@ -150,21 +152,21 @@ func TestFacadeKeyManagerRoundTrip(t *testing.T) {
 	}
 	defer client.Close()
 
-	store := freqdedup.NewStore(0)
-	c, err := freqdedup.NewClient(store, freqdedup.ClientConfig{
-		Encryption: freqdedup.EncServerAided,
-		Deriver:    client,
-	})
+	repo, err := freqdedup.CreateRepository("",
+		freqdedup.WithEncryption(freqdedup.EncServerAided),
+		freqdedup.WithKeyDeriver(client),
+	)
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer repo.Close()
+	ctx := context.Background()
 	data := randBytes(5, 512<<10)
-	recipe, err := c.Backup(bytes.NewReader(data))
-	if err != nil {
+	if _, err := repo.Backup(ctx, "net-backup", bytes.NewReader(data)); err != nil {
 		t.Fatal(err)
 	}
 	var out bytes.Buffer
-	if err := c.Restore(recipe, &out); err != nil {
+	if err := repo.Restore(ctx, "net-backup", &out); err != nil {
 		t.Fatal(err)
 	}
 	if !bytes.Equal(out.Bytes(), data) {

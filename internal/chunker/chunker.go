@@ -6,6 +6,7 @@ import (
 	"io"
 	"math/bits"
 	"sync"
+	"sync/atomic"
 
 	"freqdedup/internal/fphash"
 	"freqdedup/internal/rabin"
@@ -49,6 +50,17 @@ var (
 	holderPool = sync.Pool{New: func() any { return new([]byte) }}
 )
 
+// bufsOutstanding counts pooled buffers currently handed out (getBuf minus
+// putBuf, pooled size classes only). The dedup pipelines' drain-on-error
+// and drain-on-cancel tests assert it returns to its baseline, proving no
+// code path abandons a pooled chunk buffer.
+var bufsOutstanding atomic.Int64
+
+// BufsOutstanding reports how many pooled chunk buffers are currently
+// checked out of the pool. It exists for leak assertions in tests of
+// streaming consumers; production code has no reason to call it.
+func BufsOutstanding() int64 { return bufsOutstanding.Load() }
+
 // getBuf returns a buffer of length n from the pool of n's size class,
 // allocating a fresh one (with power-of-two capacity) on a pool miss.
 func getBuf(n int) []byte {
@@ -61,6 +73,7 @@ func getBuf(n int) []byte {
 		// never pooled.
 		return make([]byte, n)
 	}
+	bufsOutstanding.Add(1)
 	if h, ok := bufPools[k].Get().(*[]byte); ok {
 		buf := (*h)[:n]
 		*h = nil
@@ -82,6 +95,7 @@ func putBuf(buf []byte) {
 		// allocation would circulate serving much smaller requests.
 		return
 	}
+	bufsOutstanding.Add(-1)
 	k := bits.Len(uint(c)) - 1 // floor(log2(c)): every buffer here has cap >= 1<<k
 	h := holderPool.Get().(*[]byte)
 	*h = buf[:0]

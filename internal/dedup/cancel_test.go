@@ -1,0 +1,242 @@
+package dedup
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"testing"
+	"time"
+
+	"freqdedup/internal/chunker"
+)
+
+// waitForBufs polls until the chunker pool's outstanding-buffer count
+// returns to want, failing the test if it does not settle: a cancelled
+// pipeline's producer may still be releasing its final in-flight chunk
+// for a moment after the consumer returned.
+func waitForBufs(t *testing.T, want int64) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		got := chunker.BufsOutstanding()
+		if got == want {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%d pooled chunk buffers outstanding, want %d (leaked by cancellation)", got, want)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// ctxCancellingReader cancels the context once cancelAt bytes have been
+// delivered, then keeps delivering, so cancellation lands while the
+// pipeline is genuinely mid-stream with chunks in flight.
+type ctxCancellingReader struct {
+	data     []byte
+	off      int
+	cancelAt int
+	cancel   context.CancelFunc
+}
+
+func (c *ctxCancellingReader) Read(p []byte) (int, error) {
+	if c.off >= c.cancelAt && c.cancel != nil {
+		c.cancel()
+		c.cancel = nil
+	}
+	if c.off >= len(c.data) {
+		return 0, io.EOF
+	}
+	n := 64 << 10
+	if n > len(p) {
+		n = len(p)
+	}
+	if n > len(c.data)-c.off {
+		n = len(c.data) - c.off
+	}
+	copy(p, c.data[c.off:c.off+n])
+	c.off += n
+	return n, nil
+}
+
+// TestBackupCancelDrainsPooledBuffers cancels mid-Backup on both pipeline
+// paths — streaming (convergent) and planned (scramble) — at several
+// worker counts, asserting a prompt ctx.Err() return and that every
+// pooled chunk buffer comes back to the pool. Run under -race: the
+// producer, the encrypt fan-out, and the cancellation all overlap.
+func TestBackupCancelDrainsPooledBuffers(t *testing.T) {
+	data := randData(41, 16<<20)
+	for _, tc := range []struct {
+		name string
+		cfg  Config
+	}{
+		{"streaming-1w", Config{Workers: 1}},
+		{"streaming-4w", Config{Workers: 4}},
+		{"planned-scramble-4w", Config{Workers: 4, Scramble: true, ScrambleSeed: 5}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			baseline := chunker.BufsOutstanding()
+			client, err := NewClient(NewStore(0), tc.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			src := &ctxCancellingReader{data: data, cancelAt: 8 << 20, cancel: cancel}
+			if _, err := client.BackupContext(ctx, src); !errors.Is(err, context.Canceled) {
+				t.Fatalf("BackupContext err = %v, want context.Canceled", err)
+			}
+			waitForBufs(t, baseline)
+		})
+	}
+}
+
+// blockingReader parks Read until released, simulating a stalled source
+// (a dead NFS mount, a wedged pipe).
+type blockingReader struct {
+	release chan struct{}
+}
+
+func (b *blockingReader) Read(p []byte) (int, error) {
+	<-b.release
+	return 0, io.EOF
+}
+
+// TestBackupCancelWhileReaderBlocked: cancellation must not wait for the
+// stalled read — the consumer returns promptly while the producer is
+// still parked, and once the reader finally returns, the producer drains
+// without leaking its buffers.
+func TestBackupCancelWhileReaderBlocked(t *testing.T) {
+	baseline := chunker.BufsOutstanding()
+	client, err := NewClient(NewStore(0), Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := &blockingReader{release: make(chan struct{})}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err = client.BackupContext(ctx, src)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("BackupContext err = %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("cancelled Backup took %v with a blocked reader; want a prompt return", elapsed)
+	}
+	close(src.release) // let the parked producer exit and drain
+	waitForBufs(t, baseline)
+}
+
+// TestRestoreCancelDrainsPooledBuffers cancels mid-Restore and asserts
+// ctx.Err() plus a fully drained restore-buffer pool. Run under -race.
+func TestRestoreCancelDrainsPooledBuffers(t *testing.T) {
+	data := randData(42, 4<<20)
+	store := NewStoreWithShards(64<<10, DefaultShards)
+	client, err := NewClient(store, Config{Workers: 4, RestoreCacheContainers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recipe, err := client.Backup(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline := restoreBufsOutstanding.Load()
+	for _, cancelAt := range []int{0, 64 << 10, 1 << 20} {
+		ctx, cancel := context.WithCancel(context.Background())
+		w := &cancelAtWriter{n: cancelAt, cancel: cancel}
+		err := client.RestoreContext(ctx, recipe, w)
+		cancel()
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("cancelAt=%d: RestoreContext err = %v, want context.Canceled", cancelAt, err)
+		}
+		if got := restoreBufsOutstanding.Load(); got != baseline {
+			t.Fatalf("cancelAt=%d: %d pooled restore buffers outstanding, want %d", cancelAt, got, baseline)
+		}
+	}
+	// The pipeline still restores cleanly afterwards.
+	var out bytes.Buffer
+	if err := client.Restore(recipe, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out.Bytes(), data) {
+		t.Fatal("restore after cancellations mismatched")
+	}
+	if got := restoreBufsOutstanding.Load(); got != baseline {
+		t.Fatalf("%d pooled restore buffers outstanding after clean restore", got)
+	}
+}
+
+// cancelAtWriter cancels the context once n bytes have been written (n=0
+// cancels on the first write).
+type cancelAtWriter struct {
+	n      int
+	cancel context.CancelFunc
+}
+
+func (w *cancelAtWriter) Write(p []byte) (int, error) {
+	w.n -= len(p)
+	if w.n <= 0 && w.cancel != nil {
+		w.cancel()
+		w.cancel = nil
+	}
+	return len(p), nil
+}
+
+// TestCancelledBeforeStart: an already-cancelled context fails Backup,
+// Restore, and GC immediately, before any work or side effect.
+func TestCancelledBeforeStart(t *testing.T) {
+	store := NewStore(0)
+	client, err := NewClient(store, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := client.BackupContext(ctx, bytes.NewReader(randData(43, 1<<20))); !errors.Is(err, context.Canceled) {
+		t.Fatalf("BackupContext err = %v", err)
+	}
+	if got := store.Stats().LogicalChunks; got != 0 {
+		t.Fatalf("cancelled-before-start backup stored %d chunks", got)
+	}
+	recipe, err := client.Backup(bytes.NewReader(randData(43, 256<<10)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := client.RestoreContext(ctx, recipe, &out); !errors.Is(err, context.Canceled) {
+		t.Fatalf("RestoreContext err = %v", err)
+	}
+	if out.Len() != 0 {
+		t.Fatalf("cancelled-before-start restore wrote %d bytes", out.Len())
+	}
+	if _, err := store.GCContext(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("GCContext err = %v", err)
+	}
+}
+
+// TestGCCancelKeepsStoreConsistent: a GC cancelled between shards leaves
+// a consistent store (partial sweeps are atomic per shard) and a re-run
+// finishes the job.
+func TestGCCancelKeepsStoreConsistent(t *testing.T) {
+	store, client, _, r2 := setupTwoBackups(t)
+	if err := store.DeleteBackup("b1"); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := store.GCContext(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("GCContext err = %v", err)
+	}
+	// Finish the sweep and check the survivor.
+	if _, err := store.GC(); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := client.Restore(r2, &out); err != nil {
+		t.Fatalf("surviving backup broken after cancelled+completed GC: %v", err)
+	}
+}

@@ -1,0 +1,485 @@
+package dedup
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// The snapshot catalog: the durable record of which snapshots a repository
+// holds, kept beside the container shard files. Without it, retention
+// state lives only in process memory and a reopened store treats every
+// chunk as unreferenced — the "GC after reopen reclaims everything"
+// failure the Repository front door exists to fix.
+//
+// The catalog is an append-only log in the same spirit as the `.fdc`
+// container files: a 16-byte file header, then one self-contained record
+// per mutation — a snapshot added (with its sealed recipe and summary
+// metadata) or a snapshot deleted (a tombstone) — each protected by a
+// CRC32 and fsynced before the mutation is acknowledged. Reopening
+// replays the log; a record torn by a mid-append crash is detected and
+// truncated away, so the replayed state is exactly the set of
+// acknowledged mutations. When tombstones accumulate, the catalog is
+// compacted: the live records are written to a fresh file that is fsynced
+// and atomically renamed over the old one.
+
+// CatalogName is the catalog's file name within a repository directory.
+const CatalogName = "catalog.fdr"
+
+// ErrCatalogCorrupt is returned when the catalog file fails structural
+// validation or a non-tail record fails its checksum.
+var ErrCatalogCorrupt = errors.New("dedup: snapshot catalog corrupt")
+
+// ErrSnapshotExists is returned when adding a snapshot name that is
+// already live in the catalog.
+var ErrSnapshotExists = errors.New("dedup: snapshot already exists")
+
+// ErrSnapshotNotFound is returned for operations on a snapshot name the
+// catalog does not hold.
+var ErrSnapshotNotFound = errors.New("dedup: snapshot not found")
+
+// Catalog on-disk layout constants.
+const (
+	catMagic     = 0x46445243 // "FDRC": freqdedup recipe catalog
+	catVersion   = 1
+	catHeaderLen = 16 // magic + version + 2 reserved, u32 each
+
+	catRecMagic = 0x46445231 // "FDR1": one catalog record
+	// catRecHeaderLen is magic + kind + nameLen + payloadLen, u32 each.
+	catRecHeaderLen = 16
+	catRecTrailer   = 4 // CRC32 over header + name + payload
+
+	catKindAdd    = 1
+	catKindDelete = 2
+
+	// catMetaLen is the fixed metadata prefix of an add record's payload:
+	// created-at (unix seconds, i64), logical bytes (u64), chunk count
+	// (u32), reserved (u32); the sealed recipe follows.
+	catMetaLen = 24
+
+	// catMaxName and catMaxPayload bound record fields during replay:
+	// lengths beyond them cannot come from a well-formed writer and are
+	// treated as structural corruption rather than attempted allocations.
+	catMaxName    = 4 << 10
+	catMaxPayload = 1 << 30
+)
+
+// SnapshotRecord is one live snapshot in the catalog: the sealed recipe
+// that restores it plus the summary metadata a listing needs without
+// unsealing anything.
+type SnapshotRecord struct {
+	// Name is the caller-chosen snapshot name, unique among live
+	// snapshots.
+	Name string
+	// CreatedUnix is the snapshot's creation time in Unix seconds.
+	CreatedUnix int64
+	// LogicalBytes is the snapshot's pre-dedup size.
+	LogicalBytes uint64
+	// Chunks is the snapshot's logical chunk count.
+	Chunks uint32
+	// SealedRecipe is the recipe sealed under the repository key
+	// (mle.Recipe.Seal); the catalog never sees plaintext keys.
+	SealedRecipe []byte
+}
+
+// Catalog is a durable snapshot catalog. The zero value is not usable;
+// construct with CreateCatalog, OpenCatalog, or NewMemCatalog. A Catalog
+// is safe for concurrent use.
+type Catalog struct {
+	mu         sync.Mutex
+	f          *os.File // nil for a memory-only catalog
+	path       string
+	closed     bool
+	size       int64
+	live       map[string]SnapshotRecord
+	tombstones int // delete records in the file not yet compacted away
+	scratch    []byte
+}
+
+// NewMemCatalog returns a catalog kept only in memory — the
+// backendless-repository counterpart of MemBackend. Nothing survives the
+// process.
+func NewMemCatalog() *Catalog {
+	return &Catalog{live: make(map[string]SnapshotRecord)}
+}
+
+// CreateCatalog initializes a new, empty catalog file. It fails if the
+// file already exists.
+func CreateCatalog(path string) (*Catalog, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("dedup: create catalog: %w", err)
+	}
+	var hdr [catHeaderLen]byte
+	binary.LittleEndian.PutUint32(hdr[0:], catMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], catVersion)
+	_, err = f.Write(hdr[:])
+	if err == nil {
+		err = f.Sync()
+	}
+	if err != nil {
+		f.Close()
+		os.Remove(path)
+		return nil, fmt.Errorf("dedup: write catalog header: %w", err)
+	}
+	if err := syncParentDir(path); err != nil {
+		f.Close()
+		os.Remove(path)
+		return nil, err
+	}
+	return &Catalog{
+		f:    f,
+		path: path,
+		size: catHeaderLen,
+		live: make(map[string]SnapshotRecord),
+	}, nil
+}
+
+// OpenCatalog opens an existing catalog file and replays its records. A
+// record torn by a mid-append crash — an incomplete tail, or a final
+// record whose checksum fails — is discarded by truncating the file back
+// to the last acknowledged record. Structural damage anywhere else
+// returns ErrCatalogCorrupt.
+func OpenCatalog(path string) (*Catalog, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return nil, fmt.Errorf("dedup: open catalog: %w", err)
+	}
+	c := &Catalog{f: f, path: path, live: make(map[string]SnapshotRecord)}
+	if err := c.replay(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// replay scans the catalog file, rebuilding the live-snapshot map and
+// truncating a torn tail.
+func (c *Catalog) replay() error {
+	st, err := c.f.Stat()
+	if err != nil {
+		return err
+	}
+	size := st.Size()
+	if size < catHeaderLen {
+		return fmt.Errorf("%w: %s shorter than its header", ErrCatalogCorrupt, c.path)
+	}
+	var hdr [catHeaderLen]byte
+	if _, err := c.f.ReadAt(hdr[:], 0); err != nil {
+		return err
+	}
+	if m := binary.LittleEndian.Uint32(hdr[0:]); m != catMagic {
+		return fmt.Errorf("%w: %s has bad magic %#x", ErrCatalogCorrupt, c.path, m)
+	}
+	if v := binary.LittleEndian.Uint32(hdr[4:]); v != catVersion {
+		return fmt.Errorf("%w: %s has unsupported version %d", ErrCatalogCorrupt, c.path, v)
+	}
+
+	pos := int64(catHeaderLen)
+	var rec [catRecHeaderLen]byte
+	for pos < size {
+		if pos+catRecHeaderLen > size {
+			break // torn tail: header itself incomplete
+		}
+		if _, err := c.f.ReadAt(rec[:], pos); err != nil {
+			return err
+		}
+		if m := binary.LittleEndian.Uint32(rec[0:]); m != catRecMagic {
+			return fmt.Errorf("%w: %s: bad record magic %#x at offset %d", ErrCatalogCorrupt, c.path, m, pos)
+		}
+		kind := binary.LittleEndian.Uint32(rec[4:])
+		nameLen := int64(binary.LittleEndian.Uint32(rec[8:]))
+		payloadLen := int64(binary.LittleEndian.Uint32(rec[12:]))
+		if nameLen == 0 || nameLen > catMaxName || payloadLen > catMaxPayload {
+			return fmt.Errorf("%w: %s: absurd record lengths (%d, %d) at offset %d",
+				ErrCatalogCorrupt, c.path, nameLen, payloadLen, pos)
+		}
+		end := pos + catRecHeaderLen + nameLen + payloadLen + catRecTrailer
+		if end > size {
+			break // torn tail: body incomplete
+		}
+		body := make([]byte, nameLen+payloadLen+catRecTrailer)
+		if _, err := c.f.ReadAt(body, pos+catRecHeaderLen); err != nil {
+			return err
+		}
+		crc := crc32.ChecksumIEEE(rec[:])
+		crc = crc32.Update(crc, crc32.IEEETable, body[:nameLen+payloadLen])
+		if stored := binary.LittleEndian.Uint32(body[nameLen+payloadLen:]); crc != stored {
+			if end == size {
+				// The final record's bytes are all present but the
+				// checksum fails: a crash caught the append mid-write.
+				// Discard it like any other torn tail.
+				break
+			}
+			return fmt.Errorf("%w: %s: record checksum mismatch at offset %d", ErrCatalogCorrupt, c.path, pos)
+		}
+		name := string(body[:nameLen])
+		payload := body[nameLen : nameLen+payloadLen]
+		switch kind {
+		case catKindAdd:
+			if payloadLen < catMetaLen {
+				return fmt.Errorf("%w: %s: add record for %q has a short payload", ErrCatalogCorrupt, c.path, name)
+			}
+			if _, ok := c.live[name]; ok {
+				return fmt.Errorf("%w: %s: duplicate add for live snapshot %q", ErrCatalogCorrupt, c.path, name)
+			}
+			c.live[name] = SnapshotRecord{
+				Name:         name,
+				CreatedUnix:  int64(binary.LittleEndian.Uint64(payload[0:])),
+				LogicalBytes: binary.LittleEndian.Uint64(payload[8:]),
+				Chunks:       binary.LittleEndian.Uint32(payload[16:]),
+				SealedRecipe: append([]byte(nil), payload[catMetaLen:]...),
+			}
+		case catKindDelete:
+			if _, ok := c.live[name]; !ok {
+				return fmt.Errorf("%w: %s: tombstone for unknown snapshot %q", ErrCatalogCorrupt, c.path, name)
+			}
+			delete(c.live, name)
+			c.tombstones++
+		default:
+			return fmt.Errorf("%w: %s: unknown record kind %d at offset %d", ErrCatalogCorrupt, c.path, kind, pos)
+		}
+		pos = end
+	}
+	if pos < size {
+		// Discard the torn tail so future appends start at a record
+		// boundary.
+		if err := c.f.Truncate(pos); err != nil {
+			return fmt.Errorf("dedup: truncate torn catalog tail: %w", err)
+		}
+		if err := c.f.Sync(); err != nil {
+			return err
+		}
+	}
+	c.size = pos
+	return nil
+}
+
+// buildRecord serializes one record into c.scratch.
+func (c *Catalog) buildRecord(kind uint32, name string, meta []byte, sealed []byte) []byte {
+	payloadLen := len(meta) + len(sealed)
+	n := catRecHeaderLen + len(name) + payloadLen + catRecTrailer
+	if cap(c.scratch) < n {
+		c.scratch = make([]byte, n)
+	}
+	buf := c.scratch[:n]
+	binary.LittleEndian.PutUint32(buf[0:], catRecMagic)
+	binary.LittleEndian.PutUint32(buf[4:], kind)
+	binary.LittleEndian.PutUint32(buf[8:], uint32(len(name)))
+	binary.LittleEndian.PutUint32(buf[12:], uint32(payloadLen))
+	off := catRecHeaderLen
+	off += copy(buf[off:], name)
+	off += copy(buf[off:], meta)
+	off += copy(buf[off:], sealed)
+	binary.LittleEndian.PutUint32(buf[off:], crc32.ChecksumIEEE(buf[:off]))
+	return buf
+}
+
+// appendRecord appends one record and fsyncs; durability is acknowledged
+// only by a nil return. On a failed append the written tail is discarded
+// so a later successful append does not bury garbage mid-file.
+func (c *Catalog) appendRecord(buf []byte) error {
+	if _, err := c.f.WriteAt(buf, c.size); err != nil {
+		c.discardTail()
+		return fmt.Errorf("dedup: append catalog record: %w", err)
+	}
+	if err := c.f.Sync(); err != nil {
+		c.discardTail()
+		return fmt.Errorf("dedup: sync catalog: %w", err)
+	}
+	c.size += int64(len(buf))
+	return nil
+}
+
+func (c *Catalog) discardTail() {
+	if c.f.Truncate(c.size) == nil {
+		_ = c.f.Sync()
+	}
+}
+
+// encodeMeta packs an add record's fixed metadata prefix.
+func encodeMeta(rec SnapshotRecord) []byte {
+	var meta [catMetaLen]byte
+	binary.LittleEndian.PutUint64(meta[0:], uint64(rec.CreatedUnix))
+	binary.LittleEndian.PutUint64(meta[8:], rec.LogicalBytes)
+	binary.LittleEndian.PutUint32(meta[16:], rec.Chunks)
+	return meta[:]
+}
+
+// Add records a new snapshot. When Add returns nil the snapshot is as
+// durable as the catalog: for a file-backed catalog the record is fsynced
+// before Add returns.
+func (c *Catalog) Add(rec SnapshotRecord) error {
+	if rec.Name == "" {
+		return errors.New("dedup: empty snapshot name")
+	}
+	if len(rec.Name) > catMaxName {
+		return fmt.Errorf("dedup: snapshot name longer than %d bytes", catMaxName)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return errors.New("dedup: catalog is closed")
+	}
+	if _, ok := c.live[rec.Name]; ok {
+		return fmt.Errorf("%w: %q", ErrSnapshotExists, rec.Name)
+	}
+	if c.f != nil {
+		buf := c.buildRecord(catKindAdd, rec.Name, encodeMeta(rec), rec.SealedRecipe)
+		if err := c.appendRecord(buf); err != nil {
+			return err
+		}
+	}
+	stored := rec
+	stored.SealedRecipe = append([]byte(nil), rec.SealedRecipe...)
+	c.live[rec.Name] = stored
+	return nil
+}
+
+// Delete removes a snapshot, appending a tombstone record. When the
+// tombstones outnumber the live snapshots the catalog is compacted in the
+// same call.
+func (c *Catalog) Delete(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return errors.New("dedup: catalog is closed")
+	}
+	if _, ok := c.live[name]; !ok {
+		return fmt.Errorf("%w: %q", ErrSnapshotNotFound, name)
+	}
+	if c.f != nil {
+		if err := c.appendRecord(c.buildRecord(catKindDelete, name, nil, nil)); err != nil {
+			return err
+		}
+	}
+	delete(c.live, name)
+	c.tombstones++
+	if c.f != nil && c.tombstones >= 8 && c.tombstones > len(c.live) {
+		// Compaction is an optimization: the log already replays to the
+		// right state, so a failed compaction only means the log stays
+		// long. Do not fail the delete over it.
+		_ = c.compactLocked()
+	}
+	return nil
+}
+
+// Get returns the live snapshot with the given name.
+func (c *Catalog) Get(name string) (SnapshotRecord, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	rec, ok := c.live[name]
+	return rec, ok
+}
+
+// List returns every live snapshot, sorted by name.
+func (c *Catalog) List() []SnapshotRecord {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]SnapshotRecord, 0, len(c.live))
+	for _, rec := range c.live {
+		out = append(out, rec)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Len returns the number of live snapshots.
+func (c *Catalog) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.live)
+}
+
+// Compact rewrites the catalog to hold only the live snapshots: the
+// records are written to a fresh file, fsynced, and atomically renamed
+// over the old one, so a crash mid-compaction leaves the previous catalog
+// intact. A memory catalog compacts to a no-op.
+func (c *Catalog) Compact() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.f == nil {
+		c.tombstones = 0
+		return nil
+	}
+	return c.compactLocked()
+}
+
+func (c *Catalog) compactLocked() error {
+	tmpName := c.path + ".rewrite"
+	tmp, err := os.OpenFile(tmpName, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("dedup: compact catalog: %w", err)
+	}
+	abort := func(err error) error {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	var hdr [catHeaderLen]byte
+	binary.LittleEndian.PutUint32(hdr[0:], catMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], catVersion)
+	if _, err := tmp.Write(hdr[:]); err != nil {
+		return abort(err)
+	}
+	size := int64(catHeaderLen)
+	// Deterministic record order keeps compacted catalogs byte-comparable.
+	names := make([]string, 0, len(c.live))
+	for name := range c.live {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		rec := c.live[name]
+		buf := c.buildRecord(catKindAdd, rec.Name, encodeMeta(rec), rec.SealedRecipe)
+		if _, err := tmp.Write(buf); err != nil {
+			return abort(err)
+		}
+		size += int64(len(buf))
+	}
+	if err := tmp.Sync(); err != nil {
+		return abort(err)
+	}
+	if err := os.Rename(tmpName, c.path); err != nil {
+		return abort(err)
+	}
+	// The rename is the commit point; the renamed temp handle is the new
+	// catalog file. The directory sync afterwards is best-effort.
+	c.f.Close()
+	c.f = tmp
+	c.size = size
+	c.tombstones = 0
+	_ = syncParentDir(c.path)
+	return nil
+}
+
+// Close releases the catalog's file handle. Every acknowledged mutation
+// is already durable; Close exists to release the descriptor.
+func (c *Catalog) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closed = true
+	if c.f == nil {
+		return nil
+	}
+	err := c.f.Close()
+	c.f = nil
+	return err
+}
+
+// syncParentDir fsyncs a file's directory so its creation or rename is
+// durable. Best-effort, as with the container files' directory syncs.
+func syncParentDir(path string) error {
+	d, err := os.Open(filepath.Dir(path))
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	_ = d.Sync()
+	return nil
+}

@@ -1,6 +1,9 @@
 package dedup
 
 import (
+	"context"
+	crand "crypto/rand"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
@@ -46,10 +49,12 @@ type Config struct {
 	// Scramble enables per-segment upload-order scrambling (Algorithm 5).
 	// Restores are unaffected: the recipe preserves original order.
 	Scramble bool
-	// ScrambleSeed seeds scrambling for reproducibility; 0 means a
-	// time-independent fixed seed is NOT used — callers wanting
-	// reproducibility must set it, otherwise a math/rand default source is
-	// used per client.
+	// ScrambleSeed seeds the scrambling RNG. The zero value selects a
+	// fresh cryptographically random seed per client, so scrambled upload
+	// order is unpredictable run to run (the defense's intent). A nonzero
+	// seed makes the upload order a reproducible function of input,
+	// config, and seed — for tests and experiments that need bit-for-bit
+	// deterministic store layouts.
 	ScrambleSeed int64
 	// Workers is the number of encrypt+fingerprint workers Backup fans
 	// out to (the MLE hot path) and the number of container fetch+decrypt
@@ -117,7 +122,11 @@ func NewClient(store *Store, cfg Config) (*Client, error) {
 	}
 	seed := cfg.ScrambleSeed
 	if seed == 0 {
-		seed = 0x5eed
+		var b [8]byte
+		if _, err := crand.Read(b[:]); err != nil {
+			return nil, fmt.Errorf("dedup: seed scrambling rng: %w", err)
+		}
+		seed = int64(binary.LittleEndian.Uint64(b[:]))
 	}
 	return &Client{cfg: cfg, store: store, rng: rand.New(rand.NewSource(seed))}, nil
 }
@@ -174,6 +183,20 @@ const chunkQueueDepth = 256
 // reuse, reset, or close a non-thread-safe r immediately after a failed
 // Backup; readers that tolerate concurrent use (*os.File) are unaffected.
 func (c *Client) Backup(r io.Reader) (*mle.Recipe, error) {
+	return c.BackupContext(context.Background(), r)
+}
+
+// BackupContext is Backup with cancellation: when ctx is cancelled the
+// pipeline stops promptly — the consumer returns ctx.Err() without waiting
+// for an in-progress read of r, the encrypt fan-out aborts between chunks,
+// and every pooled chunk buffer still in flight is handed back to the pool
+// (the same drain contract as any other mid-backup error). Chunks uploaded
+// before the cancellation remain in the store, where they deduplicate a
+// retried backup or are reclaimed by the next GC.
+func (c *Client) BackupContext(ctx context.Context, r io.Reader) (*mle.Recipe, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	params := c.cfg.Chunking
 	params.DeferFingerprint = true
 	cdc, err := chunker.NewContentDefined(r, params)
@@ -181,9 +204,9 @@ func (c *Client) Backup(r io.Reader) (*mle.Recipe, error) {
 		return nil, err
 	}
 	if c.cfg.Scramble || c.cfg.Encryption == EncMinHash {
-		return c.backupPlanned(cdc)
+		return c.backupPlanned(ctx, cdc)
 	}
-	return c.backupStreaming(cdc)
+	return c.backupStreaming(ctx, cdc)
 }
 
 // chunkMsg is one producer-to-consumer handoff: a chunk or a chunking
@@ -197,7 +220,7 @@ type chunkMsg struct {
 // upload order is the chunk order (no scrambling, no segment keys): chunks
 // flow from the producer goroutine through window-sized encrypt fan-outs
 // straight into the store, and never accumulate beyond the pipeline bound.
-func (c *Client) backupStreaming(cdc *chunker.ContentDefined) (*mle.Recipe, error) {
+func (c *Client) backupStreaming(ctx context.Context, cdc *chunker.ContentDefined) (*mle.Recipe, error) {
 	chunks := make(chan chunkMsg, chunkQueueDepth)
 	done := make(chan struct{})
 	window := make([]encJob, 0, uploadWindowChunks)
@@ -268,7 +291,7 @@ func (c *Client) backupStreaming(cdc *chunker.ContentDefined) (*mle.Recipe, erro
 			return nil
 		}
 		res := results[:len(window)]
-		if err := c.runEncryptStage(window, res); err != nil {
+		if err := c.runEncryptStage(ctx, window, res); err != nil {
 			return err
 		}
 		batch = batch[:0]
@@ -292,7 +315,21 @@ func (c *Client) backupStreaming(cdc *chunker.ContentDefined) (*mle.Recipe, erro
 		window = window[:0]
 		return nil
 	}
-	for msg := range chunks {
+	// Receive with a cancellation arm: when ctx fires the consumer must
+	// return promptly even if the producer is parked in a stalled Read and
+	// will never send again. The deferred cleanup stops the producer and
+	// drains the channel.
+	for {
+		var msg chunkMsg
+		var ok bool
+		select {
+		case msg, ok = <-chunks:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		if !ok {
+			break
+		}
 		if msg.err != nil {
 			return nil, msg.err
 		}
@@ -315,28 +352,41 @@ func (c *Client) backupStreaming(cdc *chunker.ContentDefined) (*mle.Recipe, erro
 // scrambling RNG on this goroutine so the plan is a deterministic function
 // of input, config, and seed), then encrypt and upload in bounded windows
 // of the plan.
-func (c *Client) backupPlanned(cdc *chunker.ContentDefined) (*mle.Recipe, error) {
-	chunks, err := chunker.All(cdc)
-	if err != nil {
-		return nil, fmt.Errorf("dedup: chunking: %w", err)
-	}
-	if len(chunks) == 0 {
-		return &mle.Recipe{}, nil
-	}
-	// On any error return, hand back every chunk the upload loop has not
-	// yet released (released chunks are marked by a nil Data, for which
-	// Release is a no-op) — the planned path holds the whole stream's
-	// chunks, so a failed backup would otherwise abandon all of them to
-	// the GC. On the success path everything is already released.
+func (c *Client) backupPlanned(ctx context.Context, cdc *chunker.ContentDefined) (*mle.Recipe, error) {
+	var chunks []chunker.Chunk
+	// On any error return — including cancellation mid-drain — hand back
+	// every chunk the upload loop has not yet released (released chunks
+	// are marked by a nil Data, for which Release is a no-op): the planned
+	// path holds the whole stream's chunks, so a failed backup would
+	// otherwise abandon all of them to the GC. On the success path
+	// everything is already released.
 	defer func() {
 		for i := range chunks {
 			chunks[i].Release()
 		}
 	}()
+	// Drain the chunker serially (the plan needs the whole stream),
+	// checking for cancellation between chunks.
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		ch, err := cdc.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dedup: chunking: %w", err)
+		}
+		chunks = append(chunks, ch)
+	}
+	if len(chunks) == 0 {
+		return &mle.Recipe{}, nil
+	}
 
 	// Plaintext fingerprints were deferred out of the chunker; compute
 	// them with the worker fan-out (segmentation and MinHash need them).
-	if err := c.parallelFor(len(chunks), func(i int) error {
+	if err := c.parallelFor(ctx, len(chunks), func(i int) error {
 		chunks[i].Fingerprint = fphash.FromBytes(chunks[i].Data)
 		return nil
 	}); err != nil {
@@ -407,7 +457,7 @@ func (c *Client) backupPlanned(cdc *chunker.ContentDefined) (*mle.Recipe, error)
 			window = append(window, encJob{chunk: chunks[pe.chunkIdx], segKey: pe.segKey})
 		}
 		res := results[:len(window)]
-		if err := c.runEncryptStage(window, res); err != nil {
+		if err := c.runEncryptStage(ctx, window, res); err != nil {
 			return nil, err
 		}
 		batch = batch[:0]
@@ -436,14 +486,18 @@ func (c *Client) backupPlanned(cdc *chunker.ContentDefined) (*mle.Recipe, error)
 
 // parallelFor runs fn(0..n-1) on min(Config.Workers, n) goroutines pulling
 // indexes from a shared atomic counter. The first error stops the fan-out
-// and is returned. With one worker (or one item) it runs inline.
-func (c *Client) parallelFor(n int, fn func(i int) error) error {
+// and is returned; a cancelled ctx stops it between items and returns
+// ctx.Err(). With one worker (or one item) it runs inline.
+func (c *Client) parallelFor(ctx context.Context, n int, fn func(i int) error) error {
 	workers := c.cfg.Workers
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			if err := fn(i); err != nil {
 				return err
 			}
@@ -457,22 +511,29 @@ func (c *Client) parallelFor(n int, fn func(i int) error) error {
 		firstErr error
 		wg       sync.WaitGroup
 	)
+	record := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+		failed.Store(true)
+	}
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
 			for !failed.Load() {
+				if err := ctx.Err(); err != nil {
+					record(err)
+					return
+				}
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
 				}
 				if err := fn(i); err != nil {
-					errMu.Lock()
-					if firstErr == nil {
-						firstErr = err
-					}
-					errMu.Unlock()
-					failed.Store(true)
+					record(err)
 					return
 				}
 			}
@@ -486,8 +547,8 @@ func (c *Client) parallelFor(n int, fn func(i int) error) error {
 // Workers goroutines pull jobs from the window, derive the chunk key,
 // encrypt, and fingerprint the ciphertext. Results land at their window
 // position, so the output order is independent of goroutine scheduling.
-func (c *Client) runEncryptStage(jobs []encJob, results []uploadResult) error {
-	return c.parallelFor(len(jobs), func(i int) error {
+func (c *Client) runEncryptStage(ctx context.Context, jobs []encJob, results []uploadResult) error {
+	return c.parallelFor(ctx, len(jobs), func(i int) error {
 		return c.encryptOne(jobs[i], &results[i])
 	})
 }

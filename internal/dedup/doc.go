@@ -45,6 +45,13 @@
 //   - Retention (RegisterBackup / DeleteBackup / GC, see gc.go) is
 //     store-level under its own lock; GC additionally takes every shard
 //     lock in index order, the package's global lock order.
+//   - Cancellation. BackupContext, RestoreContext, and GCContext thread a
+//     context through every pipeline: the backup consumer returns
+//     promptly even while the producer is parked in a stalled Read, the
+//     worker fan-outs stop between items, and the GC sweep stops between
+//     shards (already-swept shards keep their atomic rewrites). A
+//     cancelled pipeline drains exactly like a failed one — every pooled
+//     buffer is handed back before the ctx.Err() return.
 //
 // # Persistence
 //
@@ -59,6 +66,13 @@
 // through the backend — each shard's rewrite is atomic (fresh file,
 // rename over). Reads of damaged files fail with container.ErrCorrupt
 // (records carry CRCs); they never return wrong bytes.
+//
+// Retention state, by contrast, is process-local: a reopened Store holds
+// no registrations, and its documented "unregistered = unreferenced" GC
+// rule reclaims everything. The snapshot Catalog (catalog.go) is the
+// durable complement — an append-only, CRC-protected, torn-tail-recovering
+// log of sealed snapshot recipes beside the container files, from which
+// the freqdedup.Repository front door rebuilds the registrations on open.
 //
 // # Invariants
 //

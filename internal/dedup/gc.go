@@ -1,8 +1,10 @@
 package dedup
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"sort"
 
 	"freqdedup/internal/container"
 	"freqdedup/internal/fphash"
@@ -76,7 +78,8 @@ func (s *Store) DeleteBackup(id string) error {
 	return nil
 }
 
-// Backups lists the registered backup IDs.
+// Backups lists the registered backup IDs in sorted order, so the listing
+// is deterministic rather than leaking map iteration order.
 func (s *Store) Backups() []string {
 	s.retMu.Lock()
 	defer s.retMu.Unlock()
@@ -84,6 +87,7 @@ func (s *Store) Backups() []string {
 	for id := range s.backups {
 		out = append(out, id)
 	}
+	sort.Strings(out)
 	return out
 }
 
@@ -113,6 +117,15 @@ type GCStats struct {
 // partial statistics are returned alongside the error. Re-running GC
 // after the fault clears completes the sweep.
 func (s *Store) GC() (GCStats, error) {
+	return s.GCContext(context.Background())
+}
+
+// GCContext is GC with cancellation: the sweep checks ctx between shards
+// and stops with ctx.Err() alongside the partial statistics. Shards swept
+// before the cancellation keep their compacted state (each shard's rewrite
+// is atomic), exactly like GC's backend-error contract; re-running GC
+// completes the sweep.
+func (s *Store) GCContext(ctx context.Context) (GCStats, error) {
 	s.retMu.Lock()
 	defer s.retMu.Unlock()
 	s.lockAll()
@@ -128,6 +141,9 @@ func (s *Store) GC() (GCStats, error) {
 	// existing order. Shards are independent: a fingerprint never moves
 	// between shards, so each rebuild only consults its own index.
 	for i, sh := range s.shards {
+		if err := ctx.Err(); err != nil {
+			return st, err
+		}
 		newIndex := make(map[fphash.Fingerprint]container.Location, len(sh.index))
 		cst, err := sh.containers.Compact(live, func(e container.Entry, loc container.Location) {
 			newIndex[e.FP] = loc

@@ -133,6 +133,28 @@ func TestRegisterBackupDuplicateID(t *testing.T) {
 	}
 }
 
+func TestBackupsSorted(t *testing.T) {
+	store := NewStore(0)
+	r := &mle.Recipe{}
+	for _, id := range []string{"w", "a", "m", "c", "z", "b"} {
+		if err := store.RegisterBackup(id, r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := []string{"a", "b", "c", "m", "w", "z"}
+	for try := 0; try < 5; try++ {
+		got := store.Backups()
+		if len(got) != len(want) {
+			t.Fatalf("Backups() = %v, want %v", got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("Backups() = %v, want sorted %v", got, want)
+			}
+		}
+	}
+}
+
 func TestGCIdempotent(t *testing.T) {
 	store, client, _, r2 := setupTwoBackups(t)
 	if err := store.DeleteBackup("b1"); err != nil {

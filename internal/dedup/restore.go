@@ -1,6 +1,7 @@
 package dedup
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -28,18 +29,34 @@ import (
 // plaintext held for reordering is bounded by roughly 2×Workers
 // containers.
 func (c *Client) Restore(recipe *mle.Recipe, w io.Writer) error {
-	if c.cfg.Workers <= 1 && c.cfg.RestoreCacheContainers == 0 {
-		return c.restoreSerial(recipe, w)
+	return c.RestoreContext(context.Background(), recipe, w)
+}
+
+// RestoreContext is Restore with cancellation: when ctx is cancelled the
+// pipeline stops promptly between chunks — the fetch+decrypt workers abort,
+// the in-order writer stops writing, and every pooled plaintext buffer
+// still in flight is handed back to the pool before RestoreContext returns
+// ctx.Err(). Bytes written to w before the cancellation stay written; the
+// output is a strict prefix of the stream.
+func (c *Client) RestoreContext(ctx context.Context, recipe *mle.Recipe, w io.Writer) error {
+	if err := ctx.Err(); err != nil {
+		return err
 	}
-	return c.restoreParallel(recipe, w)
+	if c.cfg.Workers <= 1 && c.cfg.RestoreCacheContainers == 0 {
+		return c.restoreSerial(ctx, recipe, w)
+	}
+	return c.restoreParallel(ctx, recipe, w)
 }
 
 // restoreSerial is the chunk-at-a-time restore loop: one store lookup and
 // one decrypt per recipe entry, in order. It is the oracle the parallel
 // pipeline is proven against and the path Restore takes for the
 // single-worker, uncached configuration.
-func (c *Client) restoreSerial(recipe *mle.Recipe, w io.Writer) error {
+func (c *Client) restoreSerial(ctx context.Context, recipe *mle.Recipe, w io.Writer) error {
 	for i, e := range recipe.Entries {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		ct, err := c.store.Get(e.Fingerprint)
 		if err != nil {
 			return fmt.Errorf("dedup: restore: chunk %d (%v): %w", i, e.Fingerprint, err)
@@ -100,7 +117,7 @@ func (rc *restoreCache) put(ref containerRef, entries []container.Entry) {
 // container, a failing writer — the pipeline drains: in-flight batches
 // finish or abort, and every pooled buffer is handed back (the drain
 // contract mirrors the backup pipeline's).
-func (c *Client) restoreParallel(recipe *mle.Recipe, w io.Writer) error {
+func (c *Client) restoreParallel(ctx context.Context, recipe *mle.Recipe, w io.Writer) error {
 	entries := recipe.Entries
 	if len(entries) == 0 {
 		return nil
@@ -145,7 +162,8 @@ func (c *Client) restoreParallel(recipe *mle.Recipe, w io.Writer) error {
 	sem := make(chan struct{}, inflight)
 
 	// Dispatcher: feeds batch indexes, throttled by the in-flight window
-	// so reordering memory stays bounded.
+	// so reordering memory stays bounded. Cancellation stops the feed; the
+	// workers then drain jobs and exit.
 	go func() {
 		defer close(jobs)
 		for bi := range batches {
@@ -153,27 +171,38 @@ func (c *Client) restoreParallel(recipe *mle.Recipe, w io.Writer) error {
 			case sem <- struct{}{}:
 			case <-done:
 				return
+			case <-ctx.Done():
+				return
 			}
 			select {
 			case jobs <- bi:
 			case <-done:
 				return
+			case <-ctx.Done():
+				return
 			}
 		}
 	}()
 
-	// Fetch+decrypt workers.
+	// Fetch+decrypt workers. Each checks for cancellation before starting
+	// a batch, so a cancelled restore stops decrypting within one batch.
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for k := 0; k < workers; k++ {
 		go func() {
 			defer wg.Done()
 			for bi := range jobs {
+				if ctx.Err() != nil {
+					return
+				}
 				res := c.processRestoreBatch(entries, locs, batches[bi], cache)
 				res.idx = bi
 				select {
 				case results <- res:
 				case <-done:
+					releaseRestoreBufs(res.bufs)
+					return
+				case <-ctx.Done():
 					releaseRestoreBufs(res.bufs)
 					return
 				}
@@ -187,7 +216,9 @@ func (c *Client) restoreParallel(recipe *mle.Recipe, w io.Writer) error {
 
 	// In-order writer: reassemble batches in plan order; after the first
 	// error keep draining so every worker exits and every pooled buffer
-	// comes back.
+	// comes back. Cancellation is just another first error: the workers
+	// stop on their own, results closes, and the drain below releases
+	// whatever they had produced.
 	pending := make(map[int]restoreResult, inflight)
 	next := 0
 	var firstErr error
@@ -196,6 +227,11 @@ func (c *Client) restoreParallel(recipe *mle.Recipe, w io.Writer) error {
 		close(done)
 	}
 	for res := range results {
+		if firstErr == nil {
+			if err := ctx.Err(); err != nil {
+				fail(err)
+			}
+		}
 		if firstErr != nil {
 			releaseRestoreBufs(res.bufs)
 			continue
@@ -221,6 +257,12 @@ func (c *Client) restoreParallel(recipe *mle.Recipe, w io.Writer) error {
 	}
 	for _, r := range pending {
 		releaseRestoreBufs(r.bufs)
+	}
+	if firstErr == nil {
+		// The pipeline may have shut down on cancellation before the
+		// writer saw a single result; never report a truncated restore as
+		// success.
+		firstErr = ctx.Err()
 	}
 	return firstErr
 }

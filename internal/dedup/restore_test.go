@@ -2,6 +2,7 @@ package dedup
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"os"
@@ -49,7 +50,7 @@ func TestParallelRestoreMatchesSerial(t *testing.T) {
 				t.Fatal(err)
 			}
 			var serial bytes.Buffer
-			if err := client.restoreSerial(recipe, &serial); err != nil {
+			if err := client.restoreSerial(context.Background(), recipe, &serial); err != nil {
 				t.Fatalf("serial restore: %v", err)
 			}
 			if !bytes.Equal(serial.Bytes(), data) {
@@ -66,7 +67,7 @@ func TestParallelRestoreMatchesSerial(t *testing.T) {
 							t.Fatal(err)
 						}
 						var out bytes.Buffer
-						if err := rc.restoreParallel(recipe, &out); err != nil {
+						if err := rc.restoreParallel(context.Background(), recipe, &out); err != nil {
 							t.Fatalf("parallel restore: %v", err)
 						}
 						if !bytes.Equal(out.Bytes(), serial.Bytes()) {

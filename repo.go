@@ -1,0 +1,525 @@
+package freqdedup
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"freqdedup/internal/container"
+	"freqdedup/internal/dedup"
+	"freqdedup/internal/mle"
+	"freqdedup/internal/trace"
+)
+
+// Repository is the system front door: a long-lived encrypted
+// deduplication store with a durable, snapshot-granular catalog. Where the
+// low-level Store/Client pair asks callers to wire chunking, encryption,
+// upload, recipe handling, and retention registration by hand — and keeps
+// retention state only in memory — a Repository owns the whole lifecycle:
+//
+//   - Backup chunks, encrypts, and deduplicates a stream, seals the recipe
+//     under the repository key, and persists it in a crash-safe snapshot
+//     catalog beside the container shards. A snapshot returned by Backup
+//     survives a process crash.
+//   - OpenRepository replays the catalog, restoring the snapshot list and
+//     the per-chunk reference counts, so GC after a reopen reclaims
+//     exactly the chunks no snapshot references — not everything, which is
+//     what the raw Store's "unregistered = unreferenced" rule does to a
+//     reopened process that forgets to re-register.
+//   - Every data-path method takes a context.Context; cancellation stops
+//     the backup, restore, GC, and verify pipelines promptly and hands
+//     every pooled buffer back.
+//
+// A Repository is safe for concurrent use: concurrent Backups of
+// different names, Restores, and Snapshots listings may overlap. GC
+// stops the world, and additionally excludes in-flight Backups: a
+// backup's chunks are unreferenced until its snapshot is registered, so
+// a GC overlapping the upload would reclaim them out from under the
+// snapshot it is about to acknowledge.
+type Repository struct {
+	store   *dedup.Store
+	catalog *dedup.Catalog
+	cfg     ClientConfig
+	key     Key
+
+	// gcMu serializes GC against in-flight Backups: Backup holds the read
+	// side for its whole upload-to-registration window, GC the write side.
+	// Restores don't need it — they only read chunks referenced by live
+	// snapshots, which GC never reclaims (and the store already handles
+	// mid-restore chunk relocation).
+	gcMu sync.RWMutex
+}
+
+// Encryption selects a Repository's (or ClientConfig's) chunk-encryption
+// scheme: EncConvergent, EncServerAided, or EncMinHash.
+type Encryption = dedup.Encryption
+
+// DedupStats reports a store's deduplication effectiveness.
+type DedupStats = trace.DedupStats
+
+// Snapshot is one completed backup in a repository's catalog.
+type Snapshot struct {
+	// Name is the caller-chosen snapshot name, unique within the
+	// repository.
+	Name string
+	// CreatedAt is when the snapshot's Backup completed.
+	CreatedAt time.Time
+	// LogicalBytes is the snapshot's pre-deduplication size.
+	LogicalBytes uint64
+	// Chunks is the snapshot's logical chunk count.
+	Chunks int
+}
+
+// ErrSnapshotExists is returned by Backup for a name the repository
+// already holds.
+var ErrSnapshotExists = dedup.ErrSnapshotExists
+
+// ErrSnapshotNotFound is returned by Restore and Delete for a name the
+// repository does not hold.
+var ErrSnapshotNotFound = dedup.ErrSnapshotNotFound
+
+// ErrCatalogCorrupt is wrapped by OpenRepository when the snapshot
+// catalog fails structural validation (a torn tail from a crash is
+// recovered silently; this is real damage).
+var ErrCatalogCorrupt = dedup.ErrCatalogCorrupt
+
+// repoOptions collects the functional options of CreateRepository and
+// OpenRepository.
+type repoOptions struct {
+	shards         int
+	containerBytes int
+	backend        StoreBackend
+	cfg            ClientConfig
+	key            Key
+}
+
+// RepositoryOption configures CreateRepository and OpenRepository.
+type RepositoryOption func(*repoOptions)
+
+// WithShards sets the store's shard count in [1, 256]
+// (DefaultStoreShards if unset). Ignored by OpenRepository: a reopened
+// store's shard count comes from its files.
+func WithShards(n int) RepositoryOption {
+	return func(o *repoOptions) { o.shards = n }
+}
+
+// WithContainerBytes sets the container capacity in bytes (the paper's
+// 4 MB if unset). Ignored by OpenRepository: a reopened store's capacity
+// comes from its file headers.
+func WithContainerBytes(n int) RepositoryOption {
+	return func(o *repoOptions) { o.containerBytes = n }
+}
+
+// WithBackend stores sealed containers through a custom StoreBackend
+// instead of the path-derived default (FileBackend for a non-empty path,
+// MemBackend otherwise). The snapshot catalog still lives at the
+// repository path; a custom-backend repository opened later must be given
+// the same path and backend.
+func WithBackend(b StoreBackend) RepositoryOption {
+	return func(o *repoOptions) { o.backend = b }
+}
+
+// WithChunking sets the content-defined chunking parameters
+// (DefaultChunkingParams if unset).
+func WithChunking(p ChunkingParams) RepositoryOption {
+	return func(o *repoOptions) { o.cfg.Chunking = p }
+}
+
+// WithEncryption selects the chunk-encryption scheme (EncConvergent if
+// unset). EncServerAided and EncMinHash also need WithKeyDeriver.
+func WithEncryption(e Encryption) RepositoryOption {
+	return func(o *repoOptions) { o.cfg.Encryption = e }
+}
+
+// WithKeyDeriver supplies the key deriver for EncServerAided and
+// EncMinHash (the key-manager client or NewLocalDeriver).
+func WithKeyDeriver(d KeyDeriver) RepositoryOption {
+	return func(o *repoOptions) { o.cfg.Deriver = d }
+}
+
+// WithScramble enables per-segment upload-order scrambling (Algorithm 5,
+// the paper's second defense). Seed 0 draws a fresh cryptographically
+// random order per backup; a nonzero seed makes the order reproducible.
+func WithScramble(seed int64) RepositoryOption {
+	return func(o *repoOptions) {
+		o.cfg.Scramble = true
+		o.cfg.ScrambleSeed = seed
+	}
+}
+
+// WithWorkers sets how many goroutines the backup encrypt stage and the
+// restore fetch+decrypt stage fan out to (GOMAXPROCS if unset; 1 runs the
+// pipelines inline). Results are identical at every worker count.
+func WithWorkers(n int) RepositoryOption {
+	return func(o *repoOptions) { o.cfg.Workers = n }
+}
+
+// WithRestoreCache bounds the parallel restore pipeline's LRU container
+// cache, in containers (0, the default, disables it). Restored bytes are
+// identical at every setting; on a file-backed repository the cache is
+// what turns restore from one read per chunk into one read per container.
+func WithRestoreCache(containers int) RepositoryOption {
+	return func(o *repoOptions) { o.cfg.RestoreCacheContainers = containers }
+}
+
+// WithRepositoryKey sets the user key that seals snapshot recipes in the
+// catalog (Section 3.3: recipes are conventionally encrypted under the
+// user's own secret). OpenRepository must be given the same key — it is
+// authenticated, so a wrong key fails loudly instead of yielding garbage.
+// The zero-key default is fine for experiments but is no secret at all;
+// production deployments must set a real key.
+func WithRepositoryKey(k Key) RepositoryOption {
+	return func(o *repoOptions) { o.key = k }
+}
+
+// buildRepo assembles a Repository once the backend and catalog exist and
+// validates the client configuration by constructing a probe client.
+func buildRepo(store *dedup.Store, catalog *dedup.Catalog, o *repoOptions) (*Repository, error) {
+	if _, err := dedup.NewClient(store, o.cfg); err != nil {
+		return nil, err
+	}
+	return &Repository{store: store, catalog: catalog, cfg: o.cfg, key: o.key}, nil
+}
+
+// CreateRepository initializes a new repository. With a non-empty path it
+// is file-backed: container shards and the snapshot catalog are created
+// under the directory, and everything a returned Backup acknowledged
+// survives a crash. With an empty path (and no WithBackend) the
+// repository lives entirely in memory — the same API for tests and
+// experiments, durable as nothing.
+//
+// It fails if the directory already holds a repository; use
+// OpenRepository for that.
+func CreateRepository(path string, opts ...RepositoryOption) (*Repository, error) {
+	o := applyOptions(opts)
+	if o.shards < 0 || o.shards > 256 {
+		// Checked before any file is created: a late validation failure
+		// must not leave a half-initialized directory behind.
+		return nil, fmt.Errorf("freqdedup: shard count %d out of range [1, 256]", o.shards)
+	}
+	shards := o.shards
+	if shards == 0 {
+		shards = dedup.DefaultShards
+	}
+	containerBytes := o.containerBytes
+	if containerBytes == 0 {
+		containerBytes = container.DefaultBytes
+	}
+
+	// On any failure past this point, close and REMOVE everything this
+	// call created (shard files, catalog), so a failed create leaves the
+	// directory as it found it instead of bricking both a retried Create
+	// (files exist) and Open (catalog missing). Files behind a
+	// caller-provided backend are the caller's; only the catalog is ours
+	// then.
+	backend := o.backend
+	removeShards := false
+	fail := func(err error) (*Repository, error) {
+		if removeShards {
+			if names, gerr := filepath.Glob(filepath.Join(path, "shard-*.fdc")); gerr == nil {
+				for _, name := range names {
+					os.Remove(name)
+				}
+			}
+		}
+		return nil, err
+	}
+	if backend == nil {
+		if path == "" {
+			backend = container.NewMemBackend(shards)
+		} else {
+			fb, err := container.CreateFileBackend(path, shards, containerBytes)
+			if err != nil {
+				return nil, err
+			}
+			backend = fb
+			removeShards = true
+		}
+	}
+
+	var catalog *dedup.Catalog
+	catalogPath := ""
+	if path == "" {
+		catalog = dedup.NewMemCatalog()
+	} else {
+		catalogPath = filepath.Join(path, dedup.CatalogName)
+		var err error
+		catalog, err = dedup.CreateCatalog(catalogPath)
+		if err != nil {
+			backend.Close()
+			return fail(err)
+		}
+	}
+	failClosing := func(err error) (*Repository, error) {
+		catalog.Close()
+		backend.Close()
+		if catalogPath != "" {
+			os.Remove(catalogPath)
+		}
+		return fail(err)
+	}
+
+	store, err := dedup.NewStoreWithBackend(o.containerBytes, backend)
+	if err != nil {
+		return failClosing(err)
+	}
+	repo, err := buildRepo(store, catalog, o)
+	if err != nil {
+		return failClosing(err)
+	}
+	return repo, nil
+}
+
+// OpenRepository reopens a repository created by CreateRepository: the
+// container shards are revalidated and reindexed, the snapshot catalog is
+// replayed (recovering from a crash-torn tail), and every snapshot's
+// chunk references are re-registered with the store — so Snapshots,
+// Restore, and crucially GC behave exactly as they did before the
+// process restart. The repository key must match the one the snapshots
+// were sealed under.
+func OpenRepository(path string, opts ...RepositoryOption) (*Repository, error) {
+	if path == "" {
+		return nil, errors.New("freqdedup: OpenRepository needs a repository path")
+	}
+	o := applyOptions(opts)
+
+	backend := o.backend
+	cleanup := func() {}
+	// A file-backed store's capacity comes from its file headers —
+	// WithContainerBytes is documented as ignored on open, so new
+	// containers keep packing with the geometry the store was created
+	// with. A custom backend may not record one, so the option applies.
+	containerBytes := o.containerBytes
+	if backend == nil {
+		fb, err := container.OpenFileBackend(path)
+		if err != nil {
+			return nil, err
+		}
+		backend = fb
+		containerBytes = 0
+		cleanup = func() { fb.Close() }
+	}
+	catalog, err := dedup.OpenCatalog(filepath.Join(path, dedup.CatalogName))
+	if err != nil {
+		cleanup()
+		return nil, err
+	}
+	store, err := dedup.NewStoreWithBackend(containerBytes, backend)
+	if err != nil {
+		catalog.Close()
+		cleanup()
+		return nil, err
+	}
+	fail := func(err error) (*Repository, error) {
+		catalog.Close()
+		store.Close()
+		return nil, err
+	}
+	// Rebuild retention state: each snapshot's recipe re-registers its
+	// chunk references, so reference counts equal what a never-restarted
+	// process would hold.
+	for _, rec := range catalog.List() {
+		recipe, err := mle.OpenRecipe(rec.SealedRecipe, o.key)
+		if err != nil {
+			return fail(fmt.Errorf("freqdedup: open snapshot %q recipe (wrong repository key?): %w", rec.Name, err))
+		}
+		if err := store.RegisterBackup(rec.Name, recipe); err != nil {
+			return fail(fmt.Errorf("freqdedup: re-register snapshot %q: %w", rec.Name, err))
+		}
+	}
+	repo, err := buildRepo(store, catalog, o)
+	if err != nil {
+		return fail(err)
+	}
+	return repo, nil
+}
+
+func applyOptions(opts []RepositoryOption) *repoOptions {
+	o := &repoOptions{}
+	for _, opt := range opts {
+		opt(o)
+	}
+	return o
+}
+
+// Backup reads src to EOF, deduplicating its chunks into the repository,
+// and records the result as a snapshot under the given name. The recipe
+// is sealed under the repository key and persisted in the snapshot
+// catalog before Backup returns, and on a file-backed repository the
+// written containers are synced first — an acknowledged snapshot survives
+// a crash.
+//
+// Cancelling ctx stops the pipeline promptly with ctx.Err(); no snapshot
+// is recorded, and chunks uploaded before the cancellation either
+// deduplicate a retried backup or fall to the next GC.
+func (r *Repository) Backup(ctx context.Context, name string, src io.Reader) (Snapshot, error) {
+	if name == "" {
+		return Snapshot{}, errors.New("freqdedup: empty snapshot name")
+	}
+	if _, ok := r.catalog.Get(name); ok {
+		return Snapshot{}, fmt.Errorf("%w: %q", ErrSnapshotExists, name)
+	}
+	// Exclude GC for the whole upload-to-registration window: until
+	// RegisterBackup runs, this backup's chunks look unreferenced and a
+	// concurrent sweep would reclaim them.
+	r.gcMu.RLock()
+	defer r.gcMu.RUnlock()
+	client, err := dedup.NewClient(r.store, r.cfg)
+	if err != nil {
+		return Snapshot{}, err
+	}
+	recipe, err := client.BackupContext(ctx, src)
+	if err != nil {
+		return Snapshot{}, err
+	}
+	// Seal the data before cataloging the snapshot: a snapshot record must
+	// never outlive (or predate) its chunks across a crash.
+	if err := r.store.Sync(); err != nil {
+		return Snapshot{}, err
+	}
+	sealed, err := recipe.Seal(r.key)
+	if err != nil {
+		return Snapshot{}, err
+	}
+	// Truncated to the catalog's persisted precision (Unix seconds), so
+	// the CreatedAt returned here equals the one Snapshots reports after
+	// a reopen.
+	created := time.Unix(time.Now().Unix(), 0)
+	rec := dedup.SnapshotRecord{
+		Name:         name,
+		CreatedUnix:  created.Unix(),
+		LogicalBytes: recipe.TotalSize(),
+		Chunks:       uint32(len(recipe.Entries)),
+		SealedRecipe: sealed,
+	}
+	if err := r.catalog.Add(rec); err != nil {
+		return Snapshot{}, err
+	}
+	if err := r.store.RegisterBackup(name, recipe); err != nil {
+		// Roll the catalog back so it never disagrees with retention
+		// state; the uploaded chunks fall to the next GC.
+		_ = r.catalog.Delete(name)
+		return Snapshot{}, err
+	}
+	return Snapshot{
+		Name:         name,
+		CreatedAt:    created,
+		LogicalBytes: rec.LogicalBytes,
+		Chunks:       len(recipe.Entries),
+	}, nil
+}
+
+// Restore writes the named snapshot's original bytes to w, fetching and
+// decrypting through the parallel restore pipeline. Cancelling ctx stops
+// the pipeline promptly with ctx.Err(); bytes already written to w stay
+// written (the output is a strict prefix).
+func (r *Repository) Restore(ctx context.Context, name string, w io.Writer) error {
+	rec, ok := r.catalog.Get(name)
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrSnapshotNotFound, name)
+	}
+	recipe, err := mle.OpenRecipe(rec.SealedRecipe, r.key)
+	if err != nil {
+		return fmt.Errorf("freqdedup: open snapshot %q recipe: %w", name, err)
+	}
+	client, err := dedup.NewClient(r.store, r.cfg)
+	if err != nil {
+		return err
+	}
+	return client.RestoreContext(ctx, recipe, w)
+}
+
+// Snapshots lists the repository's snapshots sorted by name, each with
+// its size and chunk count. The listing needs no decryption: the summary
+// metadata lives beside the sealed recipes in the catalog.
+func (r *Repository) Snapshots() []Snapshot {
+	recs := r.catalog.List()
+	out := make([]Snapshot, len(recs))
+	for i, rec := range recs {
+		out[i] = Snapshot{
+			Name:         rec.Name,
+			CreatedAt:    time.Unix(rec.CreatedUnix, 0),
+			LogicalBytes: rec.LogicalBytes,
+			Chunks:       int(rec.Chunks),
+		}
+	}
+	return out
+}
+
+// Delete removes the named snapshot from the catalog (durably, before
+// Delete returns) and drops its chunk references. Chunk data is reclaimed
+// by the next GC, not here — other snapshots may share the chunks.
+func (r *Repository) Delete(ctx context.Context, name string) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if err := r.catalog.Delete(name); err != nil {
+		return err
+	}
+	if err := r.store.DeleteBackup(name); err != nil && !errors.Is(err, dedup.ErrUnknownBackup) {
+		return err
+	}
+	return nil
+}
+
+// GC reclaims every chunk no snapshot references, compacting the
+// containers that held them. Thanks to the catalog, this is safe at any
+// point in the repository's life — including right after OpenRepository,
+// where the raw Store API would have reclaimed everything. GC waits for
+// in-flight Backups to finish (and blocks new ones) for the duration of
+// the sweep. Cancelling ctx stops the sweep between shards with partial
+// stats and ctx.Err(); already-swept shards keep their compacted state
+// and a re-run completes the sweep.
+func (r *Repository) GC(ctx context.Context) (GCStats, error) {
+	r.gcMu.Lock()
+	defer r.gcMu.Unlock()
+	return r.store.GCContext(ctx)
+}
+
+// Verify checks the whole repository: every stored chunk's bytes against
+// its fingerprint (and, on a file-backed repository, every container
+// record's checksum), then every snapshot's sealed recipe against the
+// repository key and every recipe entry against the store's index — so a
+// nil return means every snapshot is restorable as written. Cancelling
+// ctx stops the scan with ctx.Err().
+func (r *Repository) Verify(ctx context.Context) error {
+	if err := r.store.Verify(ctx); err != nil {
+		return err
+	}
+	for _, rec := range r.catalog.List() {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		recipe, err := mle.OpenRecipe(rec.SealedRecipe, r.key)
+		if err != nil {
+			return fmt.Errorf("freqdedup: verify snapshot %q: unsealing recipe: %w", rec.Name, err)
+		}
+		for i, e := range recipe.Entries {
+			if !r.store.Contains(e.Fingerprint) {
+				return fmt.Errorf("freqdedup: verify snapshot %q: chunk %d (%v) missing from store",
+					rec.Name, i, e.Fingerprint)
+			}
+		}
+	}
+	return nil
+}
+
+// Stats reports the repository's deduplication effectiveness so far.
+func (r *Repository) Stats() DedupStats { return r.store.Stats() }
+
+// Close seals open containers and releases the repository's files. Every
+// acknowledged snapshot is already durable before Close; closing exists
+// to release resources (and to seal chunks uploaded by raw-store users
+// bypassing Backup). The repository must not be used afterwards.
+func (r *Repository) Close() error {
+	err := r.store.Close()
+	if cerr := r.catalog.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
+	return err
+}

@@ -6,7 +6,10 @@
 # Each stage fails fast with a distinct exit message, so a red CI run
 # names its stage in the last line. GOFLAGS is honored untouched: export
 # e.g. GOFLAGS=-count=1 to defeat test caching. Set CHECK_SKIP_BENCH=1 to
-# skip the bench smoke stage (CI runs it as a separate non-blocking job).
+# skip the bench smoke stage (CI runs it as a separate non-blocking job)
+# and CHECK_SKIP_STATICCHECK=1 to skip static analysis; a missing
+# staticcheck binary downgrades that stage to a notice rather than
+# failing machines that never installed it.
 set -u
 
 cd "$(dirname "$0")/.."
@@ -25,6 +28,15 @@ fi
 
 echo "== go vet"
 go vet ./... || fail "go vet"
+
+if [ "${CHECK_SKIP_STATICCHECK:-0}" != "1" ]; then
+	if command -v staticcheck >/dev/null 2>&1; then
+		echo "== staticcheck"
+		staticcheck ./... || fail "staticcheck"
+	else
+		echo "== staticcheck (skipped: binary not installed; go install honnef.co/go/tools/cmd/staticcheck@latest)"
+	fi
+fi
 
 echo "== go build"
 go build ./... || fail "go build"
