@@ -16,6 +16,7 @@ import (
 	"sync/atomic"
 	"testing"
 
+	"freqdedup/internal/attack"
 	"freqdedup/internal/core"
 	"freqdedup/internal/defense"
 	"freqdedup/internal/eval"
@@ -211,6 +212,36 @@ func BenchmarkAdvancedAttackFSL(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		core.LocalityAttack(enc.Backup, aux, cfg)
 	}
+}
+
+// The streaming-engine counterparts of the three attack benchmarks
+// above: same FSL trace pair, so time/op and allocs/op are directly
+// comparable to the legacy flat-arena engine's numbers.
+
+func benchStreamAttack(b *testing.B, a attack.Attack) {
+	b.Helper()
+	aux, target := fslPair(b)
+	enc := defense.EncryptMLE(target)
+	c, m := attack.BackupSource(enc.Backup), attack.BackupSource(aux)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := a.Run(c, m, attack.Params{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBasicAttackStreamFSL(b *testing.B) {
+	benchStreamAttack(b, attack.NewBasic(attack.Config{}))
+}
+
+func BenchmarkLocalityAttackStreamFSL(b *testing.B) {
+	benchStreamAttack(b, attack.NewLocality(attack.DefaultConfig()))
+}
+
+func BenchmarkAdvancedAttackStreamFSL(b *testing.B) {
+	benchStreamAttack(b, attack.NewAdvanced(attack.DefaultConfig()))
 }
 
 func BenchmarkEncryptMLETrace(b *testing.B) {

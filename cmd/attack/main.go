@@ -19,7 +19,7 @@ import (
 	"fmt"
 	"os"
 
-	"freqdedup/internal/core"
+	"freqdedup/internal/attack"
 	"freqdedup/internal/defense"
 	"freqdedup/internal/eval"
 	"freqdedup/internal/trace"
@@ -101,27 +101,30 @@ func runSingle(path, attackName string, auxIdx, targetIdx int, leakage float64, 
 	aux, target := d.Backups[auxIdx], d.Backups[targetIdx]
 
 	enc := defense.EncryptMLE(target)
-	cfg := core.LocalityConfig{U: u, V: v, W: w, Mode: core.CiphertextOnly}
+	cfg := attack.Config{U: u, V: v, W: w, Mode: attack.CiphertextOnly}
 	if leakage > 0 {
-		cfg.Mode = core.KnownPlaintext
-		cfg.Leaked = core.SampleLeaked(enc.Backup, enc.Truth, leakage, 42)
+		cfg.Mode = attack.KnownPlaintext
+		cfg.Leaked = attack.SampleLeaked(enc.Backup, enc.Truth, leakage, 42)
 	}
 
-	var pairs []core.Pair
-	var stats core.AttackStats
+	var atk attack.Attack
 	switch attackName {
 	case "basic":
-		pairs = core.BasicAttack(enc.Backup, aux)
+		atk = attack.NewBasic(cfg)
 	case "locality":
-		pairs, stats = core.LocalityAttackWithStats(enc.Backup, aux, cfg)
+		atk = attack.NewLocality(cfg)
 	case "advanced":
-		cfg.SizeAware = true
-		pairs, stats = core.LocalityAttackWithStats(enc.Backup, aux, cfg)
+		atk = attack.NewAdvanced(cfg)
 	default:
 		fatal(fmt.Errorf("unknown attack %q", attackName))
 	}
+	res, err := atk.Run(attack.BackupSource(enc.Backup), attack.BackupSource(aux), attack.Params{})
+	if err != nil {
+		fatal(err)
+	}
+	pairs, stats := res.Pairs, res.Stats
 
-	rate := core.InferenceRate(pairs, enc.Truth, enc.Backup)
+	rate := res.InferenceRate(enc.Truth)
 	fmt.Printf("dataset:   %s\n", d.Name)
 	fmt.Printf("aux:       %s (index %d)\n", aux.Label, auxIdx)
 	fmt.Printf("target:    %s (index %d, %d unique ciphertext chunks)\n",

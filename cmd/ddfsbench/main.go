@@ -17,12 +17,18 @@
 // SHA-256 verification. Ctrl-C cancels the in-flight stage cleanly
 // through the context plumbing.
 //
+// -attack benchmarks the streaming attack engine: sharded two-pass
+// counting and the full locality attack over a generated trace, so the
+// effect of table shards and counting workers is visible on real
+// hardware.
+//
 //	ddfsbench            # both cache regimes
 //	ddfsbench -cache 0.25
 //	ddfsbench -pipeline -mb 64 -shards 16 -workers 0
 //	ddfsbench -chunker -mb 256
 //	ddfsbench -restore -mb 64 -workers 0 -cachecontainers 64
 //	ddfsbench -restore -dir /tmp/ddfs-store   # keep the repository around
+//	ddfsbench -attack -mb 256 -shards 16 -workers 0
 package main
 
 import (
@@ -39,9 +45,12 @@ import (
 	"time"
 
 	"freqdedup"
+	"freqdedup/internal/attack"
 	"freqdedup/internal/chunker"
 	"freqdedup/internal/dedup"
+	"freqdedup/internal/defense"
 	"freqdedup/internal/eval"
+	"freqdedup/internal/trace"
 )
 
 func main() {
@@ -53,6 +62,8 @@ func main() {
 		"benchmark the streaming content-defined chunker alone (the ingest stage)")
 	restoreMode := flag.Bool("restore", false,
 		"benchmark backup-to-disk, reopen, and parallel restore end to end")
+	attackMode := flag.Bool("attack", false,
+		"benchmark the streaming attack engine's sharded parallel counting")
 	dir := flag.String("dir", "",
 		"store directory for -restore (empty = temporary directory, removed afterwards)")
 	streamMB := flag.Int("mb", 64, "pipeline stream size in MiB")
@@ -71,6 +82,12 @@ func main() {
 	}
 	if *restoreMode {
 		if err := runRestore(*streamMB, *shards, *workers, *cacheContainers, *dir); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *attackMode {
+		if err := runAttack(*streamMB, *shards, *workers); err != nil {
 			fatal(err)
 		}
 		return
@@ -276,6 +293,54 @@ func runRestore(streamMB, shards, workers, cacheContainers int, dir string) erro
 	}
 	fmt.Printf("restore: %v: %.1f MB/s (verified bit-for-bit)\n",
 		restoreTime.Round(time.Millisecond), mb/restoreTime.Seconds())
+	return nil
+}
+
+// runAttack benchmarks the streaming attack engine: it generates a
+// synthetic trace pair scaled to -mb logical megabytes, encrypts the
+// target under baseline MLE, and times first the two-pass sharded
+// counting alone (via the basic attack, which is counting plus one rank)
+// and then the full locality attack, reporting logical-byte throughput.
+// -shards and -workers select the engine's parallelism; results are
+// bit-identical at every setting.
+func runAttack(streamMB, shards, workers int) error {
+	if streamMB <= 0 {
+		return fmt.Errorf("stream size must be positive")
+	}
+	p := trace.DefaultSyntheticParams()
+	p.InitialBytes = streamMB << 20
+	p.NewDataBytes = (streamMB << 20) / 100
+	p.Snapshots = 2
+	d := trace.GenerateSynthetic(p)
+	aux, target := d.Backups[0], d.Backups[len(d.Backups)-1]
+	enc := defense.EncryptMLE(target)
+	params := attack.Params{Shards: shards, Workers: workers}
+	logicalMB := float64(target.LogicalSize()+aux.LogicalSize()) / (1 << 20)
+	fmt.Printf("attack: %.0f MiB of trace (%d + %d chunks, %d unique targets), shards=%d, workers=%d, GOMAXPROCS=%d\n",
+		logicalMB, len(target.Chunks), len(aux.Chunks), enc.Backup.UniqueCount(),
+		shards, workers, runtime.GOMAXPROCS(0))
+
+	start := time.Now()
+	basic, err := attack.NewBasic(attack.Config{}).Run(attack.BackupSource(enc.Backup), attack.BackupSource(aux), params)
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+	fmt.Printf("counting (basic attack): %v, %.1f MB/s, %d pairs, rate %.2f%%\n",
+		elapsed.Round(time.Millisecond), logicalMB/elapsed.Seconds(),
+		len(basic.Pairs), basic.InferenceRate(enc.Truth)*100)
+
+	cfg := attack.DefaultConfig()
+	start = time.Now()
+	loc, err := attack.NewLocality(cfg).Run(attack.BackupSource(enc.Backup), attack.BackupSource(aux), params)
+	if err != nil {
+		return err
+	}
+	elapsed = time.Since(start)
+	fmt.Printf("locality attack: %v, %.1f MB/s, %d pairs, rate %.2f%% (%d iterations, peak queue %d)\n",
+		elapsed.Round(time.Millisecond), logicalMB/elapsed.Seconds(),
+		len(loc.Pairs), loc.InferenceRate(enc.Truth)*100,
+		loc.Stats.Iterations, loc.Stats.PeakQueue)
 	return nil
 }
 

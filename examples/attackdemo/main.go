@@ -24,20 +24,27 @@ func main() {
 	fmt.Printf("target: backup %s (%d unique ciphertext chunks)\n\n",
 		target.Label, enc.Backup.UniqueCount())
 
+	// The streaming attack engine: each attack consumes replayable
+	// chunk sources (here in-memory backups; a repository's .fdt trace
+	// logs work identically) through sharded parallel counters.
+	cfg := freqdedup.DefaultLocalityConfig()
+	run := func(a freqdedup.Attack, aux *freqdedup.Backup) float64 {
+		res, err := a.Run(
+			freqdedup.BackupAttackSource(enc.Backup),
+			freqdedup.BackupAttackSource(aux),
+			freqdedup.AttackParams{})
+		if err != nil {
+			panic(err)
+		}
+		return res.InferenceRate(enc.Truth)
+	}
+
 	fmt.Printf("%-10s | %-8s | %-9s | %-9s\n", "auxiliary", "basic", "locality", "advanced")
 	fmt.Println("-----------+----------+-----------+----------")
 	for _, aux := range dataset.Backups[:len(dataset.Backups)-1] {
-		basic := freqdedup.InferenceRate(
-			freqdedup.BasicAttack(enc.Backup, aux), enc.Truth, enc.Backup)
-
-		cfg := freqdedup.DefaultLocalityConfig()
-		locality := freqdedup.InferenceRate(
-			freqdedup.LocalityAttack(enc.Backup, aux, cfg), enc.Truth, enc.Backup)
-
-		cfg.SizeAware = true
-		advanced := freqdedup.InferenceRate(
-			freqdedup.LocalityAttack(enc.Backup, aux, cfg), enc.Truth, enc.Backup)
-
+		basic := run(freqdedup.NewBasicAttack(cfg), aux)
+		locality := run(freqdedup.NewLocalityAttack(cfg), aux)
+		advanced := run(freqdedup.NewAdvancedAttack(cfg), aux)
 		fmt.Printf("%-10s | %7.3f%% | %8.2f%% | %8.2f%%\n",
 			aux.Label, basic*100, locality*100, advanced*100)
 	}

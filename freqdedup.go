@@ -31,6 +31,7 @@
 package freqdedup
 
 import (
+	"freqdedup/internal/attack"
 	"freqdedup/internal/chunker"
 	"freqdedup/internal/container"
 	"freqdedup/internal/core"
@@ -277,37 +278,75 @@ var (
 	WriteDataset           = trace.Write
 )
 
-// Attacks (Section 4).
+// Attacks (Section 4). The streaming engine (internal/attack) is the
+// primary implementation: pluggable Attack values consuming replayable
+// AttackSource streams through sharded, parallel, two-pass counters, so
+// the same attacks run on in-memory generator traces and on repository
+// trace logs far larger than RAM, with results bit-identical at every
+// shard and worker count.
 type (
 	// Pair is one inferred ciphertext-plaintext chunk pair.
-	Pair = core.Pair
-	// LocalityConfig parameterizes the locality-based attack.
-	LocalityConfig = core.LocalityConfig
+	Pair = attack.Pair
+	// LocalityConfig parameterizes the attacks (it is the streaming
+	// engine's Config; the legacy name is kept for compatibility).
+	LocalityConfig = attack.Config
+	// AttackConfig is LocalityConfig under the streaming engine's name.
+	AttackConfig = attack.Config
 	// GroundTruth maps ciphertext to true plaintext fingerprints.
-	GroundTruth = core.GroundTruth
+	GroundTruth = attack.GroundTruth
 	// AttackMode selects ciphertext-only or known-plaintext seeding.
-	AttackMode = core.Mode
+	AttackMode = attack.Mode
+	// Attack is one pluggable inference attack (basic / locality /
+	// advanced x ciphertext-only / known-plaintext).
+	Attack = attack.Attack
+	// AttackParams sets the engine's table sharding and counting fan-out.
+	AttackParams = attack.Params
+	// AttackResult is one attack run's inferred pairs, stats, and
+	// inference-rate denominator.
+	AttackResult = attack.Result
+	// AttackSource is a replayable chunk stream an attack consumes.
+	AttackSource = attack.ChunkSource
+	// AttackChunkReader is one open read pass over an AttackSource.
+	AttackChunkReader = attack.ChunkReader
 )
 
 // Attack modes.
 const (
 	// CiphertextOnly seeds the attack from frequency ranks alone.
-	CiphertextOnly = core.CiphertextOnly
+	CiphertextOnly = attack.CiphertextOnly
 	// KnownPlaintext seeds the attack with leaked plaintext pairs.
-	KnownPlaintext = core.KnownPlaintext
+	KnownPlaintext = attack.KnownPlaintext
 )
 
 // AttackStats reports the internals of one locality-attack run.
-type AttackStats = core.AttackStats
+type AttackStats = attack.Stats
 
-// Attack entry points and scoring.
+// Streaming attack engine entry points.
+var (
+	// NewBasicAttack / NewLocalityAttack / NewAdvancedAttack construct
+	// the three attacks; AttackSuite returns all three for one config.
+	NewBasicAttack    = attack.NewBasic
+	NewLocalityAttack = attack.NewLocality
+	NewAdvancedAttack = attack.NewAdvanced
+	AttackSuite       = attack.Suite
+	// BackupAttackSource adapts an in-memory backup stream; repository
+	// trace logs implement AttackSource directly (see TapBackup).
+	BackupAttackSource = attack.BackupSource
+	SampleLeaked       = attack.SampleLeaked
+)
+
+// Legacy materialized-slice attack entry points.
+//
+// Deprecated: use the streaming engine (NewBasicAttack /
+// NewLocalityAttack / NewAdvancedAttack with BackupAttackSource) — its
+// results are proven bit-identical and it also runs on repository trace
+// logs. These remain for compatibility and as the golden reference.
 var (
 	BasicAttack             = core.BasicAttack
 	LocalityAttack          = core.LocalityAttack
 	LocalityAttackWithStats = core.LocalityAttackWithStats
 	DefaultLocalityConfig   = core.DefaultLocalityConfig
 	InferenceRate           = core.InferenceRate
-	SampleLeaked            = core.SampleLeaked
 )
 
 // Defenses (Section 6), simulated at trace level as in Section 7.1.

@@ -1,0 +1,351 @@
+package attack
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"slices"
+
+	"freqdedup/internal/fphash"
+	"freqdedup/internal/trace"
+)
+
+// Pair is one inferred ciphertext-plaintext chunk pair (C, M).
+type Pair struct {
+	C fphash.Fingerprint // ciphertext chunk of the latest backup
+	M fphash.Fingerprint // inferred original plaintext chunk
+}
+
+// GroundTruth maps each ciphertext chunk fingerprint to the fingerprint
+// of the plaintext chunk it encrypts. Trace-level encryption simulations
+// (package defense) produce it alongside the ciphertext stream.
+type GroundTruth map[fphash.Fingerprint]fphash.Fingerprint
+
+// Mode selects how an attack uses auxiliary knowledge (Section 3.3).
+type Mode int
+
+const (
+	// CiphertextOnly models an adversary with only the ciphertext stream
+	// and the auxiliary prior backup: the locality attacks seed their
+	// inferred set by frequency analysis.
+	CiphertextOnly Mode = iota + 1
+	// KnownPlaintext models an adversary that additionally knows some
+	// leaked ciphertext-plaintext pairs of the latest backup.
+	KnownPlaintext
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case CiphertextOnly:
+		return "ciphertext-only"
+	case KnownPlaintext:
+		return "known-plaintext"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Config parameterizes an attack. The zero value means the basic attack's
+// needs (no parameters); the locality attacks read every field.
+type Config struct {
+	// U is the number of seed pairs taken from whole-stream frequency
+	// analysis in ciphertext-only mode (paper default 1).
+	U int
+	// V is the number of pairs returned by each per-neighbor frequency
+	// analysis (paper default 15).
+	V int
+	// W bounds the size of the inferred FIFO set G (paper default 200,000;
+	// scale with dataset size). W <= 0 means unbounded.
+	W int
+	// Mode selects the initialization (default CiphertextOnly). The basic
+	// attack is classical frequency analysis either way: it uses no leaked
+	// pairs (the paper's Algorithm 1 has no known-plaintext variant).
+	Mode Mode
+	// Leaked supplies the known ciphertext-plaintext pairs for
+	// KnownPlaintext mode. Pairs whose chunks do not appear in both
+	// streams are ignored, as in the paper.
+	Leaked []Pair
+	// SizeAware enables the advanced variant (Algorithm 3): every
+	// frequency analysis is refined by chunk-size classification.
+	SizeAware bool
+	// ArbitraryTies makes the per-neighbor frequency analyses break ties
+	// arbitrarily (by fingerprint) instead of by first stream position
+	// (the tie-breaking ablation; the default is the stronger attack).
+	ArbitraryTies bool
+}
+
+// DefaultConfig returns the paper's default locality parameters (u=1,
+// v=15, w=200,000, ciphertext-only).
+func DefaultConfig() Config {
+	return Config{U: 1, V: 15, W: 200000, Mode: CiphertextOnly}
+}
+
+// Params sets the engine's parallelism: how many fingerprint-prefix
+// shards the counting tables are split into and how many goroutines count
+// them. Attack results are bit-identical at every setting — sharding and
+// fan-out change wall-clock time and peak per-shard memory only.
+type Params struct {
+	// Shards is the fingerprint-prefix shard count in [1, 256]
+	// (DefaultShards if zero).
+	Shards int
+	// Workers is the counting fan-out (GOMAXPROCS if zero, capped at
+	// Shards; 1 counts inline with no goroutines).
+	Workers int
+}
+
+// DefaultShards caps the table shard count chosen when Params.Shards is
+// zero — the same default partitioning as the dedup store.
+const DefaultShards = 16
+
+func (p Params) withDefaults() (Params, error) {
+	if p.Workers < 0 {
+		return p, fmt.Errorf("attack: negative worker count %d", p.Workers)
+	}
+	if p.Workers == 0 {
+		p.Workers = runtime.GOMAXPROCS(0)
+	}
+	if p.Shards == 0 {
+		// Sharding exists to give counting workers disjoint ownership;
+		// shards beyond a small multiple of the workers only cost table
+		// memory (and map-allocation overhead on serial runs), so the
+		// default scales with the fan-out. Results are identical at
+		// every setting, so the choice is purely a performance default.
+		p.Shards = 2 * p.Workers
+		if p.Shards > DefaultShards {
+			p.Shards = DefaultShards
+		}
+	}
+	if p.Shards < 1 || p.Shards > 256 {
+		return p, fmt.Errorf("attack: shard count %d out of range [1, 256]", p.Shards)
+	}
+	return p, nil
+}
+
+// Stats reports the internals of one attack run — the quantities behind
+// the paper's Section 5.2 cost discussion.
+type Stats struct {
+	// Seeds is the number of pairs the inferred set was initialized with.
+	Seeds int
+	// Iterations is the number of pairs popped from G and processed.
+	Iterations int
+	// PeakQueue is the maximum number of pending pairs in G.
+	PeakQueue int
+	// DroppedByW is the number of inferred pairs not enqueued because G
+	// was at its w bound (they still count as inferred).
+	DroppedByW int
+	// Inferred is the number of ciphertext-plaintext pairs returned.
+	Inferred int
+}
+
+// Result is one attack run's output.
+type Result struct {
+	// Pairs are the inferred ciphertext-plaintext pairs, sorted by
+	// ciphertext fingerprint. Every C fingerprint occurs in the target
+	// stream.
+	Pairs []Pair
+	// Stats are the run's internals.
+	Stats Stats
+	// UniqueTarget is the number of distinct fingerprints in the target
+	// (ciphertext) stream — the denominator of the inference rate,
+	// computed during counting so scoring needs no second pass.
+	UniqueTarget int
+}
+
+// InferenceRate computes the paper's severity metric: correctly inferred
+// unique ciphertext chunks over total unique ciphertext chunks in the
+// target stream. It equals the legacy core scoring because every inferred
+// pair's ciphertext chunk occurs in the target stream by construction.
+func (r Result) InferenceRate(truth GroundTruth) float64 {
+	if r.UniqueTarget == 0 {
+		return 0
+	}
+	correct := 0
+	for _, p := range r.Pairs {
+		if truth[p.C] == p.M {
+			correct++
+		}
+	}
+	return float64(correct) / float64(r.UniqueTarget)
+}
+
+// Attack is one inference attack against a tapped upload stream: c is the
+// ciphertext stream of the latest (target) backup, m the plaintext stream
+// of a prior backup (the auxiliary information). Implementations are
+// stateless values; Run may be called concurrently with distinct sources.
+type Attack interface {
+	// Name identifies the attack ("basic", "locality", "advanced").
+	Name() string
+	// Run consumes both streams (each once per counting pass) and returns
+	// the inferred pairs. Results are independent of p's parallelism.
+	Run(c, m ChunkSource, p Params) (Result, error)
+}
+
+// NewBasic returns the basic attack (Algorithm 1): whole-stream frequency
+// analysis, pairing chunks rank for rank. Only cfg.SizeAware is read
+// (classical frequency analysis has no other parameters); leaked pairs
+// are ignored in either mode.
+func NewBasic(cfg Config) Attack { return basicAttack{cfg: cfg} }
+
+// NewLocality returns the locality-based attack (Algorithm 2), or the
+// advanced variant (Algorithm 3) when cfg.SizeAware is set.
+func NewLocality(cfg Config) Attack { return localityAttack{cfg: cfg} }
+
+// NewAdvanced returns the advanced locality-based attack (Algorithm 3):
+// NewLocality with size-aware frequency analysis forced on.
+func NewAdvanced(cfg Config) Attack {
+	cfg.SizeAware = true
+	return localityAttack{cfg: cfg}
+}
+
+// Suite returns the full attack matrix for one configuration: basic,
+// locality, and advanced, all sharing cfg's mode and parameters — the
+// loop the experiment drivers iterate.
+func Suite(cfg Config) []Attack {
+	basic := cfg
+	basic.SizeAware = false
+	loc := cfg
+	loc.SizeAware = false
+	return []Attack{NewBasic(basic), NewLocality(loc), NewAdvanced(cfg)}
+}
+
+type basicAttack struct{ cfg Config }
+
+func (a basicAttack) Name() string { return "basic" }
+
+func (a basicAttack) Run(c, m ChunkSource, p Params) (Result, error) {
+	p, err := p.withDefaults()
+	if err != nil {
+		return Result{}, err
+	}
+	tc, tm, err := buildTablePair(c, m, p, false)
+	if err != nil {
+		return Result{}, err
+	}
+	pairs := freqAnalysis(tc.flatAll(), tm.flatAll(), 0, a.cfg.SizeAware, false)
+	return Result{
+		Pairs:        pairs,
+		Stats:        Stats{Inferred: len(pairs)},
+		UniqueTarget: tc.unique(),
+	}, nil
+}
+
+type localityAttack struct{ cfg Config }
+
+func (a localityAttack) Name() string {
+	if a.cfg.SizeAware {
+		return "advanced"
+	}
+	return "locality"
+}
+
+func (a localityAttack) Run(c, m ChunkSource, p Params) (Result, error) {
+	p, err := p.withDefaults()
+	if err != nil {
+		return Result{}, err
+	}
+	cfg := a.cfg
+	if cfg.Mode == 0 {
+		cfg.Mode = CiphertextOnly
+	}
+	tc, tm, err := buildTablePair(c, m, p, true)
+	if err != nil {
+		return Result{}, err
+	}
+
+	// Initialize the inferred set G (FIFO queue) and the result set T.
+	var g []Pair
+	switch cfg.Mode {
+	case KnownPlaintext:
+		for _, pr := range cfg.Leaked {
+			if !tc.has(pr.C) || !tm.has(pr.M) {
+				continue
+			}
+			g = append(g, pr)
+		}
+	default:
+		g = freqAnalysis(tc.flatAll(), tm.flatAll(), cfg.U, cfg.SizeAware, false)
+	}
+
+	stats := Stats{Seeds: len(g)}
+
+	t := make(map[fphash.Fingerprint]fphash.Fingerprint, len(g))
+	for _, pr := range g {
+		if _, ok := t[pr.C]; !ok {
+			t[pr.C] = pr.M
+		}
+	}
+
+	// Main loop: pop a pair, infer through left and right neighbors. The
+	// two flatten buffers are reused across all iterations.
+	var ecBuf, emBuf []freqEntry
+	for head := 0; head < len(g); head++ {
+		cur := g[head]
+		stats.Iterations++
+		ecBuf = tc.lrow(cur.C).flatInto(ecBuf, tc)
+		emBuf = tm.lrow(cur.M).flatInto(emBuf, tm)
+		tl := freqAnalysis(ecBuf, emBuf, cfg.V, cfg.SizeAware, !cfg.ArbitraryTies)
+		ecBuf = tc.rrow(cur.C).flatInto(ecBuf, tc)
+		emBuf = tm.rrow(cur.M).flatInto(emBuf, tm)
+		tr := freqAnalysis(ecBuf, emBuf, cfg.V, cfg.SizeAware, !cfg.ArbitraryTies)
+		for _, side := range [2][]Pair{tl, tr} {
+			for _, pr := range side {
+				if _, seen := t[pr.C]; seen {
+					continue
+				}
+				t[pr.C] = pr.M
+				if cfg.W <= 0 || len(g)-head <= cfg.W {
+					g = append(g, pr)
+				} else {
+					stats.DroppedByW++
+				}
+			}
+		}
+		if pending := len(g) - head - 1; pending > stats.PeakQueue {
+			stats.PeakQueue = pending
+		}
+	}
+
+	out := make([]Pair, 0, len(t))
+	for cf, mf := range t {
+		out = append(out, Pair{C: cf, M: mf})
+	}
+	slices.SortFunc(out, func(a, b Pair) int { return a.C.Compare(b.C) })
+	stats.Inferred = len(out)
+	return Result{Pairs: out, Stats: stats, UniqueTarget: tc.unique()}, nil
+}
+
+// SampleLeaked draws leaked ciphertext-plaintext pairs for known-plaintext
+// mode: a uniform sample of unique ciphertext chunks of the target backup,
+// paired with their true plaintexts, sized so that
+// len(result)/unique(target) equals leakageRate (Section 5.3.3). The seed
+// makes the sample reproducible; the randomness is a private *rand.Rand,
+// never global generator state.
+func SampleLeaked(target *trace.Backup, truth GroundTruth, leakageRate float64, seed int64) []Pair {
+	if leakageRate <= 0 {
+		return nil
+	}
+	seen := make(map[fphash.Fingerprint]struct{}, len(target.Chunks))
+	uniq := make([]fphash.Fingerprint, 0, len(target.Chunks))
+	for _, ch := range target.Chunks {
+		if _, ok := seen[ch.FP]; ok {
+			continue
+		}
+		seen[ch.FP] = struct{}{}
+		uniq = append(uniq, ch.FP)
+	}
+	slices.SortFunc(uniq, fphash.Fingerprint.Compare)
+	n := int(float64(len(uniq))*leakageRate + 0.5)
+	if n > len(uniq) {
+		n = len(uniq)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(len(uniq), func(i, j int) { uniq[i], uniq[j] = uniq[j], uniq[i] })
+	out := make([]Pair, 0, n)
+	for _, cf := range uniq[:n] {
+		if mf, ok := truth[cf]; ok {
+			out = append(out, Pair{C: cf, M: mf})
+		}
+	}
+	return out
+}

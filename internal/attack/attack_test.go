@@ -1,0 +1,253 @@
+package attack
+
+import (
+	"errors"
+	"io"
+	"sync"
+	"testing"
+
+	"freqdedup/internal/fphash"
+	"freqdedup/internal/trace"
+)
+
+func fp(v uint64) fphash.Fingerprint { return fphash.FromUint64(v) }
+
+func stream(label string, size uint32, ids ...uint64) *trace.Backup {
+	b := &trace.Backup{Label: label}
+	for _, id := range ids {
+		b.Chunks = append(b.Chunks, trace.ChunkRef{FP: fp(id), Size: size})
+	}
+	return b
+}
+
+// paperExample reproduces the worked example of Figure 3 (the same
+// fixture the legacy core tests use).
+func paperExample() (c, m *trace.Backup, truth GroundTruth) {
+	m = stream("prior", 4096, 101, 102, 101, 102, 103, 104, 102, 103, 104)
+	c = stream("latest", 4096, 1, 2, 5, 2, 1, 2, 3, 4, 2, 3, 4, 4)
+	truth = GroundTruth{
+		fp(1): fp(101), fp(2): fp(102), fp(3): fp(103), fp(4): fp(104),
+		fp(5): fp(999),
+	}
+	return c, m, truth
+}
+
+func mustRun(t *testing.T, a Attack, c, m *trace.Backup, p Params) Result {
+	t.Helper()
+	res, err := a.Run(BackupSource(c), BackupSource(m), p)
+	if err != nil {
+		t.Fatalf("%s: %v", a.Name(), err)
+	}
+	return res
+}
+
+func TestLocalityAttackPaperExample(t *testing.T) {
+	c, m, truth := paperExample()
+	res := mustRun(t, NewLocality(Config{U: 1, V: 1, W: 0}), c, m, Params{})
+	inferred := make(map[fphash.Fingerprint]fphash.Fingerprint)
+	for _, p := range res.Pairs {
+		inferred[p.C] = p.M
+	}
+	for i := uint64(1); i <= 4; i++ {
+		if inferred[fp(i)] != truth[fp(i)] {
+			t.Errorf("C%d inferred as %v, want M%d", i, inferred[fp(i)], i)
+		}
+	}
+	if rate := res.InferenceRate(truth); rate != 0.8 {
+		t.Errorf("inference rate = %.2f, want 0.80", rate)
+	}
+	if res.UniqueTarget != 5 {
+		t.Errorf("UniqueTarget = %d, want 5", res.UniqueTarget)
+	}
+}
+
+func TestBasicWeakerThanLocality(t *testing.T) {
+	c, m, truth := paperExample()
+	basic := mustRun(t, NewBasic(Config{}), c, m, Params{}).InferenceRate(truth)
+	loc := mustRun(t, NewLocality(Config{U: 1, V: 1}), c, m, Params{}).InferenceRate(truth)
+	if basic >= loc {
+		t.Fatalf("basic (%.2f) should be weaker than locality (%.2f)", basic, loc)
+	}
+}
+
+// erroringSource fails after a few reads; attacks must propagate the
+// error instead of returning a truncated-count result.
+type erroringSource struct{}
+
+func (erroringSource) Open() (ChunkReader, error) { return &erroringReader{}, nil }
+
+type erroringReader struct{ reads int }
+
+var errBoom = errors.New("boom")
+
+func (r *erroringReader) Read(buf []trace.ChunkRef) (int, error) {
+	if r.reads >= 2 {
+		return 0, errBoom
+	}
+	r.reads++
+	for i := range buf {
+		buf[i] = trace.ChunkRef{FP: fp(uint64(i + 1)), Size: 64}
+	}
+	return len(buf), nil
+}
+
+func (r *erroringReader) Close() error { return nil }
+
+func TestSourceErrorPropagates(t *testing.T) {
+	_, m, _ := paperExample()
+	for _, workers := range []int{1, 4} {
+		_, err := NewLocality(DefaultConfig()).Run(erroringSource{}, BackupSource(m), Params{Shards: 4, Workers: workers})
+		if !errors.Is(err, errBoom) {
+			t.Fatalf("workers=%d: err = %v, want errBoom", workers, err)
+		}
+	}
+}
+
+// shortReadSource wraps a slice source but returns at most k refs per
+// Read, exercising the scan's batch-fill loop across read boundaries.
+type shortReadSource struct {
+	refs []trace.ChunkRef
+	k    int
+}
+
+func (s shortReadSource) Open() (ChunkReader, error) {
+	return &shortReader{refs: s.refs, k: s.k}, nil
+}
+
+type shortReader struct {
+	refs []trace.ChunkRef
+	k    int
+	pos  int
+}
+
+func (r *shortReader) Read(buf []trace.ChunkRef) (int, error) {
+	if r.pos >= len(r.refs) {
+		return 0, io.EOF
+	}
+	lim := r.k
+	if lim > len(buf) {
+		lim = len(buf)
+	}
+	n := copy(buf[:lim], r.refs[r.pos:])
+	r.pos += n
+	return n, nil
+}
+
+func (r *shortReader) Close() error { return nil }
+
+func TestShortReadsEquivalent(t *testing.T) {
+	c, m, truth := paperExample()
+	want := mustRun(t, NewLocality(Config{U: 1, V: 1}), c, m, Params{})
+	for _, k := range []int{1, 3, 7} {
+		res, err := NewLocality(Config{U: 1, V: 1}).Run(
+			shortReadSource{refs: c.Chunks, k: k},
+			shortReadSource{refs: m.Chunks, k: k},
+			Params{Shards: 4, Workers: 2},
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !pairsEqual(res.Pairs, want.Pairs) {
+			t.Fatalf("k=%d: pairs differ from whole-slice run", k)
+		}
+		if res.InferenceRate(truth) != want.InferenceRate(truth) {
+			t.Fatalf("k=%d: rates differ", k)
+		}
+	}
+}
+
+func pairsEqual(a, b []Pair) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestShardWorkerInvariance pins the engine's central determinism claim:
+// identical pairs, stats, and unique counts at every shard and worker
+// combination.
+func TestShardWorkerInvariance(t *testing.T) {
+	ds := testStreams(t)
+	cfg := Config{U: 2, V: 5, W: 500, SizeAware: true}
+	base := mustRun(t, NewLocality(cfg), ds.c, ds.m, Params{Shards: 1, Workers: 1})
+	for _, shards := range []int{1, 3, 16, 64} {
+		for _, workers := range []int{1, 2, 8} {
+			res := mustRun(t, NewLocality(cfg), ds.c, ds.m, Params{Shards: shards, Workers: workers})
+			if !pairsEqual(res.Pairs, base.Pairs) {
+				t.Fatalf("shards=%d workers=%d: pairs differ", shards, workers)
+			}
+			if res.Stats != base.Stats {
+				t.Fatalf("shards=%d workers=%d: stats %+v != %+v", shards, workers, res.Stats, base.Stats)
+			}
+			if res.UniqueTarget != base.UniqueTarget {
+				t.Fatalf("shards=%d workers=%d: unique %d != %d", shards, workers, res.UniqueTarget, base.UniqueTarget)
+			}
+		}
+	}
+}
+
+type streams struct{ c, m *trace.Backup }
+
+// testStreams builds a moderately sized, locality-rich stream pair from
+// the synthetic generator (deterministic).
+func testStreams(t *testing.T) streams {
+	t.Helper()
+	p := trace.DefaultSyntheticParams()
+	p.InitialBytes = 2 << 20
+	p.NewDataBytes = 32 << 10
+	p.Snapshots = 2
+	d := trace.GenerateSynthetic(p)
+	return streams{c: d.Backups[len(d.Backups)-1], m: d.Backups[0]}
+}
+
+// TestConcurrentRuns exercises one Attack value running concurrently
+// with distinct sources (the documented contract), under -race.
+func TestConcurrentRuns(t *testing.T) {
+	ds := testStreams(t)
+	a := NewLocality(DefaultConfig())
+	want := mustRun(t, a, ds.c, ds.m, Params{})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res, err := a.Run(BackupSource(ds.c), BackupSource(ds.m), Params{Shards: 8, Workers: 2})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if !pairsEqual(res.Pairs, want.Pairs) {
+				t.Error("concurrent run diverged")
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestParamsValidation(t *testing.T) {
+	c, m, _ := paperExample()
+	if _, err := NewBasic(Config{}).Run(BackupSource(c), BackupSource(m), Params{Shards: 300}); err == nil {
+		t.Fatal("shards=300 must be rejected")
+	}
+	if _, err := NewBasic(Config{}).Run(BackupSource(c), BackupSource(m), Params{Workers: -1}); err == nil {
+		t.Fatal("workers=-1 must be rejected")
+	}
+}
+
+func TestSuite(t *testing.T) {
+	got := Suite(Config{U: 1, V: 15, W: 1000, SizeAware: true})
+	names := []string{"basic", "locality", "advanced"}
+	if len(got) != len(names) {
+		t.Fatalf("suite has %d attacks, want %d", len(got), len(names))
+	}
+	for i, a := range got {
+		if a.Name() != names[i] {
+			t.Fatalf("suite[%d] = %q, want %q", i, a.Name(), names[i])
+		}
+	}
+}

@@ -1,0 +1,70 @@
+package attack
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"freqdedup/internal/trace"
+)
+
+var (
+	benchOnce sync.Once
+	benchC    *trace.Backup
+	benchM    *trace.Backup
+)
+
+// benchStreams generates one locality-rich trace pair shared by every
+// benchmark in the package.
+func benchStreams() (c, m *trace.Backup) {
+	benchOnce.Do(func() {
+		p := trace.DefaultSyntheticParams()
+		p.InitialBytes = 24 << 20
+		p.NewDataBytes = 256 << 10
+		p.Snapshots = 2
+		d := trace.GenerateSynthetic(p)
+		benchC = d.Backups[len(d.Backups)-1]
+		benchM = d.Backups[0]
+	})
+	return benchC, benchM
+}
+
+// BenchmarkAttackStreaming measures the sharded two-pass counting core —
+// the throughput floor of every attack — at increasing shard counts,
+// with the worker fan-out matched to the shards (capped by GOMAXPROCS
+// there is still one broadcast per batch, so single-core runs expose the
+// sharding overhead rather than hiding it). bytes/op is the logical
+// trace volume counted per run.
+func BenchmarkAttackStreaming(b *testing.B) {
+	c, m := benchStreams()
+	logical := int64(c.LogicalSize() + m.LogicalSize())
+	for _, shards := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			p, err := Params{Shards: shards, Workers: shards}.withDefaults()
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(logical)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := buildTablePair(BackupSource(c), BackupSource(m), p, true); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAttackStreamingLocality times the full streaming locality
+// attack (counting + walk) at the default engine parallelism.
+func BenchmarkAttackStreamingLocality(b *testing.B) {
+	c, m := benchStreams()
+	b.SetBytes(int64(c.LogicalSize() + m.LogicalSize()))
+	b.ReportAllocs()
+	a := NewLocality(DefaultConfig())
+	for i := 0; i < b.N; i++ {
+		if _, err := a.Run(BackupSource(c), BackupSource(m), Params{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

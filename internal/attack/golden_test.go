@@ -1,0 +1,137 @@
+package attack_test
+
+// The golden-equivalence suite: the streaming sharded engine
+// (internal/attack) must produce bit-identical inference pairs, run
+// stats, and inference rates to the frozen reference engine
+// (internal/core) on the FSL, VM, and synthetic generator traces, for
+// all three attacks in both modes, at every shard/worker combination.
+// This is the contract that lets the rest of the system retarget onto
+// the streaming engine without re-validating a single figure.
+
+import (
+	"fmt"
+	"testing"
+
+	"freqdedup/internal/attack"
+	"freqdedup/internal/core"
+	"freqdedup/internal/defense"
+	"freqdedup/internal/trace"
+)
+
+// goldenDatasets builds reduced generator datasets (the same scaling
+// approach as the eval tests) — real frequency skew and locality, small
+// enough to sweep the full equivalence matrix quickly.
+func goldenDatasets() []*trace.Dataset {
+	fsl := trace.DefaultFSLParams()
+	fsl.Users = 2
+	fsl.PerUserBytes = 2 << 20
+	syn := trace.DefaultSyntheticParams()
+	syn.InitialBytes = 3 << 20
+	syn.NewDataBytes = 48 << 10
+	syn.Snapshots = 3
+	vm := trace.DefaultVMParams()
+	vm.Students = 3
+	vm.BaseImageBytes = 1 << 20
+	vm.Weeks = 4
+	vm.HeavyStart, vm.HeavyEnd = 2, 3
+	return []*trace.Dataset{
+		trace.GenerateFSL(fsl),
+		trace.GenerateSynthetic(syn),
+		trace.GenerateVM(vm),
+	}
+}
+
+func TestGoldenEquivalence(t *testing.T) {
+	params := []attack.Params{
+		{Shards: 1, Workers: 1},
+		{Shards: 4, Workers: 2},
+		{Shards: 16, Workers: 8},
+	}
+	for _, d := range goldenDatasets() {
+		d := d
+		t.Run(d.Name, func(t *testing.T) {
+			n := len(d.Backups)
+			aux := d.Backups[0]
+			target := d.Backups[n-1]
+			enc := defense.EncryptMLE(target)
+			leaked := attack.SampleLeaked(enc.Backup, enc.Truth, 0.002, 42)
+			if len(leaked) == 0 {
+				t.Fatalf("no leaked pairs drawn — dataset too small for the KP mode test")
+			}
+
+			for _, mode := range []attack.Mode{attack.CiphertextOnly, attack.KnownPlaintext} {
+				cfg := attack.Config{U: 2, V: 5, W: 200, Mode: mode}
+				if mode == attack.KnownPlaintext {
+					cfg.Leaked = leaked
+				}
+
+				// Reference results from the frozen core engine.
+				basicRef := core.BasicAttack(enc.Backup, aux)
+				locCfg := cfg
+				locRef, locStats := core.LocalityAttackWithStats(enc.Backup, aux, locCfg)
+				advCfg := cfg
+				advCfg.SizeAware = true
+				advRef, advStats := core.LocalityAttackWithStats(enc.Backup, aux, advCfg)
+
+				cases := []struct {
+					atk       attack.Attack
+					wantPairs []attack.Pair
+					wantStats *attack.Stats
+				}{
+					{attack.NewBasic(cfg), basicRef, nil},
+					{attack.NewLocality(locCfg), locRef, &locStats},
+					{attack.NewAdvanced(cfg), advRef, &advStats},
+				}
+				for _, tc := range cases {
+					wantRate := core.InferenceRate(tc.wantPairs, enc.Truth, enc.Backup)
+					for _, p := range params {
+						name := fmt.Sprintf("%s/%s/shards=%d,workers=%d", tc.atk.Name(), mode, p.Shards, p.Workers)
+						res, err := tc.atk.Run(attack.BackupSource(enc.Backup), attack.BackupSource(aux), p)
+						if err != nil {
+							t.Fatalf("%s: %v", name, err)
+						}
+						if len(res.Pairs) != len(tc.wantPairs) {
+							t.Fatalf("%s: %d pairs, core has %d", name, len(res.Pairs), len(tc.wantPairs))
+						}
+						for i := range res.Pairs {
+							if res.Pairs[i] != tc.wantPairs[i] {
+								t.Fatalf("%s: pair %d = %v, core has %v", name, i, res.Pairs[i], tc.wantPairs[i])
+							}
+						}
+						if tc.wantStats != nil && res.Stats != *tc.wantStats {
+							t.Fatalf("%s: stats %+v, core has %+v", name, res.Stats, *tc.wantStats)
+						}
+						if got := res.InferenceRate(enc.Truth); got != wantRate {
+							t.Fatalf("%s: rate %v, core computes %v", name, got, wantRate)
+						}
+						if res.UniqueTarget != enc.Backup.UniqueCount() {
+							t.Fatalf("%s: UniqueTarget %d, want %d", name, res.UniqueTarget, enc.Backup.UniqueCount())
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestGoldenEquivalenceArbitraryTies covers the tie-breaking ablation
+// knob on one dataset.
+func TestGoldenEquivalenceArbitraryTies(t *testing.T) {
+	d := goldenDatasets()[0]
+	aux, target := d.Backups[0], d.Backups[len(d.Backups)-1]
+	enc := defense.EncryptMLE(target)
+	cfg := attack.Config{U: 1, V: 15, W: 1000, ArbitraryTies: true}
+	ref := core.LocalityAttack(enc.Backup, aux, cfg)
+	res, err := attack.NewLocality(cfg).Run(attack.BackupSource(enc.Backup), attack.BackupSource(aux), attack.Params{Shards: 8, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Pairs) != len(ref) {
+		t.Fatalf("%d pairs, core has %d", len(res.Pairs), len(ref))
+	}
+	for i := range ref {
+		if res.Pairs[i] != ref[i] {
+			t.Fatalf("pair %d = %v, core has %v", i, res.Pairs[i], ref[i])
+		}
+	}
+}

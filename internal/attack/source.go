@@ -1,0 +1,71 @@
+package attack
+
+import (
+	"io"
+
+	"freqdedup/internal/trace"
+)
+
+// ChunkReader streams chunk references in logical (upload) order. It is
+// the attack-side analogue of io.Reader: Read fills buf with the next
+// references of the stream and returns how many were filled. A positive
+// count with a nil error means progress; io.EOF (possibly alongside a
+// final positive count) ends the stream. Readers need not be safe for
+// concurrent use; each counting pass uses its own reader.
+type ChunkReader interface {
+	Read(buf []trace.ChunkRef) (n int, err error)
+	Close() error
+}
+
+// ChunkSource is a replayable chunk stream — what the attacks consume
+// instead of materialized []trace.ChunkRef slices, so a trace far larger
+// than RAM (a repository's .fdt adversary log) can be attacked without
+// ever being loaded whole. Open may be called several times: the
+// two-pass counters open the stream once per pass, and the ciphertext
+// and plaintext streams of one attack are counted concurrently, so
+// readers returned by separate Open calls must not share mutable state.
+type ChunkSource interface {
+	Open() (ChunkReader, error)
+}
+
+// ChunkCounter is optionally implemented by sources that know their
+// stream length up front (in-memory slices, committed trace-log
+// backups). The counters use it purely to pre-size their tables —
+// results are identical with or without it.
+type ChunkCounter interface {
+	ChunkCount() int64
+}
+
+// sliceSource adapts an in-memory chunk slice to ChunkSource. Every Open
+// returns an independent cursor over the shared backing array.
+type sliceSource []trace.ChunkRef
+
+func (s sliceSource) Open() (ChunkReader, error) { return &sliceReader{refs: s}, nil }
+
+func (s sliceSource) ChunkCount() int64 { return int64(len(s)) }
+
+type sliceReader struct {
+	refs []trace.ChunkRef
+	pos  int
+}
+
+func (r *sliceReader) Read(buf []trace.ChunkRef) (int, error) {
+	n := copy(buf, r.refs[r.pos:])
+	r.pos += n
+	if n == 0 {
+		return 0, io.EOF
+	}
+	return n, nil
+}
+
+func (r *sliceReader) Close() error { return nil }
+
+// SliceSource returns a ChunkSource over an in-memory chunk slice. The
+// slice is shared, not copied; callers must not mutate it while attacks
+// run.
+func SliceSource(refs []trace.ChunkRef) ChunkSource { return sliceSource(refs) }
+
+// BackupSource returns a ChunkSource over a materialized backup stream —
+// the bridge from the trace generators and the defense simulations to the
+// streaming engine.
+func BackupSource(b *trace.Backup) ChunkSource { return sliceSource(b.Chunks) }

@@ -1,66 +1,32 @@
 package core
 
 import (
-	"fmt"
-	"math/rand"
 	"slices"
 
+	"freqdedup/internal/attack"
 	"freqdedup/internal/fphash"
 	"freqdedup/internal/trace"
 )
 
 // Mode selects how the locality-based attack initializes its inferred set
-// (Section 3.3).
-type Mode int
+// (Section 3.3). It is the streaming engine's mode type; the two engines
+// share one vocabulary.
+type Mode = attack.Mode
 
 const (
 	// CiphertextOnly models an adversary with only the ciphertext stream
 	// and the auxiliary prior backup: the inferred set is seeded by
 	// frequency analysis.
-	CiphertextOnly Mode = iota + 1
+	CiphertextOnly = attack.CiphertextOnly
 	// KnownPlaintext models an adversary that additionally knows some
 	// leaked ciphertext-plaintext pairs of the latest backup.
-	KnownPlaintext
+	KnownPlaintext = attack.KnownPlaintext
 )
 
-// String implements fmt.Stringer.
-func (m Mode) String() string {
-	switch m {
-	case CiphertextOnly:
-		return "ciphertext-only"
-	case KnownPlaintext:
-		return "known-plaintext"
-	default:
-		return fmt.Sprintf("Mode(%d)", int(m))
-	}
-}
-
 // LocalityConfig parameterizes the locality-based attack (Algorithm 2).
-type LocalityConfig struct {
-	// U is the number of seed pairs taken from whole-stream frequency
-	// analysis in ciphertext-only mode (paper default 1).
-	U int
-	// V is the number of pairs returned by each per-neighbor frequency
-	// analysis (paper default 15).
-	V int
-	// W bounds the size of the inferred FIFO set G (paper default 200,000;
-	// scale with dataset size). W <= 0 means unbounded.
-	W int
-	// Mode selects the initialization (default CiphertextOnly).
-	Mode Mode
-	// Leaked supplies the known ciphertext-plaintext pairs for
-	// KnownPlaintext mode. Pairs whose chunks do not appear in both streams
-	// are ignored, as in the paper.
-	Leaked []Pair
-	// SizeAware enables the advanced locality-based attack (Algorithm 3):
-	// every frequency analysis is refined by chunk-size classification.
-	SizeAware bool
-	// ArbitraryTies makes the per-neighbor frequency analyses break ties
-	// arbitrarily (by fingerprint) instead of by first stream position.
-	// The default (false) is the stronger attack; this knob exists for the
-	// tie-breaking ablation (see the package comment).
-	ArbitraryTies bool
-}
+// It is the streaming engine's Config — the same value drives both
+// engines, which is what the golden-equivalence suite exercises.
+type LocalityConfig = attack.Config
 
 // DefaultLocalityConfig returns the paper's default parameters (u=1, v=15,
 // w=200,000, ciphertext-only).
@@ -95,20 +61,9 @@ func BasicAttack(c, m *trace.Backup) []Pair {
 
 // AttackStats reports the internals of one locality-attack run — the
 // quantities behind the paper's Section 5.2 cost discussion (the inferred
-// set G drives both memory use and running time).
-type AttackStats struct {
-	// Seeds is the number of pairs the inferred set was initialized with.
-	Seeds int
-	// Iterations is the number of pairs popped from G and processed.
-	Iterations int
-	// PeakQueue is the maximum number of pending pairs in G.
-	PeakQueue int
-	// DroppedByW is the number of inferred pairs not enqueued because G
-	// was at its w bound (they still count as inferred).
-	DroppedByW int
-	// Inferred is the number of ciphertext-plaintext pairs returned.
-	Inferred int
-}
+// set G drives both memory use and running time). It is the streaming
+// engine's Stats type.
+type AttackStats = attack.Stats
 
 // LocalityAttack runs the locality-based attack (Algorithm 2), or the
 // advanced locality-based attack (Algorithm 3) when cfg.SizeAware is set.
@@ -184,9 +139,8 @@ func LocalityAttackWithStats(c, m *trace.Backup, cfg LocalityConfig) ([]Pair, At
 }
 
 // GroundTruth maps each ciphertext chunk fingerprint to the fingerprint of
-// the plaintext chunk it encrypts. Trace-level encryption simulations
-// (package defense) produce it alongside the ciphertext stream.
-type GroundTruth map[fphash.Fingerprint]fphash.Fingerprint
+// the plaintext chunk it encrypts. It is the streaming engine's type.
+type GroundTruth = attack.GroundTruth
 
 // InferenceRate computes the paper's severity metric: the number of unique
 // ciphertext chunks of the target backup whose plaintext was inferred
@@ -213,35 +167,6 @@ func InferenceRate(inferred []Pair, truth GroundTruth, target *trace.Backup) flo
 }
 
 // SampleLeaked draws leaked ciphertext-plaintext pairs for known-plaintext
-// mode: a uniform sample of unique ciphertext chunks of the target backup,
-// paired with their true plaintexts, sized so that
-// len(result)/unique(target) equals leakageRate (Section 5.3.3). The seed
-// makes the sample reproducible.
-func SampleLeaked(target *trace.Backup, truth GroundTruth, leakageRate float64, seed int64) []Pair {
-	if leakageRate <= 0 {
-		return nil
-	}
-	seen := make(map[fphash.Fingerprint]struct{}, len(target.Chunks))
-	uniq := make([]fphash.Fingerprint, 0, len(target.Chunks))
-	for _, ch := range target.Chunks {
-		if _, ok := seen[ch.FP]; ok {
-			continue
-		}
-		seen[ch.FP] = struct{}{}
-		uniq = append(uniq, ch.FP)
-	}
-	slices.SortFunc(uniq, fphash.Fingerprint.Compare)
-	n := int(float64(len(uniq))*leakageRate + 0.5)
-	if n > len(uniq) {
-		n = len(uniq)
-	}
-	rng := rand.New(rand.NewSource(seed))
-	rng.Shuffle(len(uniq), func(i, j int) { uniq[i], uniq[j] = uniq[j], uniq[i] })
-	out := make([]Pair, 0, n)
-	for _, cf := range uniq[:n] {
-		if mf, ok := truth[cf]; ok {
-			out = append(out, Pair{C: cf, M: mf})
-		}
-	}
-	return out
-}
+// mode. It is the streaming engine's sampler — same seeds, same samples,
+// so leaked sets drawn here drive both engines identically.
+var SampleLeaked = attack.SampleLeaked

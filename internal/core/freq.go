@@ -48,20 +48,28 @@
 //     strong, locality-justified alignment signal; breaking these ties
 //     arbitrarily would discard exploitable structure and understate the
 //     attack.
+//
+// Deprecated: this package is the frozen, materialized-slice reference
+// engine. New code should use package attack — the streaming, sharded,
+// parallel engine whose output the golden-equivalence suite proves
+// bit-identical to this one (pairs, stats, and inference rates) on the
+// generator traces for all three attacks in both modes. The shared types
+// (Pair, GroundTruth, Mode, LocalityConfig, AttackStats) are aliases of
+// the attack package's, so values flow between the engines unchanged;
+// see internal/attack's package documentation for the migration table.
 package core
 
 import (
 	"slices"
 
+	"freqdedup/internal/attack"
 	"freqdedup/internal/fphash"
 	"freqdedup/internal/trace"
 )
 
-// Pair is one inferred ciphertext-plaintext chunk pair (C, M).
-type Pair struct {
-	C fphash.Fingerprint // ciphertext chunk of the latest backup
-	M fphash.Fingerprint // inferred original plaintext chunk
-}
+// Pair is one inferred ciphertext-plaintext chunk pair (C, M). It is the
+// streaming engine's pair type.
+type Pair = attack.Pair
 
 // stat is one chunk's (or neighbor pair's) frequency record: its occurrence
 // count and the stream position of its first occurrence (for tie-breaking).

@@ -70,6 +70,25 @@ type Config struct {
 	// disables the cache — every read batch fetches its container from
 	// the store. Restored bytes are identical at every setting.
 	RestoreCacheContainers int
+	// Observer, when non-nil, taps the post-encryption upload stream:
+	// it receives every uploaded chunk's ciphertext fingerprint and
+	// ciphertext size in upload (wire) order — exactly the Section 3.3
+	// adversary view, nothing more (no plaintext, no keys, no recipe
+	// order for scrambled uploads). An Observer error aborts the backup.
+	Observer UploadObserver
+}
+
+// UploadObserver observes a client's post-encryption upload stream — the
+// adversary tap of the paper's threat model (Section 3.3), and the feed
+// of the repository's durable .fdt trace log. ObserveUpload is called
+// from the backup pipeline's consumer goroutine once per upload window,
+// after the store acknowledged the window, with the window's chunks in
+// upload order; refs is only borrowed for the duration of the call.
+// Implementations need not be safe for concurrent use by multiple
+// backups, but must tolerate being called from a different goroutine
+// than the one that started the backup.
+type UploadObserver interface {
+	ObserveUpload(refs []trace.ChunkRef) error
 }
 
 // Client is the client side of Figure 2: chunk, encrypt, upload. A Client
@@ -77,9 +96,10 @@ type Config struct {
 // Client per goroutine against a shared Store instead — that is the
 // multi-client architecture the store's sharding is built for.
 type Client struct {
-	cfg   Config
-	store *Store
-	rng   *rand.Rand
+	cfg     Config
+	store   *Store
+	rng     *rand.Rand
+	obsRefs []trace.ChunkRef // reused observation window (tap enabled only)
 }
 
 // NewClient returns a client uploading to store.
@@ -309,6 +329,9 @@ func (c *Client) backupStreaming(ctx context.Context, cdc *chunker.ContentDefine
 		if _, err := c.store.PutBatchOwned(batch); err != nil {
 			return fmt.Errorf("dedup: upload: %w", err)
 		}
+		if err := c.observeWindow(res); err != nil {
+			return err
+		}
 		for i := range window {
 			window[i].chunk.Release()
 		}
@@ -472,6 +495,9 @@ func (c *Client) backupPlanned(ctx context.Context, cdc *chunker.ContentDefined)
 		if _, err := c.store.PutBatchOwned(batch); err != nil {
 			return nil, fmt.Errorf("dedup: upload: %w", err)
 		}
+		if err := c.observeWindow(res); err != nil {
+			return nil, err
+		}
 		// Each chunk appears in exactly one plan slot, so this window's
 		// plaintext buffers are dead once encrypted and uploaded. Release
 		// through the chunks slice and nil the Data there so the deferred
@@ -541,6 +567,27 @@ func (c *Client) parallelFor(ctx context.Context, n int, fn func(i int) error) e
 	}
 	wg.Wait()
 	return firstErr
+}
+
+// observeWindow feeds one acknowledged upload window to the configured
+// observer: ciphertext fingerprints and ciphertext sizes in upload order.
+// The scratch slice is reused across windows; the observer only borrows
+// it. A nil observer costs one branch.
+func (c *Client) observeWindow(res []uploadResult) error {
+	if c.cfg.Observer == nil {
+		return nil
+	}
+	if cap(c.obsRefs) < len(res) {
+		c.obsRefs = make([]trace.ChunkRef, len(res))
+	}
+	refs := c.obsRefs[:len(res)]
+	for i, r := range res {
+		refs[i] = trace.ChunkRef{FP: r.cfp, Size: uint32(len(r.ct))}
+	}
+	if err := c.cfg.Observer.ObserveUpload(refs); err != nil {
+		return fmt.Errorf("dedup: upload observer: %w", err)
+	}
+	return nil
 }
 
 // runEncryptStage executes the fan-out stage of the backup pipeline:

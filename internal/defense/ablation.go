@@ -2,9 +2,8 @@ package defense
 
 import (
 	"fmt"
-	"math/rand"
 
-	"freqdedup/internal/core"
+	"freqdedup/internal/attack"
 	"freqdedup/internal/fphash"
 	"freqdedup/internal/segment"
 	"freqdedup/internal/trace"
@@ -45,9 +44,9 @@ func EncryptScrambleOnly(b *trace.Backup, opt Options) (Encrypted, error) {
 	if err != nil {
 		return Encrypted{}, fmt.Errorf("defense: segment: %w", err)
 	}
-	rng := rand.New(rand.NewSource(opt.Seed))
+	rng := opt.rng()
 	out := &trace.Backup{Label: b.Label, Chunks: make([]trace.ChunkRef, 0, len(b.Chunks))}
-	truth := make(core.GroundTruth, len(b.Chunks))
+	truth := make(attack.GroundTruth, len(b.Chunks))
 	recipe := make([]trace.ChunkRef, 0, len(b.Chunks))
 	cache := make(map[fphash.Fingerprint]fphash.Fingerprint)
 	cfpOf := func(pfp fphash.Fingerprint) fphash.Fingerprint {
@@ -79,7 +78,7 @@ func EncryptScrambleOnly(b *trace.Backup, opt Options) (Encrypted, error) {
 // the stream is attack-equivalent to baseline MLE.
 func EncryptRCE(b *trace.Backup) Encrypted {
 	out := &trace.Backup{Label: b.Label, Chunks: make([]trace.ChunkRef, len(b.Chunks))}
-	truth := make(core.GroundTruth, len(b.Chunks))
+	truth := make(attack.GroundTruth, len(b.Chunks))
 	cache := make(map[fphash.Fingerprint]fphash.Fingerprint, len(b.Chunks))
 	for i, c := range b.Chunks {
 		tag, ok := cache[c.FP]

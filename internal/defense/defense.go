@@ -23,7 +23,7 @@ import (
 	"fmt"
 	"math/rand"
 
-	"freqdedup/internal/core"
+	"freqdedup/internal/attack"
 	"freqdedup/internal/fphash"
 	"freqdedup/internal/segment"
 	"freqdedup/internal/trace"
@@ -34,7 +34,7 @@ import (
 // deduplication, and the ground-truth mapping for scoring attacks.
 type Encrypted struct {
 	Backup *trace.Backup
-	Truth  core.GroundTruth
+	Truth  attack.GroundTruth
 	// RecipeOrder is the ciphertext chunk stream in the *original*
 	// (pre-scrambling) logical order — the order a restore follows, since
 	// file recipes preserve the original chunk order (Section 6.2). For
@@ -47,7 +47,7 @@ type Encrypted struct {
 // ciphertext fingerprints, preserving chunk order and sizes.
 func EncryptMLE(b *trace.Backup) Encrypted {
 	out := &trace.Backup{Label: b.Label, Chunks: make([]trace.ChunkRef, len(b.Chunks))}
-	truth := make(core.GroundTruth, len(b.Chunks))
+	truth := make(attack.GroundTruth, len(b.Chunks))
 	cache := make(map[fphash.Fingerprint]fphash.Fingerprint, len(b.Chunks))
 	for i, c := range b.Chunks {
 		cfp, ok := cache[c.FP]
@@ -74,6 +74,24 @@ type Options struct {
 	// secret per backup, only on the adversary not observing the original
 	// order.
 	Seed int64
+	// Rand, when non-nil, is the injected scrambling source and takes
+	// precedence over Seed. Every simulation call derives its randomness
+	// from a private *rand.Rand either way — never from global math/rand
+	// state — so parallel test shards cannot interleave generator state;
+	// injection lets a caller thread one stream of randomness through a
+	// sequence of encryptions. A *rand.Rand is not safe for concurrent
+	// use: concurrent encryptions need distinct Rand values (or distinct
+	// Seeds).
+	Rand *rand.Rand
+}
+
+// rng returns the options' scrambling source: the injected Rand, or a
+// fresh private generator seeded from Seed.
+func (o Options) rng() *rand.Rand {
+	if o.Rand != nil {
+		return o.Rand
+	}
+	return rand.New(rand.NewSource(o.Seed))
 }
 
 // DefaultOptions returns the defense configuration with scrambling enabled
@@ -101,9 +119,9 @@ func EncryptMinHash(b *trace.Backup, opt Options) (Encrypted, error) {
 	if err != nil {
 		return Encrypted{}, fmt.Errorf("defense: segment: %w", err)
 	}
-	rng := rand.New(rand.NewSource(opt.Seed))
+	rng := opt.rng()
 	out := &trace.Backup{Label: b.Label, Chunks: make([]trace.ChunkRef, 0, len(b.Chunks))}
-	truth := make(core.GroundTruth, len(b.Chunks))
+	truth := make(attack.GroundTruth, len(b.Chunks))
 	recipe := make([]trace.ChunkRef, 0, len(b.Chunks))
 	for _, s := range segs {
 		orig := b.Chunks[s.Start:s.End]

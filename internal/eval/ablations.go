@@ -3,7 +3,7 @@ package eval
 import (
 	"fmt"
 
-	"freqdedup/internal/core"
+	"freqdedup/internal/attack"
 	"freqdedup/internal/defense"
 	"freqdedup/internal/fphash"
 	"freqdedup/internal/segment"
@@ -34,10 +34,10 @@ func AblationDefenseComponents(ds Datasets) (Figure, error) {
 		if err != nil {
 			return Figure{}, err
 		}
-		leaked := core.SampleLeaked(enc.Backup, enc.Truth, leakage, 23)
+		leaked := attack.SampleLeaked(enc.Backup, enc.Truth, leakage, 23)
 		cfg := kpConfig(leaked)
 		cfg.SizeAware = true
-		rate := core.InferenceRate(core.LocalityAttack(enc.Backup, s.aux, cfg), enc.Truth, enc.Backup)
+		rate := runAttackOn(attackLocality, s.aux, enc, cfg)
 		fig.X = append(fig.X, scheme.String())
 		ser.Y = append(ser.Y, rate)
 	}
@@ -83,10 +83,10 @@ func AblationSegmentSize(ds Datasets) (Figure, error) {
 		if err != nil {
 			return Figure{}, err
 		}
-		leaked := core.SampleLeaked(enc.Backup, enc.Truth, leakage, 23)
+		leaked := attack.SampleLeaked(enc.Backup, enc.Truth, leakage, 23)
 		cfg := kpConfig(leaked)
 		cfg.SizeAware = true
-		rate := core.InferenceRate(core.LocalityAttack(enc.Backup, s.aux, cfg), enc.Truth, enc.Backup)
+		rate := runAttackOn(attackLocality, s.aux, enc, cfg)
 
 		saving, err := combinedSavingWith(ds, opt)
 		if err != nil {

@@ -3,7 +3,7 @@ package eval
 import (
 	"fmt"
 
-	"freqdedup/internal/core"
+	"freqdedup/internal/attack"
 	"freqdedup/internal/trace"
 )
 
@@ -14,7 +14,7 @@ import (
 // chunks occurring more than the 99.99th-percentile threshold).
 func Fig1FrequencyDistribution(ds Datasets) []Figure {
 	var out []Figure
-	for _, d := range []*trace.Dataset{ds.FSL, ds.VM} {
+	for _, d := range distinct(ds.FSL, ds.VM) {
 		freqs := d.FrequencyCDF() // ascending
 		n := len(freqs)
 		positions := []float64{0.50, 0.90, 0.99, 0.999, 0.9999, 1.0}
@@ -26,15 +26,8 @@ func Fig1FrequencyDistribution(ds Datasets) []Figure {
 		var x []string
 		var y []float64
 		for _, p := range positions {
-			idx := int(p*float64(n)) - 1
-			if idx < 0 {
-				idx = 0
-			}
-			if idx >= n {
-				idx = n - 1
-			}
 			x = append(x, fmt.Sprintf("%.4g", p))
-			y = append(y, float64(freqs[idx]))
+			y = append(y, float64(freqs[cdfIndex(p, n)]))
 		}
 		fig.X = x
 		fig.Series = []Series{{Name: "frequency", Y: y}}
@@ -60,19 +53,43 @@ func Fig1FrequencyDistribution(ds Datasets) []Figure {
 	return out
 }
 
+// cdfIndex maps a CDF position p in (0, 1] to an index into an ascending
+// n-element frequency list: the chunk at CDF position (i+1)/n is element
+// i, so p selects round(p*n)-1, clamped into range. Rounding is
+// half-up — flooring would skew small-n figures badly (p=0.50 of n=3
+// floored to index 0, the minimum instead of the median).
+func cdfIndex(p float64, n int) int {
+	idx := int(p*float64(n)+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= n {
+		idx = n - 1
+	}
+	return idx
+}
+
 // fig4Setups returns the (dataset, aux, target) pairs Figure 4 sweeps on:
 // FSL Mar 22 -> May 21 and VM week 12 -> 13.
 func fig4Setups(ds Datasets) []struct {
 	name        string
 	aux, target *trace.Backup
 } {
+	// Indices are clamped so the same setups work on reduced test
+	// datasets and short repository histories.
+	at := func(d *trace.Dataset, i int) *trace.Backup {
+		if i < 0 {
+			i = 0
+		}
+		return d.Backups[i]
+	}
 	nf, nv := len(ds.FSL.Backups), len(ds.VM.Backups)
 	return []struct {
 		name        string
 		aux, target *trace.Backup
 	}{
-		{"FSL", ds.FSL.Backups[nf-3], ds.FSL.Backups[nf-1]},
-		{"VM", ds.VM.Backups[nv-2], ds.VM.Backups[nv-1]},
+		{"FSL", at(ds.FSL, nf-3), at(ds.FSL, nf-1)},
+		{"VM", at(ds.VM, nv-2), at(ds.VM, nv-1)},
 	}
 }
 
@@ -86,7 +103,7 @@ func Fig4ParamSweep(ds Datasets) []Figure {
 	wValues := []int{100, 250, 500, 1000, 2500, 5000, 20000}
 
 	setups := fig4Setups(ds)
-	sweep := func(id, xlabel string, xs []int, mk func(x int) core.LocalityConfig) Figure {
+	sweep := func(id, xlabel string, xs []int, mk func(x int) attack.Config) Figure {
 		fig := Figure{ID: id, Title: "locality-based attack inference rate vs " + xlabel,
 			XLabel: xlabel, Percent: true}
 		for _, x := range xs {
@@ -103,14 +120,14 @@ func Fig4ParamSweep(ds Datasets) []Figure {
 	}
 
 	return []Figure{
-		sweep("Fig 4(a)", "u", uValues, func(u int) core.LocalityConfig {
-			return core.LocalityConfig{U: u, V: 20, W: 10000}
+		sweep("Fig 4(a)", "u", uValues, func(u int) attack.Config {
+			return attack.Config{U: u, V: 20, W: 10000}
 		}),
-		sweep("Fig 4(b)", "v", vValues, func(v int) core.LocalityConfig {
-			return core.LocalityConfig{U: 10, V: v, W: 10000}
+		sweep("Fig 4(b)", "v", vValues, func(v int) attack.Config {
+			return attack.Config{U: 10, V: v, W: 10000}
 		}),
-		sweep("Fig 4(c)", "w", wValues, func(w int) core.LocalityConfig {
-			return core.LocalityConfig{U: 10, V: 20, W: w}
+		sweep("Fig 4(c)", "w", wValues, func(w int) attack.Config {
+			return attack.Config{U: 10, V: 20, W: w}
 		}),
 	}
 }
@@ -119,7 +136,7 @@ func Fig4ParamSweep(ds Datasets) []Figure {
 // with varying auxiliary backups against the fixed latest backup.
 func Fig5VaryAux(ds Datasets) []Figure {
 	var out []Figure
-	for _, d := range []*trace.Dataset{ds.FSL, ds.Synthetic, ds.VM} {
+	for _, d := range ds.list() {
 		n := len(d.Backups)
 		target := d.Backups[n-1]
 		fig := Figure{
@@ -156,7 +173,7 @@ func Fig5VaryAux(ds Datasets) []Figure {
 // backups.
 func Fig6VaryTarget(ds Datasets) []Figure {
 	var out []Figure
-	for _, d := range []*trace.Dataset{ds.FSL, ds.Synthetic, ds.VM} {
+	for _, d := range ds.list() {
 		aux := d.Backups[0]
 		fig := Figure{
 			ID:      "Fig 6 (" + d.Name + ")",
@@ -195,11 +212,16 @@ func Fig7SlidingWindow(ds Datasets) []Figure {
 		steps []int
 		adv   bool
 	}
+	seen := make(map[*trace.Dataset]bool)
 	for _, sp := range []spec{
 		{ds.FSL, []int{1, 2}, true},
 		{ds.Synthetic, []int{1, 2}, true},
 		{ds.VM, []int{1, 2, 3}, false},
 	} {
+		if seen[sp.d] {
+			continue // single-dataset bundle: one figure, not three
+		}
+		seen[sp.d] = true
 		d := sp.d
 		n := len(d.Backups)
 		fig := Figure{
@@ -305,7 +327,7 @@ func Fig8KnownPlaintext(ds Datasets) Figure {
 func Fig9KPVaryAux(ds Datasets) []Figure {
 	const leakRate = 0.0005
 	var out []Figure
-	for _, d := range []*trace.Dataset{ds.FSL, ds.Synthetic, ds.VM} {
+	for _, d := range ds.list() {
 		n := len(d.Backups)
 		target := d.Backups[n-1]
 		if d == ds.Synthetic && n > 5 {
@@ -357,12 +379,15 @@ func AttackScaling(d *trace.Dataset) Figure {
 	for _, frac := range []float64{0.25, 0.5, 1.0} {
 		cut := int(float64(len(enc.Backup.Chunks)) * frac)
 		sub := &trace.Backup{Label: target.Label, Chunks: enc.Backup.Chunks[:cut]}
-		pairs := core.LocalityAttack(sub, aux, ctOnlyConfig())
+		res, err := attack.NewLocality(ctOnlyConfig()).Run(attack.BackupSource(sub), attack.BackupSource(aux), attack.Params{})
+		if err != nil {
+			panic(err)
+		}
 		fig.X = append(fig.X, fmt.Sprintf("%d", cut))
 		if len(fig.Series) == 0 {
 			fig.Series = append(fig.Series, Series{Name: "inferred pairs"})
 		}
-		fig.Series[0].Y = append(fig.Series[0].Y, float64(len(pairs)))
+		fig.Series[0].Y = append(fig.Series[0].Y, float64(len(res.Pairs)))
 	}
 	return fig
 }

@@ -3,7 +3,7 @@ package eval
 import (
 	"fmt"
 
-	"freqdedup/internal/core"
+	"freqdedup/internal/attack"
 	"freqdedup/internal/defense"
 	"freqdedup/internal/trace"
 )
@@ -16,10 +16,10 @@ func defenseAttack(aux, target *trace.Backup, scheme defense.Scheme, leakRate fl
 	if err != nil {
 		return 0, err
 	}
-	leaked := core.SampleLeaked(enc.Backup, enc.Truth, leakRate, int64(leakRate*1e6)+23)
+	leaked := attack.SampleLeaked(enc.Backup, enc.Truth, leakRate, int64(leakRate*1e6)+23)
 	cfg := kpConfig(leaked)
 	cfg.SizeAware = sizeAware
-	return core.InferenceRate(core.LocalityAttack(enc.Backup, aux, cfg), enc.Truth, enc.Backup), nil
+	return runAttackOn(attackLocality, aux, enc, cfg), nil
 }
 
 // Fig10Defense reproduces Figure 10: inference rate of the advanced
@@ -75,7 +75,7 @@ func Fig10Defense(ds Datasets) ([]Figure, error) {
 // each backup under exact-dedup MLE and under the combined scheme.
 func Fig11StorageSaving(ds Datasets) ([]Figure, error) {
 	var out []Figure
-	for _, d := range []*trace.Dataset{ds.FSL, ds.Synthetic, ds.VM} {
+	for _, d := range ds.list() {
 		mle, err := defense.StorageSavings(d, defense.SchemeMLE, 1)
 		if err != nil {
 			return nil, err

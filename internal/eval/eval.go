@@ -13,7 +13,7 @@ import (
 	"strings"
 	"sync"
 
-	"freqdedup/internal/core"
+	"freqdedup/internal/attack"
 	"freqdedup/internal/defense"
 	"freqdedup/internal/trace"
 )
@@ -97,6 +97,40 @@ type Datasets struct {
 	FSL       *trace.Dataset
 	Synthetic *trace.Dataset
 	VM        *trace.Dataset
+}
+
+// list returns the bundle's distinct datasets in slot order. Figure
+// runners iterate this instead of the raw slots so a bundle built by
+// SingleDataset (the same dataset in every slot — e.g. a repository's
+// replayed trace logs) yields each figure once instead of three times.
+func (ds Datasets) list() []*trace.Dataset {
+	return distinct(ds.FSL, ds.Synthetic, ds.VM)
+}
+
+// distinct drops nil and pointer-duplicate datasets, preserving order.
+func distinct(list ...*trace.Dataset) []*trace.Dataset {
+	var out []*trace.Dataset
+	for _, d := range list {
+		dup := d == nil
+		for _, seen := range out {
+			if seen == d {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// SingleDataset bundles one dataset into every evaluation slot, so every
+// figure runner works on it — the path that reproduces the paper's
+// figures from a real repository's replayed trace logs (cmd/defend
+// -dataset repo:<dir>) or from any single trace file.
+func SingleDataset(d *trace.Dataset) Datasets {
+	return Datasets{FSL: d, Synthetic: d, VM: d}
 }
 
 var (
@@ -184,33 +218,53 @@ func encryptMLE(b *trace.Backup) defense.Encrypted {
 	return e
 }
 
-// runAttack encrypts the target with baseline MLE and runs the selected
-// attack against the given auxiliary backup, returning the inference rate.
-func runAttack(kind attackKind, aux, target *trace.Backup, cfg core.LocalityConfig) float64 {
-	enc := encryptMLE(target)
+// attackFor builds the streaming-engine attack for a figure runner's
+// (kind, config) selection.
+func attackFor(kind attackKind, cfg attack.Config) attack.Attack {
 	switch kind {
 	case attackBasic:
-		return core.InferenceRate(core.BasicAttack(enc.Backup, aux), enc.Truth, enc.Backup)
+		return attack.NewBasic(cfg)
 	case attackAdvanced:
-		cfg.SizeAware = true
+		return attack.NewAdvanced(cfg)
+	default:
+		return attack.NewLocality(cfg)
 	}
-	return core.InferenceRate(core.LocalityAttack(enc.Backup, aux, cfg), enc.Truth, enc.Backup)
+}
+
+// runAttackOn runs the selected attack against an encrypted target stream
+// through the streaming engine and returns the inference rate. Engine
+// defaults (Params{}) are used: results are bit-identical at every shard
+// and worker count, so the figures do not depend on the machine.
+func runAttackOn(kind attackKind, aux *trace.Backup, enc defense.Encrypted, cfg attack.Config) float64 {
+	res, err := attackFor(kind, cfg).Run(attack.BackupSource(enc.Backup), attack.BackupSource(aux), attack.Params{})
+	if err != nil {
+		// In-memory sources cannot fail; an error here is a programming
+		// bug in the runner, not an experiment outcome.
+		panic(err)
+	}
+	return res.InferenceRate(enc.Truth)
+}
+
+// runAttack encrypts the target with baseline MLE and runs the selected
+// attack against the given auxiliary backup, returning the inference rate.
+func runAttack(kind attackKind, aux, target *trace.Backup, cfg attack.Config) float64 {
+	return runAttackOn(kind, aux, encryptMLE(target), cfg)
 }
 
 // ctOnlyConfig returns the paper's default ciphertext-only parameters
 // (u=1, v=15, w=200,000).
-func ctOnlyConfig() core.LocalityConfig {
-	return core.LocalityConfig{U: 1, V: 15, W: defaultW, Mode: core.CiphertextOnly}
+func ctOnlyConfig() attack.Config {
+	return attack.Config{U: 1, V: 15, W: defaultW, Mode: attack.CiphertextOnly}
 }
 
 // kpConfig returns known-plaintext parameters with the given leaked pairs.
-func kpConfig(leaked []core.Pair) core.LocalityConfig {
-	return core.LocalityConfig{U: 1, V: 15, W: kpW, Mode: core.KnownPlaintext, Leaked: leaked}
+func kpConfig(leaked []attack.Pair) attack.Config {
+	return attack.Config{U: 1, V: 15, W: kpW, Mode: attack.KnownPlaintext, Leaked: leaked}
 }
 
 // leakFor draws the leaked pairs for a target under baseline MLE at the
 // given leakage rate (deterministic per rate).
-func leakFor(target *trace.Backup, rate float64) []core.Pair {
+func leakFor(target *trace.Backup, rate float64) []attack.Pair {
 	enc := encryptMLE(target)
-	return core.SampleLeaked(enc.Backup, enc.Truth, rate, int64(rate*1e6)+17)
+	return attack.SampleLeaked(enc.Backup, enc.Truth, rate, int64(rate*1e6)+17)
 }

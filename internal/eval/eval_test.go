@@ -303,3 +303,51 @@ func TestRestoreLocality(t *testing.T) {
 		t.Fatalf("combined restore reads %.0f vs MLE %.0f; scrambling overhead too large", combTot, mleTot)
 	}
 }
+
+// TestCDFIndexSmallN pins the round-half-up percentile indexing: the old
+// floor rule mapped p=0.50 of n=3 to index 0 (the minimum instead of the
+// median), skewing small-dataset Figure 1 points.
+func TestCDFIndexSmallN(t *testing.T) {
+	cases := []struct {
+		p    float64
+		n    int
+		want int
+	}{
+		{0.50, 3, 1},   // median of 3, not the minimum
+		{1.0, 3, 2},    // maximum
+		{0.50, 1, 0},   // degenerate n
+		{0.0001, 3, 0}, // clamped low
+		{0.50, 4, 1},   // round(2.0)-1
+		{0.90, 10, 8},
+		{0.99, 10, 9}, // round(9.9)-1
+		{0.9999, 10, 9},
+		{1.0, 1000000, 999999},
+		{0.50, 1000000, 499999},
+	}
+	for _, c := range cases {
+		if got := cdfIndex(c.p, c.n); got != c.want {
+			t.Errorf("cdfIndex(%v, %d) = %d, want %d", c.p, c.n, got, c.want)
+		}
+	}
+}
+
+// TestSingleDatasetFigures checks the repository-replay path: a bundle
+// with one dataset in every slot yields each figure exactly once.
+func TestSingleDatasetFigures(t *testing.T) {
+	ds := SingleDataset(testDS.Synthetic)
+	if got := len(ds.list()); got != 1 {
+		t.Fatalf("SingleDataset list has %d datasets, want 1", got)
+	}
+	if figs := Fig1FrequencyDistribution(ds); len(figs) != 1 {
+		t.Fatalf("Fig1 produced %d figures for a single dataset, want 1", len(figs))
+	}
+	if figs := Fig5VaryAux(ds); len(figs) != 1 {
+		t.Fatalf("Fig5 produced %d figures for a single dataset, want 1", len(figs))
+	}
+	for _, f := range Fig7SlidingWindow(ds) {
+		checkFigure(t, f)
+	}
+	if figs := Fig7SlidingWindow(ds); len(figs) != 1 {
+		t.Fatalf("Fig7 produced %d figures for a single dataset, want 1", len(figs))
+	}
+}

@@ -5,6 +5,15 @@ import (
 	"math/rand"
 )
 
+// Generator randomness: every generator draws from a private *rand.Rand —
+// seeded from its params' Seed, or injected via the params' Rng field —
+// never from the deprecated global math/rand generator, so concurrently
+// running generators (parallel test shards, concurrent figure runners)
+// can never interleave each other's random state. An injected Rng takes
+// precedence over Seed and lets a caller thread one randomness stream
+// through several generations; a *rand.Rand is not safe for concurrent
+// use, so concurrent generators need distinct Rng values (or Seeds).
+
 // SyntheticParams configures the synthetic snapshot-chain generator, which
 // implements the paper's published method (Section 5.1, after Lillibridge
 // et al. [44]): an initial snapshot followed by versions that each modify
@@ -12,6 +21,9 @@ import (
 // file's content, and add NewDataBytes of new data.
 type SyntheticParams struct {
 	Seed int64
+	// Rng optionally injects the generator's random source (see the
+	// package note on generator randomness). Takes precedence over Seed.
+	Rng *rand.Rand
 	// Snapshots is the number of snapshots generated after the initial one
 	// (the paper generates 10; with the initial "public" snapshot the
 	// dataset has Snapshots+1 backups labeled "0".."Snapshots").
@@ -81,7 +93,10 @@ func DefaultSyntheticParams() SyntheticParams {
 
 // GenerateSynthetic builds the synthetic dataset.
 func GenerateSynthetic(p SyntheticParams) *Dataset {
-	rng := rand.New(rand.NewSource(p.Seed))
+	rng := p.Rng
+	if rng == nil {
+		rng = rand.New(rand.NewSource(p.Seed))
+	}
 	mint := &minter{}
 	lib := newFileLibrary(rng, mint, p.HotFiles, p.LibraryFiles, p.LibraryMeanBytes, p.Chunk)
 
@@ -122,7 +137,10 @@ func fileSize(rng *rand.Rand, mean int) int {
 // heavily duplicated shared content (Section 5.1's Fslhomes: 6 users, 5
 // monthly backups, 8 KB average variable chunks, dedup ratio 7.6x).
 type FSLParams struct {
-	Seed  int64
+	Seed int64
+	// Rng optionally injects the generator's random source (see the
+	// package note on generator randomness). Takes precedence over Seed.
+	Rng   *rand.Rand
 	Users int
 	// Labels name the backups (paper: Jan 22 ... May 21).
 	Labels []string
@@ -186,7 +204,10 @@ func DefaultFSLParams() FSLParams {
 // GenerateFSL builds the FSL-like dataset: backup t is the concatenation of
 // every user's home snapshot at month t.
 func GenerateFSL(p FSLParams) *Dataset {
-	rng := rand.New(rand.NewSource(p.Seed))
+	rng := p.Rng
+	if rng == nil {
+		rng = rand.New(rand.NewSource(p.Seed))
+	}
 	mint := &minter{}
 	lib := newFileLibrary(rng, mint, p.HotFiles, p.LibraryFiles, p.LibraryMeanBytes, p.Chunk)
 
@@ -233,7 +254,10 @@ func GenerateFSL(p FSLParams) *Dataset {
 // weekly with fixed-size chunks (Section 5.1's VM dataset: 4 KB fixed
 // chunks, very high dedup ratio, heavy churn in a mid-semester window).
 type VMParams struct {
-	Seed     int64
+	Seed int64
+	// Rng optionally injects the generator's random source (see the
+	// package note on generator randomness). Takes precedence over Seed.
+	Rng      *rand.Rand
 	Students int
 	Weeks    int
 	// BaseImageBytes is the size of the shared OS base image.
@@ -298,7 +322,10 @@ func DefaultVMParams() VMParams {
 // GenerateVM builds the VM-like dataset: backup t is the concatenation of
 // every student's image snapshot at week t.
 func GenerateVM(p VMParams) *Dataset {
-	rng := rand.New(rand.NewSource(p.Seed))
+	rng := p.Rng
+	if rng == nil {
+		rng = rand.New(rand.NewSource(p.Seed))
+	}
 	mint := &minter{}
 	sizes := ChunkSizeModel{Min: p.ChunkSize, Avg: p.ChunkSize, Max: p.ChunkSize}
 	lib := newFileLibrary(rng, mint, p.HotFiles, p.LibraryFiles, p.LibraryMeanBytes, sizes)

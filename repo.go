@@ -14,6 +14,7 @@ import (
 	"freqdedup/internal/dedup"
 	"freqdedup/internal/mle"
 	"freqdedup/internal/trace"
+	"freqdedup/internal/tracelog"
 )
 
 // Repository is the system front door: a long-lived encrypted
@@ -46,6 +47,12 @@ type Repository struct {
 	catalog *dedup.Catalog
 	cfg     ClientConfig
 	key     Key
+
+	// tapLog records the adversary's view of every Backup's upload
+	// stream when the tap is enabled (WithUploadObserver, or an existing
+	// traces.fdt found on open); tapObs is the caller's extra observer.
+	tapLog *tracelog.Log
+	tapObs UploadObserver
 
 	// gcMu serializes GC against in-flight Backups: Backup holds the read
 	// side for its whole upload-to-registration window, GC the write side.
@@ -96,6 +103,8 @@ type repoOptions struct {
 	backend        StoreBackend
 	cfg            ClientConfig
 	key            Key
+	tap            bool
+	observer       UploadObserver
 }
 
 // RepositoryOption configures CreateRepository and OpenRepository.
@@ -167,6 +176,40 @@ func WithRestoreCache(containers int) RepositoryOption {
 	return func(o *repoOptions) { o.cfg.RestoreCacheContainers = containers }
 }
 
+// UploadObserver observes the post-encryption upload stream of every
+// Backup — the Section 3.3 adversary view: ciphertext fingerprint and
+// ciphertext size per chunk, in upload (wire) order.
+type UploadObserver = dedup.UploadObserver
+
+// TraceLog is a repository's durable adversary trace log (traces.fdt):
+// one committed, CRC-framed, replayable trace per acknowledged Backup.
+type TraceLog = tracelog.Log
+
+// TapBackup is one committed backup trace in a TraceLog. It implements
+// the streaming attack engine's ChunkSource, so a trace larger than RAM
+// can be attacked without materializing it.
+type TapBackup = tracelog.BackupTrace
+
+// WithUploadObserver enables the adversary observation tap (Section 3.3):
+// every Backup's post-encryption upload stream — ciphertext fingerprint,
+// ciphertext size, upload order; nothing else — is recorded in an
+// append-only trace log (traces.fdt beside the snapshot catalog on a
+// file-backed repository; in memory otherwise) and, when obs is non-nil,
+// forwarded to obs as it streams. The trace of an acknowledged snapshot
+// is committed and fsynced before Backup returns; a crashed or failed
+// backup leaves no committed trace. OpenRepository replays the log, so
+// real backup histories can be fed to the attack engine via TraceLog.
+//
+// A repository that ever had the tap enabled keeps tapping after a plain
+// OpenRepository: an existing traces.fdt re-enables the tap, keeping the
+// observation history gap-free. Pass a nil obs to record the log alone.
+func WithUploadObserver(obs UploadObserver) RepositoryOption {
+	return func(o *repoOptions) {
+		o.tap = true
+		o.observer = obs
+	}
+}
+
 // WithRepositoryKey sets the user key that seals snapshot recipes in the
 // catalog (Section 3.3: recipes are conventionally encrypted under the
 // user's own secret). OpenRepository must be given the same key — it is
@@ -179,11 +222,18 @@ func WithRepositoryKey(k Key) RepositoryOption {
 
 // buildRepo assembles a Repository once the backend and catalog exist and
 // validates the client configuration by constructing a probe client.
-func buildRepo(store *dedup.Store, catalog *dedup.Catalog, o *repoOptions) (*Repository, error) {
+func buildRepo(store *dedup.Store, catalog *dedup.Catalog, tapLog *tracelog.Log, o *repoOptions) (*Repository, error) {
 	if _, err := dedup.NewClient(store, o.cfg); err != nil {
 		return nil, err
 	}
-	return &Repository{store: store, catalog: catalog, cfg: o.cfg, key: o.key}, nil
+	return &Repository{
+		store:   store,
+		catalog: catalog,
+		cfg:     o.cfg,
+		key:     o.key,
+		tapLog:  tapLog,
+		tapObs:  o.observer,
+	}, nil
 }
 
 // CreateRepository initializes a new repository. With a non-empty path it
@@ -255,20 +305,41 @@ func CreateRepository(path string, opts ...RepositoryOption) (*Repository, error
 			return fail(err)
 		}
 	}
+	var tapLog *tracelog.Log
+	tapPath := ""
 	failClosing := func(err error) (*Repository, error) {
+		if tapLog != nil {
+			tapLog.Close()
+		}
 		catalog.Close()
 		backend.Close()
 		if catalogPath != "" {
 			os.Remove(catalogPath)
 		}
+		if tapPath != "" {
+			os.Remove(tapPath)
+		}
 		return fail(err)
+	}
+	if o.tap {
+		if path == "" {
+			tapLog = tracelog.NewMem()
+		} else {
+			tapPath = filepath.Join(path, tracelog.LogName)
+			var terr error
+			tapLog, terr = tracelog.Create(tapPath)
+			if terr != nil {
+				tapPath = ""
+				return failClosing(terr)
+			}
+		}
 	}
 
 	store, err := dedup.NewStoreWithBackend(o.containerBytes, backend)
 	if err != nil {
 		return failClosing(err)
 	}
-	repo, err := buildRepo(store, catalog, o)
+	repo, err := buildRepo(store, catalog, tapLog, o)
 	if err != nil {
 		return failClosing(err)
 	}
@@ -309,13 +380,35 @@ func OpenRepository(path string, opts ...RepositoryOption) (*Repository, error) 
 		cleanup()
 		return nil, err
 	}
-	store, err := dedup.NewStoreWithBackend(containerBytes, backend)
+	// Reopen (or, with WithUploadObserver on a previously untapped
+	// repository, start) the adversary trace log. An existing traces.fdt
+	// re-enables the tap even without the option, so an observation
+	// history never silently gains gaps.
+	var tapLog *tracelog.Log
+	tapPath := filepath.Join(path, tracelog.LogName)
+	if _, statErr := os.Stat(tapPath); statErr == nil {
+		tapLog, err = tracelog.Open(tapPath)
+	} else if o.tap {
+		tapLog, err = tracelog.Create(tapPath)
+	}
 	if err != nil {
 		catalog.Close()
 		cleanup()
 		return nil, err
 	}
+	store, err := dedup.NewStoreWithBackend(containerBytes, backend)
+	if err != nil {
+		if tapLog != nil {
+			tapLog.Close()
+		}
+		catalog.Close()
+		cleanup()
+		return nil, err
+	}
 	fail := func(err error) (*Repository, error) {
+		if tapLog != nil {
+			tapLog.Close()
+		}
 		catalog.Close()
 		store.Close()
 		return nil, err
@@ -332,7 +425,7 @@ func OpenRepository(path string, opts ...RepositoryOption) (*Repository, error) 
 			return fail(fmt.Errorf("freqdedup: re-register snapshot %q: %w", rec.Name, err))
 		}
 	}
-	repo, err := buildRepo(store, catalog, o)
+	repo, err := buildRepo(store, catalog, tapLog, o)
 	if err != nil {
 		return fail(err)
 	}
@@ -369,18 +462,49 @@ func (r *Repository) Backup(ctx context.Context, name string, src io.Reader) (Sn
 	// concurrent sweep would reclaim them.
 	r.gcMu.RLock()
 	defer r.gcMu.RUnlock()
-	client, err := dedup.NewClient(r.store, r.cfg)
-	if err != nil {
+	// When the tap is enabled, record this backup's upload stream in a
+	// trace-log session: committed (and fsynced) only once the uploaded
+	// data itself is durable, so an acknowledged snapshot always has a
+	// committed trace and a failed backup leaves none. A failure after
+	// the commit leaves a committed trace without a snapshot — correct
+	// for an adversary view: those uploads did cross the wire.
+	cfg := r.cfg
+	var sess *tracelog.Session
+	if r.tapLog != nil {
+		var err error
+		sess, err = r.tapLog.Begin(name)
+		if err != nil {
+			return Snapshot{}, err
+		}
+		if r.tapObs != nil {
+			cfg.Observer = teeObserver{sess, r.tapObs}
+		} else {
+			cfg.Observer = sess
+		}
+	}
+	abortTap := func(err error) (Snapshot, error) {
+		if sess != nil {
+			sess.Abort()
+		}
 		return Snapshot{}, err
+	}
+	client, err := dedup.NewClient(r.store, cfg)
+	if err != nil {
+		return abortTap(err)
 	}
 	recipe, err := client.BackupContext(ctx, src)
 	if err != nil {
-		return Snapshot{}, err
+		return abortTap(err)
 	}
 	// Seal the data before cataloging the snapshot: a snapshot record must
 	// never outlive (or predate) its chunks across a crash.
 	if err := r.store.Sync(); err != nil {
-		return Snapshot{}, err
+		return abortTap(err)
+	}
+	if sess != nil {
+		if err := sess.Commit(); err != nil {
+			return Snapshot{}, err
+		}
 	}
 	sealed, err := recipe.Seal(r.key)
 	if err != nil {
@@ -512,6 +636,27 @@ func (r *Repository) Verify(ctx context.Context) error {
 // Stats reports the repository's deduplication effectiveness so far.
 func (r *Repository) Stats() DedupStats { return r.store.Stats() }
 
+// TraceLog returns the repository's adversary trace log, or nil when the
+// observation tap was never enabled. Each committed trace replays one
+// acknowledged Backup's upload stream into the attack engine — see
+// TapBackup. The log stays valid until Close.
+func (r *Repository) TraceLog() *TraceLog { return r.tapLog }
+
+// teeObserver fans one tap out to the trace-log session and the caller's
+// observer. The session records first: the durable adversary log must
+// not miss a window the caller already saw.
+type teeObserver struct {
+	sess *tracelog.Session
+	obs  UploadObserver
+}
+
+func (t teeObserver) ObserveUpload(refs []trace.ChunkRef) error {
+	if err := t.sess.ObserveUpload(refs); err != nil {
+		return err
+	}
+	return t.obs.ObserveUpload(refs)
+}
+
 // Close seals open containers and releases the repository's files. Every
 // acknowledged snapshot is already durable before Close; closing exists
 // to release resources (and to seal chunks uploaded by raw-store users
@@ -520,6 +665,11 @@ func (r *Repository) Close() error {
 	err := r.store.Close()
 	if cerr := r.catalog.Close(); cerr != nil && err == nil {
 		err = cerr
+	}
+	if r.tapLog != nil {
+		if cerr := r.tapLog.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
 	}
 	return err
 }

@@ -1,9 +1,10 @@
 #!/bin/sh
 # Benchmark baseline runner: runs the throughput-critical benchmark suite
 # (backup pipeline, restore pipeline with its container-cache sweep,
-# sharded store, chunker, Rabin primitives, attack micro-benchmarks) with
-# -benchmem and writes the results as a dated JSON baseline
-# (BENCH_<date>.json) for regression tracking across PRs.
+# sharded store, chunker, Rabin primitives, legacy and streaming attack
+# engines — BenchmarkAttackStreaming's shard sweep and the trace-log
+# ingest/replay MB/s — ) with -benchmem and writes the results as a dated
+# JSON baseline (BENCH_<date>.json) for regression tracking across PRs.
 #
 #   scripts/bench.sh              # 1s per benchmark (default)
 #   BENCHTIME=5x scripts/bench.sh # fixed iteration count
@@ -16,8 +17,8 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-PATTERN='BenchmarkBackup|BenchmarkRestoreSerial|BenchmarkRestoreParallel|BenchmarkStoreShards|BenchmarkChunker|BenchmarkRabin|BenchmarkContentDefined|BenchmarkFixed|BenchmarkBasicAttackFSL|BenchmarkLocalityAttackFSL|BenchmarkAdvancedAttackFSL'
-PKGS='. ./internal/chunker ./internal/rabin'
+PATTERN='BenchmarkBackup|BenchmarkRestoreSerial|BenchmarkRestoreParallel|BenchmarkStoreShards|BenchmarkChunker|BenchmarkRabin|BenchmarkContentDefined|BenchmarkFixed|BenchmarkBasicAttackFSL|BenchmarkLocalityAttackFSL|BenchmarkAdvancedAttackFSL|BenchmarkBasicAttackStreamFSL|BenchmarkLocalityAttackStreamFSL|BenchmarkAdvancedAttackStreamFSL|BenchmarkAttackStreaming|BenchmarkTraceLogIngest|BenchmarkTraceLogReplay'
+PKGS='. ./internal/chunker ./internal/rabin ./internal/attack ./internal/tracelog'
 
 if [ "${1:-}" = "--smoke" ]; then
 	smokelog="$(mktemp)"

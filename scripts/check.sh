@@ -6,10 +6,11 @@
 # Each stage fails fast with a distinct exit message, so a red CI run
 # names its stage in the last line. GOFLAGS is honored untouched: export
 # e.g. GOFLAGS=-count=1 to defeat test caching. Set CHECK_SKIP_BENCH=1 to
-# skip the bench smoke stage (CI runs it as a separate non-blocking job)
-# and CHECK_SKIP_STATICCHECK=1 to skip static analysis; a missing
-# staticcheck binary downgrades that stage to a notice rather than
-# failing machines that never installed it.
+# skip the bench smoke stage (CI runs it as a separate non-blocking job),
+# CHECK_SKIP_STATICCHECK=1 to skip static analysis, and CHECK_SKIP_VULN=1
+# to skip the vulnerability scan; a missing staticcheck or govulncheck
+# binary downgrades its stage to a notice rather than failing machines
+# that never installed it (CI installs both on the stable leg).
 set -u
 
 cd "$(dirname "$0")/.."
@@ -35,6 +36,15 @@ if [ "${CHECK_SKIP_STATICCHECK:-0}" != "1" ]; then
 		staticcheck ./... || fail "staticcheck"
 	else
 		echo "== staticcheck (skipped: binary not installed; go install honnef.co/go/tools/cmd/staticcheck@latest)"
+	fi
+fi
+
+if [ "${CHECK_SKIP_VULN:-0}" != "1" ]; then
+	if command -v govulncheck >/dev/null 2>&1; then
+		echo "== govulncheck"
+		govulncheck ./... || fail "govulncheck"
+	else
+		echo "== govulncheck (skipped: binary not installed; go install golang.org/x/vuln/cmd/govulncheck@latest)"
 	fi
 fi
 
