@@ -29,6 +29,8 @@
 //	ddfsbench -restore -mb 64 -workers 0 -cachecontainers 64
 //	ddfsbench -restore -dir /tmp/ddfs-store   # keep the repository around
 //	ddfsbench -attack -mb 256 -shards 16 -workers 0
+//	ddfsbench -attack -workload database -mb 64
+//	                     # attack-engine benchmark on a registered workload
 package main
 
 import (
@@ -51,6 +53,7 @@ import (
 	"freqdedup/internal/defense"
 	"freqdedup/internal/eval"
 	"freqdedup/internal/trace"
+	"freqdedup/internal/workload"
 )
 
 func main() {
@@ -72,6 +75,8 @@ func main() {
 	clients := flag.Int("clients", 1, "concurrent backup clients sharing one store")
 	cacheContainers := flag.Int("cachecontainers", 64,
 		"restore container-cache capacity in containers (0 = uncached)")
+	workloadName := flag.String("workload", "",
+		"registered workload for the -attack trace (empty = classic synthetic; see tracegen -list)")
 	flag.Parse()
 
 	if *chunkerOnly {
@@ -87,7 +92,7 @@ func main() {
 		return
 	}
 	if *attackMode {
-		if err := runAttack(*streamMB, *shards, *workers); err != nil {
+		if err := runAttack(*streamMB, *shards, *workers, *workloadName); err != nil {
 			fatal(err)
 		}
 		return
@@ -296,22 +301,35 @@ func runRestore(streamMB, shards, workers, cacheContainers int, dir string) erro
 	return nil
 }
 
-// runAttack benchmarks the streaming attack engine: it generates a
-// synthetic trace pair scaled to -mb logical megabytes, encrypts the
-// target under baseline MLE, and times first the two-pass sharded
-// counting alone (via the basic attack, which is counting plus one rank)
-// and then the full locality attack, reporting logical-byte throughput.
-// -shards and -workers select the engine's parallelism; results are
-// bit-identical at every setting.
-func runAttack(streamMB, shards, workers int) error {
+// runAttack benchmarks the streaming attack engine: it generates a trace
+// pair scaled to -mb logical megabytes (the classic synthetic chain, or
+// any registered workload via -workload), encrypts the target under
+// baseline MLE, and times first the two-pass sharded counting alone (via
+// the basic attack, which is counting plus one rank) and then the full
+// locality attack, reporting logical-byte throughput. -shards and
+// -workers select the engine's parallelism; results are bit-identical at
+// every setting.
+func runAttack(streamMB, shards, workers int, workloadName string) error {
 	if streamMB <= 0 {
 		return fmt.Errorf("stream size must be positive")
 	}
-	p := trace.DefaultSyntheticParams()
-	p.InitialBytes = streamMB << 20
-	p.NewDataBytes = (streamMB << 20) / 100
-	p.Snapshots = 2
-	d := trace.GenerateSynthetic(p)
+	var d *trace.Dataset
+	if workloadName != "" {
+		var err error
+		d, err = workload.Generate(workloadName, workload.Config{
+			Backups:    3,
+			TotalBytes: streamMB << 20,
+		})
+		if err != nil {
+			return err
+		}
+	} else {
+		p := trace.DefaultSyntheticParams()
+		p.InitialBytes = streamMB << 20
+		p.NewDataBytes = (streamMB << 20) / 100
+		p.Snapshots = 2
+		d = trace.GenerateSynthetic(p)
+	}
 	aux, target := d.Backups[0], d.Backups[len(d.Backups)-1]
 	enc := defense.EncryptMLE(target)
 	params := attack.Params{Shards: shards, Workers: workers}

@@ -4,10 +4,16 @@
 //
 //	defend -fig 10          # defense effectiveness vs leakage rate
 //	defend -fig 11          # storage saving MLE vs combined
+//	defend -fig scenarios   # workload scenario matrix: every registered
+//	                        # workload through the full stack (repository
+//	                        # backup, upload tap, .fdt replay, attacks)
+//	defend -fig scenarios -tiny                # smoke-test scale
 //	defend -fig all
 //	defend -fig all -dataset repo:/path/to/repository
 //	                        # every figure from the repository's replayed
 //	                        # .fdt trace logs instead of the generators
+//	defend -fig all -dataset workload:teamshare
+//	                        # every figure on a registered workload
 //	defend -trace fsl.trace -scheme combined   # savings on a trace file
 //	defend -repo /path/to/repository           # snapshots, savings, verify
 //	defend -repo /path/to/repository -key "hunter2..."
@@ -39,8 +45,9 @@ func main() {
 		runAttackCmd(os.Args[2:])
 		return
 	}
-	figFlag := flag.String("fig", "", "reproduce figures: 10, 11, ablations, or all")
-	dataset := flag.String("dataset", "", `figure dataset: empty = built-in generators, "repo:<dir>" = a repository's replayed trace logs, else a tracegen file`)
+	figFlag := flag.String("fig", "", "reproduce figures: 10, 11, ablations, scenarios, or all")
+	dataset := flag.String("dataset", "", `figure dataset: empty = built-in generators, "repo:<dir>" = a repository's replayed trace logs, "workload:<name>" = a registered workload, else a tracegen file`)
+	tiny := flag.Bool("tiny", false, "run -fig scenarios at tiny smoke-test scale")
 	tracePath := flag.String("trace", "", "trace file to evaluate (single-run mode)")
 	schemeName := flag.String("scheme", "combined", "scheme: mle, minhash, or combined")
 	repoPath := flag.String("repo", "", "repository directory to inspect (snapshot list, savings, verify)")
@@ -51,7 +58,7 @@ func main() {
 	case *repoPath != "":
 		runRepo(*repoPath, *repoKey)
 	case *figFlag != "":
-		runFigures(*figFlag, *dataset)
+		runFigures(*figFlag, *dataset, *tiny)
 	case *tracePath != "":
 		runSingle(*tracePath, *schemeName)
 	default:
@@ -61,14 +68,18 @@ func main() {
 }
 
 // loadDataset resolves a -dataset argument: a repository's replayed
-// adversary trace logs ("repo:<dir>") or a tracegen file. Repository
-// taps need no repository key — the trace log records exactly what the
+// adversary trace logs ("repo:<dir>"), a registered workload
+// ("workload:<name>", generated at its default scale), or a tracegen
+// file. Repository taps need no repository key — the trace log records exactly what the
 // adversary observed, which under convergent encryption is a 1-1
 // relabeling of the plaintext chunk stream preserving the frequencies,
 // sizes, and locality every figure depends on.
 func loadDataset(arg string) (*trace.Dataset, error) {
 	if dir, ok := strings.CutPrefix(arg, "repo:"); ok {
 		return repoTapDataset(dir)
+	}
+	if name, ok := strings.CutPrefix(arg, "workload:"); ok {
+		return freqdedup.GenerateWorkload(name, freqdedup.WorkloadConfig{})
 	}
 	f, err := os.Open(arg)
 	if err != nil {
@@ -227,7 +238,14 @@ func runRepo(path, keyStr string) {
 		time.Since(start).Round(time.Millisecond))
 }
 
-func runFigures(which, dataset string) {
+func runFigures(which, dataset string, tiny bool) {
+	all := which == "all"
+	if all || which == "scenarios" {
+		runScenarioMatrix(tiny)
+		if which == "scenarios" {
+			return
+		}
+	}
 	var ds eval.Datasets
 	if dataset == "" {
 		ds = eval.Generate()
@@ -240,7 +258,6 @@ func runFigures(which, dataset string) {
 		// runners deduplicate, so each figure is produced once.
 		ds = eval.SingleDataset(d)
 	}
-	all := which == "all"
 	if all || which == "10" {
 		figs, err := eval.Fig10Defense(ds)
 		if err != nil {
@@ -273,6 +290,25 @@ func runFigures(which, dataset string) {
 		a3 := eval.AblationTieBreaking(ds)
 		a3.Render(os.Stdout)
 	}
+}
+
+// runScenarioMatrix runs every registered workload through the full
+// pipeline — generation, repository backup, upload-tap replay, attacks
+// against every defense scheme — and renders the per-scenario
+// inference-rate matrix.
+func runScenarioMatrix(tiny bool) {
+	opt := freqdedup.ScenarioOptions{}
+	if tiny {
+		// Smoke scale: the matrix must run end to end quickly; the rates
+		// at this scale are indicative only (the multi-user adapters get
+		// very small per-user streams).
+		opt.Config = freqdedup.WorkloadConfig{Seed: 42, Backups: 3, TotalBytes: 4 << 20, Users: 5}
+	}
+	fig, err := freqdedup.ScenarioMatrix(opt)
+	if err != nil {
+		fatal(err)
+	}
+	fig.Render(os.Stdout)
 }
 
 func runSingle(path, schemeName string) {

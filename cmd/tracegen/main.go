@@ -1,11 +1,15 @@
-// Command tracegen generates the evaluation datasets (Section 5.1) and
-// writes them as binary trace files consumable by cmd/attack and
-// cmd/defend.
+// Command tracegen generates backup workloads from the workload registry
+// (internal/workload) and writes them as binary trace files consumable by
+// cmd/attack and cmd/defend. The registry covers the paper's three
+// evaluation datasets (fsl, synthetic, vm) and the modifier-chain
+// scenarios (fileserver, vmfarm, database, media, compressed, teamshare).
 //
 // Usage:
 //
-//	tracegen -dataset fsl -out fsl.trace
-//	tracegen -dataset all -out traces/
+//	tracegen -list
+//	tracegen -workload fileserver -out fileserver.trace
+//	tracegen -workload all -out traces/
+//	tracegen -workload database -backups 8 -size $((64<<20)) -seed 7
 package main
 
 import (
@@ -15,57 +19,64 @@ import (
 	"path/filepath"
 
 	"freqdedup/internal/trace"
+	"freqdedup/internal/workload"
 )
 
 func main() {
-	dataset := flag.String("dataset", "all", "dataset to generate: fsl, synthetic, vm, or all")
-	out := flag.String("out", ".", "output file (single dataset) or directory (all)")
-	seed := flag.Int64("seed", 0, "override the generator seed (0 = default)")
+	name := flag.String("workload", "all", `workload to generate (see -list), or "all"`)
+	dataset := flag.String("dataset", "", "deprecated alias for -workload")
+	list := flag.Bool("list", false, "list the registered workloads and exit")
+	out := flag.String("out", ".", "output file (single workload) or directory (all)")
+	seed := flag.Int64("seed", 0, "generator seed (0 = the workload's default)")
+	backups := flag.Int("backups", 0, "backup generations (0 = the workload's default)")
+	size := flag.Int("size", 0, "approximate initial logical size in bytes (0 = default)")
+	users := flag.Int("users", 0, "parallel user streams (0 = the workload's default)")
+	tiny := flag.Bool("tiny", false, "tiny smoke-test scale (3 backups, 2 MiB) unless overridden")
 	flag.Parse()
 
-	gens := map[string]func() *trace.Dataset{
-		"fsl": func() *trace.Dataset {
-			p := trace.DefaultFSLParams()
-			if *seed != 0 {
-				p.Seed = *seed
-			}
-			return trace.GenerateFSL(p)
-		},
-		"synthetic": func() *trace.Dataset {
-			p := trace.DefaultSyntheticParams()
-			if *seed != 0 {
-				p.Seed = *seed
-			}
-			return trace.GenerateSynthetic(p)
-		},
-		"vm": func() *trace.Dataset {
-			p := trace.DefaultVMParams()
-			if *seed != 0 {
-				p.Seed = *seed
-			}
-			return trace.GenerateVM(p)
-		},
+	if *list {
+		for _, n := range workload.List() {
+			fmt.Println(n)
+		}
+		return
+	}
+	if *dataset != "" {
+		*name = *dataset
+	}
+
+	cfg := workload.Config{Seed: *seed, Backups: *backups, TotalBytes: *size, Users: *users}
+	if *tiny {
+		if cfg.Backups == 0 {
+			cfg.Backups = 3
+		}
+		if cfg.TotalBytes == 0 {
+			cfg.TotalBytes = 2 << 20
+		}
 	}
 
 	var names []string
-	if *dataset == "all" {
-		names = []string{"fsl", "synthetic", "vm"}
+	if *name == "all" {
+		names = workload.List()
 	} else {
-		if _, ok := gens[*dataset]; !ok {
-			fmt.Fprintf(os.Stderr, "tracegen: unknown dataset %q\n", *dataset)
+		if _, err := workload.Lookup(*name); err != nil {
+			// The lookup error names every available workload.
+			fmt.Fprintln(os.Stderr, "tracegen:", err)
 			os.Exit(2)
 		}
-		names = []string{*dataset}
+		names = []string{*name}
 	}
 
-	for _, name := range names {
-		d := gens[name]()
+	for _, n := range names {
+		d, err := workload.Generate(n, cfg)
+		if err != nil {
+			fatal(err)
+		}
 		path := *out
-		if *dataset == "all" || isDir(path) {
+		if *name == "all" || isDir(path) {
 			if err := os.MkdirAll(path, 0o755); err != nil {
 				fatal(err)
 			}
-			path = filepath.Join(path, name+".trace")
+			path = filepath.Join(path, n+".trace")
 		}
 		f, err := os.Create(path)
 		if err != nil {
@@ -80,7 +91,7 @@ func main() {
 		}
 		st := d.Stats()
 		fmt.Printf("%s: %d backups, %d chunks (%d unique), %.1fx dedup -> %s\n",
-			name, len(d.Backups), st.LogicalChunks, st.UniqueChunks, st.Ratio(), path)
+			n, len(d.Backups), st.LogicalChunks, st.UniqueChunks, st.Ratio(), path)
 	}
 }
 

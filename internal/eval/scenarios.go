@@ -1,0 +1,160 @@
+package eval
+
+import (
+	"fmt"
+
+	"freqdedup/internal/attack"
+	"freqdedup/internal/defense"
+	"freqdedup/internal/trace"
+	"freqdedup/internal/workload"
+)
+
+// The scenario matrix drives every registered workload through the full
+// pipeline — generation, (optionally) the real storage stack via a
+// TapPipeline, then the locality attack against the paper's defense
+// ablations — and reports one inference-rate column per scheme. It is the
+// evaluation's answer to "how does leakage depend on what is being backed
+// up", a question the per-figure runners (fixed datasets) cannot ask.
+
+// TapPipeline pushes a generated dataset through a real storage stack and
+// returns the adversary's replayed view of it (the upload-tap trace).
+// The Repository-backed implementation lives in the facade package
+// (freqdedup.ScenarioMatrix wires it); eval cannot provide it itself,
+// since the facade imports eval. A nil pipeline attacks the generated
+// chunk streams directly — the trace-level methodology of the classic
+// figure runners.
+type TapPipeline func(d *trace.Dataset) (*trace.Dataset, error)
+
+// ScenarioOptions configures RunScenario and ScenarioMatrix.
+type ScenarioOptions struct {
+	// Workloads selects the scenarios to run (default: every registered
+	// workload, in List order).
+	Workloads []string
+	// Config is the per-scenario generation configuration. Its zero value
+	// uses workload defaults; the Seed applies to every scenario.
+	Config workload.Config
+	// LeakRate is the known-plaintext leakage rate (default 0.02).
+	LeakRate float64
+	// EncryptSeed seeds the defense-side randomness (default 11).
+	EncryptSeed int64
+	// Pipeline optionally routes each dataset through a real storage
+	// stack; the attack then runs on the replayed taps.
+	Pipeline TapPipeline
+}
+
+func (o ScenarioOptions) withDefaults() ScenarioOptions {
+	if len(o.Workloads) == 0 {
+		o.Workloads = workload.List()
+	}
+	if o.LeakRate == 0 {
+		o.LeakRate = 0.02
+	}
+	if o.EncryptSeed == 0 {
+		o.EncryptSeed = 11
+	}
+	return o
+}
+
+// ScenarioResult is one workload's trip through the full pipeline.
+type ScenarioResult struct {
+	// Name is the workload name.
+	Name string
+	// Backups and UniqueChunks describe the adversary-view dataset the
+	// attack ran on (post-pipeline when a TapPipeline was set).
+	Backups      int
+	UniqueChunks int
+	// DedupRatio is the adversary-view dataset's deduplication ratio.
+	DedupRatio float64
+	// Rates maps each evaluated scheme to the locality attack's inference
+	// rate against it, in scheme order MLE, MinHash, Combined.
+	Rates map[defense.Scheme]float64
+}
+
+// scenarioSchemes are the ablation columns of the matrix, in figure order.
+var scenarioSchemes = []defense.Scheme{
+	defense.SchemeMLE,
+	defense.SchemeMinHash,
+	defense.SchemeCombined,
+}
+
+// RunScenario generates one workload, optionally routes it through the
+// pipeline, and scores the locality attack (known-plaintext, LeakRate)
+// against each defense scheme: the earliest adversary-view backup is the
+// auxiliary, the latest the target.
+func RunScenario(name string, opt ScenarioOptions) (ScenarioResult, error) {
+	opt = opt.withDefaults()
+	d, err := workload.Generate(name, opt.Config)
+	if err != nil {
+		return ScenarioResult{}, err
+	}
+	if opt.Pipeline != nil {
+		if d, err = opt.Pipeline(d); err != nil {
+			return ScenarioResult{}, fmt.Errorf("scenario %q: pipeline: %w", name, err)
+		}
+	}
+	if len(d.Backups) < 2 {
+		return ScenarioResult{}, fmt.Errorf("scenario %q: %d backups, need at least 2", name, len(d.Backups))
+	}
+	aux := d.Backups[0]
+	target := d.Backups[len(d.Backups)-1]
+	res := ScenarioResult{
+		Name:         name,
+		Backups:      len(d.Backups),
+		UniqueChunks: target.UniqueCount(),
+		DedupRatio:   d.Stats().Ratio(),
+		Rates:        make(map[defense.Scheme]float64, len(scenarioSchemes)),
+	}
+	for _, scheme := range scenarioSchemes {
+		enc, err := defense.Encrypt(target, scheme, opt.EncryptSeed)
+		if err != nil {
+			return ScenarioResult{}, fmt.Errorf("scenario %q: encrypt %v: %w", name, scheme, err)
+		}
+		cfg := attack.Config{U: 1, V: 15, W: defaultW, Mode: attack.KnownPlaintext}
+		cfg.Leaked = attack.SampleLeaked(enc.Backup, enc.Truth, opt.LeakRate, 42)
+		r, err := attack.NewLocality(cfg).Run(attack.BackupSource(enc.Backup), attack.BackupSource(aux), attack.Params{})
+		if err != nil {
+			return ScenarioResult{}, fmt.Errorf("scenario %q: attack vs %v: %w", name, scheme, err)
+		}
+		res.Rates[scheme] = r.InferenceRate(enc.Truth)
+	}
+	return res, nil
+}
+
+// ScenarioMatrix runs every selected workload through RunScenario and
+// assembles the per-scenario inference-rate figure: one row per workload,
+// one column per defense scheme.
+func ScenarioMatrix(opt ScenarioOptions) (*Figure, error) {
+	opt = opt.withDefaults()
+	fig := &Figure{
+		ID:      "Matrix",
+		Title:   "Locality attack inference rate by workload scenario (known-plaintext)",
+		XLabel:  "workload",
+		Percent: true,
+		Notes: []string{
+			fmt.Sprintf("leakage rate %.3g, locality attack, target = latest backup, auxiliary = first backup", opt.LeakRate),
+		},
+	}
+	if opt.Pipeline != nil {
+		fig.Notes = append(fig.Notes, "streams routed through the real storage stack; attacks ran on replayed upload taps")
+	}
+	series := make([]Series, len(scenarioSchemes))
+	for i, s := range scenarioSchemes {
+		name := s.String()
+		if s == defense.SchemeCombined {
+			name = "MinHash+scramble"
+		}
+		series[i] = Series{Name: name}
+	}
+	for _, name := range opt.Workloads {
+		res, err := RunScenario(name, opt)
+		if err != nil {
+			return nil, err
+		}
+		fig.X = append(fig.X, res.Name)
+		for i, s := range scenarioSchemes {
+			series[i].Y = append(series[i].Y, res.Rates[s])
+		}
+	}
+	fig.Series = series
+	return fig, nil
+}

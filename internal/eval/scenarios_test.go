@@ -1,0 +1,99 @@
+package eval
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"freqdedup/internal/defense"
+	"freqdedup/internal/trace"
+	"freqdedup/internal/workload"
+)
+
+// TestRunScenarioTraceLevel runs one scenario with a nil pipeline (attack
+// the generated chunk streams directly) and checks the result is sane.
+func TestRunScenarioTraceLevel(t *testing.T) {
+	opt := ScenarioOptions{Config: workload.Config{Seed: 5, Backups: 3, TotalBytes: 2 << 20}}
+	res, err := RunScenario("fileserver", opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Name != "fileserver" || res.Backups != 3 || res.UniqueChunks == 0 {
+		t.Fatalf("result %+v", res)
+	}
+	if res.DedupRatio <= 1 {
+		t.Fatalf("dedup ratio %.2f, want > 1", res.DedupRatio)
+	}
+	mle := res.Rates[defense.SchemeMLE]
+	combined := res.Rates[defense.SchemeCombined]
+	if mle <= 0 {
+		t.Fatalf("MLE rate %v, want > 0", mle)
+	}
+	if combined >= mle {
+		t.Fatalf("combined rate %v not below MLE rate %v", combined, mle)
+	}
+}
+
+// TestRunScenarioPipeline checks the pipeline hook runs and its output is
+// what gets attacked.
+func TestRunScenarioPipeline(t *testing.T) {
+	var sawBackups int
+	opt := ScenarioOptions{
+		Config: workload.Config{Seed: 5, Backups: 4, TotalBytes: 1 << 20},
+		Pipeline: func(d *trace.Dataset) (*trace.Dataset, error) {
+			sawBackups = len(d.Backups)
+			// Drop the middle backups: the result must reflect this view.
+			return &trace.Dataset{Name: d.Name, Backups: []*trace.Backup{
+				d.Backups[0], d.Backups[len(d.Backups)-1],
+			}}, nil
+		},
+	}
+	res, err := RunScenario("media", opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sawBackups != 4 {
+		t.Fatalf("pipeline saw %d backups, want 4", sawBackups)
+	}
+	if res.Backups != 2 {
+		t.Fatalf("result reports %d backups, want the pipeline's 2", res.Backups)
+	}
+}
+
+func TestRunScenarioUnknownWorkload(t *testing.T) {
+	if _, err := RunScenario("no-such", ScenarioOptions{}); err == nil {
+		t.Fatal("unknown workload succeeded")
+	}
+}
+
+// TestScenarioMatrixFigure checks the matrix figure has one row per
+// selected workload and one series per scheme, and renders.
+func TestScenarioMatrixFigure(t *testing.T) {
+	opt := ScenarioOptions{
+		Workloads: []string{"fileserver", "database"},
+		Config:    workload.Config{Seed: 5, Backups: 3, TotalBytes: 1 << 20},
+	}
+	fig, err := ScenarioMatrix(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.X) != 2 || fig.X[0] != "fileserver" || fig.X[1] != "database" {
+		t.Fatalf("figure rows %v", fig.X)
+	}
+	if len(fig.Series) != 3 {
+		t.Fatalf("%d series, want 3", len(fig.Series))
+	}
+	for _, s := range fig.Series {
+		if len(s.Y) != 2 {
+			t.Fatalf("series %q has %d values, want 2", s.Name, len(s.Y))
+		}
+	}
+	var buf bytes.Buffer
+	fig.Render(&buf)
+	out := buf.String()
+	for _, want := range []string{"fileserver", "database", "MLE", "MinHash+scramble"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered figure missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -28,6 +28,10 @@ var magic = [8]byte{'F', 'D', 'T', 'R', 'A', 'C', 'E', '1'}
 // maxStringLen bounds label/name lengths on decode.
 const maxStringLen = 1 << 12
 
+// maxChunkPrealloc bounds how many chunk records Read pre-allocates from
+// a declared count before any record bytes have been seen.
+const maxChunkPrealloc = 1 << 16
+
 // Write encodes the dataset to w.
 func Write(w io.Writer, d *Dataset) error {
 	bw := bufio.NewWriter(w)
@@ -90,14 +94,23 @@ func Read(r io.Reader) (*Dataset, error) {
 		if err := binary.Read(br, binary.BigEndian, &nChunks); err != nil {
 			return nil, fmt.Errorf("trace: read chunk count: %w", err)
 		}
-		b := &Backup{Label: label, Chunks: make([]ChunkRef, nChunks)}
+		// nChunks is untrusted input: cap the pre-allocation and grow the
+		// slice only as chunk records actually arrive, so a forged count in
+		// a truncated stream cannot make Read allocate gigabytes up front.
+		capHint := nChunks
+		if capHint > maxChunkPrealloc {
+			capHint = maxChunkPrealloc
+		}
+		b := &Backup{Label: label, Chunks: make([]ChunkRef, 0, capHint)}
 		var rec [fphash.Size + 4]byte
-		for j := range b.Chunks {
+		for j := uint32(0); j < nChunks; j++ {
 			if _, err := io.ReadFull(br, rec[:]); err != nil {
 				return nil, fmt.Errorf("trace: read chunk: %w", err)
 			}
-			copy(b.Chunks[j].FP[:], rec[:fphash.Size])
-			b.Chunks[j].Size = binary.BigEndian.Uint32(rec[fphash.Size:])
+			var c ChunkRef
+			copy(c.FP[:], rec[:fphash.Size])
+			c.Size = binary.BigEndian.Uint32(rec[fphash.Size:])
+			b.Chunks = append(b.Chunks, c)
 		}
 		d.Backups = append(d.Backups, b)
 	}

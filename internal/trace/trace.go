@@ -190,6 +190,11 @@ type ChunkSizeModel struct {
 	Quantum       int
 }
 
+// Draw samples one chunk size from the model. The workload generator
+// registry (internal/workload) shares the model with this package's
+// generators, so their size distributions stay comparable.
+func (m ChunkSizeModel) Draw(rng *rand.Rand) uint32 { return m.draw(rng) }
+
 // draw samples one chunk size.
 func (m ChunkSizeModel) draw(rng *rand.Rand) uint32 {
 	if m.Min == m.Max {

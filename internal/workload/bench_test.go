@@ -1,0 +1,27 @@
+package workload
+
+import (
+	"testing"
+)
+
+// BenchmarkWorkloadGenerate tracks the cost of generating each registered
+// workload at a fixed small scale, reporting logical throughput so
+// modifier-chain regressions (accidental quadratic scans, per-chunk
+// allocation) surface in the committed baseline.
+func BenchmarkWorkloadGenerate(b *testing.B) {
+	cfg := Config{Seed: 7, Backups: 4, TotalBytes: 4 << 20}
+	for _, name := range List() {
+		b.Run(name, func(b *testing.B) {
+			var logical int64
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				d, err := Generate(name, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				logical = int64(d.Stats().LogicalBytes)
+			}
+			b.SetBytes(logical)
+		})
+	}
+}

@@ -1,0 +1,283 @@
+package workload
+
+import (
+	"fmt"
+
+	"freqdedup/internal/trace"
+)
+
+// Builtin workloads. Six modifier-chain scenarios exercise distinct
+// churn mechanics; three adapters expose the classic internal/trace
+// generators (the paper's synthetic, FSL-like, and VM datasets) under the
+// same registry so every consumer enumerates one namespace.
+//
+// Factories receive the caller's raw Config: a zero field means "not
+// set", letting scenario factories supply their own defaults (user
+// counts, chunk models) before NewGenerator validates the result.
+
+func init() {
+	Register("fileserver", newFileserver)
+	Register("vmfarm", newVMFarm)
+	Register("database", newDatabase)
+	Register("media", newMedia)
+	Register("compressed", newCompressed)
+	Register("teamshare", newTeamshare)
+	Register("synthetic", newSyntheticAdapter)
+	Register("fsl", newFSLAdapter)
+	Register("vm", newVMAdapter)
+}
+
+// fileserver: a general-purpose file server — shared-library duplication,
+// a volatile working set modified in clustered regions, slow growth.
+func newFileserver(cfg Config) (Source, error) {
+	return NewGenerator("fileserver", cfg,
+		func(st *State) {
+			st.InitLibrary(6, 256, 48<<10)
+			per := st.Cfg.TotalBytes / st.Cfg.Users
+			for u := 0; u < st.Cfg.Users; u++ {
+				st.Fill(u, per, 0.08, 0.45, 0.55)
+			}
+		},
+		FileChurn{
+			ModifyFrac:  0.08,
+			ContentFrac: 0.35,
+			DeleteFrac:  0.01,
+			GrowFrac:    0.03,
+			HotFrac:     0.08,
+			ReuseFrac:   0.30,
+		},
+	)
+}
+
+// vmfarm: a cluster of VM images cloned from one base — heavy cross-image
+// duplication, clustered churn in a volatile zone, local block
+// relocation, and episodic layer installs. Each user is one image.
+func newVMFarm(cfg Config) (Source, error) {
+	if cfg.Users == 0 {
+		cfg.Users = 4
+	}
+	return NewGenerator("vmfarm", cfg,
+		func(st *State) {
+			st.InitLibrary(6, 96, 32<<10)
+			// The shared base image every VM is cloned from.
+			per := st.Cfg.TotalBytes / st.Cfg.Users
+			base := &Extent{vol: 1}
+			for base.bytes() < per {
+				e := st.newObject(st.Cfg.MeanObjectBytes, 0.06, 0.45)
+				base.chunks = append(base.chunks, e.chunks...)
+			}
+			for _, s := range st.Users() {
+				img := base.clone()
+				st.rewriteRegion(img, 0.10, 0.35) // initial per-VM drift
+				s.extents = []*Extent{img}
+			}
+		},
+		VMLayer{
+			ChurnFrac:        0.08,
+			VolatileZoneFrac: 0.35,
+			RelocateFrac:     0.15,
+			LayerFrac:        0.06,
+			LayerEvery:       2,
+			HotFrac:          0.06,
+			ReuseFrac:        0.30,
+		},
+	)
+}
+
+// database: one database file per user — fixed-size pages, a template-page
+// frequency head (zero pages, catalog pages repeated across the file),
+// in-place hot-zone updates, slow tail growth.
+func newDatabase(cfg Config) (Source, error) {
+	if cfg.Chunk == (trace.ChunkSizeModel{}) {
+		// Database pages are fixed-size.
+		cfg.Chunk = trace.ChunkSizeModel{Min: 8192, Avg: 8192, Max: 8192}
+	}
+	return NewGenerator("database", cfg,
+		func(st *State) {
+			st.InitLibrary(8, 0, 0) // hot singles double as template pages
+			per := st.Cfg.TotalBytes / st.Cfg.Users
+			for _, s := range st.Users() {
+				file := &Extent{vol: 1}
+				for file.bytes() < per {
+					if st.Rng.Float64() < 0.12 {
+						file.chunks = append(file.chunks, st.pickHot().chunks[0])
+					} else {
+						file.chunks = append(file.chunks, st.MintChunk())
+					}
+				}
+				s.extents = []*Extent{file}
+			}
+		},
+		DBPageUpdate{
+			UpdateFrac:  0.10,
+			HotZoneFrac: 0.20,
+			HotProb:     0.80,
+			GrowFrac:    0.01,
+		},
+	)
+}
+
+// media: an append-only media library — large immutable blobs, a fraction
+// of arrivals duplicating stored assets, nothing modified or deleted.
+func newMedia(cfg Config) (Source, error) {
+	return NewGenerator("media", cfg,
+		func(st *State) {
+			st.InitLibrary(4, 64, 4*st.Cfg.MeanObjectBytes)
+			per := st.Cfg.TotalBytes / st.Cfg.Users
+			for u := 0; u < st.Cfg.Users; u++ {
+				st.Fill(u, per, 0.05, 0.25, 1.0) // stableFrac 1: immutable
+			}
+		},
+		MediaAppend{
+			AppendFrac: 0.10,
+			DupFrac:    0.15,
+		},
+	)
+}
+
+// compressed: compress-then-backup archives — light upstream churn whose
+// effect is amplified by boundary re-cutting downstream of each edit, so
+// only the leading portion of the stream deduplicates across generations.
+func newCompressed(cfg Config) (Source, error) {
+	return NewGenerator("compressed", cfg,
+		func(st *State) {
+			st.InitLibrary(6, 128, 48<<10)
+			per := st.Cfg.TotalBytes / st.Cfg.Users
+			for u := 0; u < st.Cfg.Users; u++ {
+				st.Fill(u, per, 0.08, 0.40, 0.55)
+			}
+		},
+		FileChurn{
+			ModifyFrac:  0.02,
+			ContentFrac: 0.10,
+			GrowFrac:    0.02,
+			HotFrac:     0.08,
+			ReuseFrac:   0.30,
+		},
+		CompressRecut{TailFrac: 0.30},
+	)
+}
+
+// teamshare: multi-user shared-team storage — per-user churn plus
+// cross-user propagation of shared artifacts each generation.
+func newTeamshare(cfg Config) (Source, error) {
+	if cfg.Users == 0 {
+		cfg.Users = 3
+	}
+	return NewGenerator("teamshare", cfg,
+		func(st *State) {
+			st.InitLibrary(6, 192, 48<<10)
+			per := st.Cfg.TotalBytes / st.Cfg.Users
+			for u := 0; u < st.Cfg.Users; u++ {
+				st.Fill(u, per, 0.08, 0.45, 0.55)
+			}
+		},
+		FileChurn{
+			ModifyFrac:  0.06,
+			ContentFrac: 0.30,
+			DeleteFrac:  0.01,
+			GrowFrac:    0.02,
+			HotFrac:     0.08,
+			ReuseFrac:   0.30,
+		},
+		UserOverlap{ShareFrac: 0.03, RecipientVol: 0.5},
+	)
+}
+
+// newSyntheticAdapter exposes the paper's synthetic snapshot-chain
+// generator (trace.GenerateSynthetic). Config knobs map onto the trace
+// params only when set, so the zero Config reproduces the classic default
+// dataset exactly (aside from seed).
+func newSyntheticAdapter(cfg Config) (Source, error) {
+	if _, err := cfg.withDefaults(); err != nil {
+		return nil, err
+	}
+	p := trace.DefaultSyntheticParams()
+	// A zero seed keeps the classic default, so the registry reproduces
+	// the historical dataset bit for bit with a zero Config.
+	if cfg.Seed != 0 {
+		p.Seed = cfg.Seed
+	}
+	p.Rng = cfg.Rng
+	if cfg.Backups != 0 {
+		p.Snapshots = cfg.Backups - 1
+	}
+	if cfg.TotalBytes != 0 {
+		// Keep the paper's new-data ratio when rescaling the image.
+		p.NewDataBytes = int(float64(p.NewDataBytes) * float64(cfg.TotalBytes) / float64(p.InitialBytes))
+		p.InitialBytes = cfg.TotalBytes
+	}
+	if cfg.MeanObjectBytes != 0 {
+		p.MeanFileBytes = cfg.MeanObjectBytes
+	}
+	if cfg.Chunk != (trace.ChunkSizeModel{}) {
+		p.Chunk = cfg.Chunk
+	}
+	return sourceFunc(func() (*trace.Dataset, error) {
+		return trace.GenerateSynthetic(p), nil
+	}), nil
+}
+
+// newFSLAdapter exposes the FSL-like multi-user home-directory generator
+// (trace.GenerateFSL).
+func newFSLAdapter(cfg Config) (Source, error) {
+	if _, err := cfg.withDefaults(); err != nil {
+		return nil, err
+	}
+	p := trace.DefaultFSLParams()
+	if cfg.Seed != 0 {
+		p.Seed = cfg.Seed
+	}
+	p.Rng = cfg.Rng
+	if cfg.Users != 0 {
+		p.Users = cfg.Users
+	}
+	if cfg.Backups != 0 {
+		labels := make([]string, cfg.Backups)
+		for i := range labels {
+			labels[i] = fmt.Sprintf("%d", i)
+		}
+		p.Labels = labels
+	}
+	if cfg.TotalBytes != 0 {
+		p.PerUserBytes = cfg.TotalBytes / p.Users
+	}
+	if cfg.MeanObjectBytes != 0 {
+		p.MeanFileBytes = cfg.MeanObjectBytes
+	}
+	if cfg.Chunk != (trace.ChunkSizeModel{}) {
+		p.Chunk = cfg.Chunk
+	}
+	return sourceFunc(func() (*trace.Dataset, error) {
+		return trace.GenerateFSL(p), nil
+	}), nil
+}
+
+// newVMAdapter exposes the VM-image weekly-snapshot generator
+// (trace.GenerateVM). The trace generator uses fixed-size chunks; a
+// Config chunk model contributes only its average.
+func newVMAdapter(cfg Config) (Source, error) {
+	if _, err := cfg.withDefaults(); err != nil {
+		return nil, err
+	}
+	p := trace.DefaultVMParams()
+	if cfg.Seed != 0 {
+		p.Seed = cfg.Seed
+	}
+	p.Rng = cfg.Rng
+	if cfg.Users != 0 {
+		p.Students = cfg.Users
+	}
+	if cfg.Backups != 0 {
+		p.Weeks = cfg.Backups
+	}
+	if cfg.TotalBytes != 0 {
+		p.BaseImageBytes = cfg.TotalBytes / p.Students
+	}
+	if cfg.Chunk != (trace.ChunkSizeModel{}) {
+		p.ChunkSize = cfg.Chunk.Avg
+	}
+	return sourceFunc(func() (*trace.Dataset, error) {
+		return trace.GenerateVM(p), nil
+	}), nil
+}

@@ -1,0 +1,52 @@
+package workload
+
+import (
+	"encoding/binary"
+	"io"
+
+	"freqdedup/internal/trace"
+)
+
+// DataReader streams a backup's byte image for the real storage stack:
+// each chunk ref expands to Size pseudo-random bytes derived from its
+// fingerprint alone, so equal fingerprints expand to equal byte runs and
+// the generated duplication and locality structure survives the
+// repository's own content-defined re-chunking. The reader materializes
+// one chunk at a time — a backup larger than RAM streams fine.
+func DataReader(b *trace.Backup) io.Reader {
+	return &dataReader{chunks: b.Chunks}
+}
+
+type dataReader struct {
+	chunks []trace.ChunkRef
+	i      int
+	buf    []byte
+	off    int
+}
+
+func (r *dataReader) Read(p []byte) (int, error) {
+	for r.off == len(r.buf) {
+		if r.i == len(r.chunks) {
+			return 0, io.EOF
+		}
+		r.buf = chunkBytes(r.chunks[r.i])
+		r.off = 0
+		r.i++
+	}
+	n := copy(p, r.buf[r.off:])
+	r.off += n
+	return n, nil
+}
+
+// chunkBytes expands one chunk ref into its deterministic byte content: a
+// splitmix64 stream keyed by the fingerprint.
+func chunkBytes(c trace.ChunkRef) []byte {
+	out := make([]byte, c.Size)
+	seed := c.FP.Uint64()
+	var blk [8]byte
+	for i := 0; i < len(out); i += 8 {
+		binary.LittleEndian.PutUint64(blk[:], mix64(seed+uint64(i)))
+		copy(out[i:], blk[:])
+	}
+	return out
+}

@@ -1,0 +1,325 @@
+package workload
+
+import (
+	"math/rand"
+
+	"freqdedup/internal/fphash"
+	"freqdedup/internal/trace"
+)
+
+// mix64 is the splitmix64 finalizer, a bijection on uint64: distinct
+// inputs mint distinct fingerprints.
+func mix64(z uint64) uint64 {
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// minter mints fresh, never-repeating fingerprints. The counter is salted
+// from the generator's random stream, so distinct seeds mint from disjoint
+// fingerprint spaces — which is what makes "distinct seeds ⇒ distinct
+// fingerprint multisets" a hard property rather than a likelihood.
+type minter struct {
+	salt uint64
+	next uint64
+}
+
+func (m *minter) mint() fphash.Fingerprint {
+	for {
+		m.next++
+		fp := fphash.FromUint64(mix64(m.salt + m.next))
+		if !fp.IsZero() {
+			return fp
+		}
+	}
+}
+
+// Extent is a contiguous run of chunks that moves, copies, and churns as a
+// unit: a file, a media blob, a VM image, or a database segment. Copying
+// an extent copies its chunk refs (same fingerprints — that is what
+// duplication is) into an independent object, so later edits to one copy
+// never touch the others.
+type Extent struct {
+	chunks []trace.ChunkRef
+	// vol is the extent's churn propensity; 0 marks the immutable stable
+	// backbone that survives across many generations.
+	vol float64
+}
+
+func (e *Extent) clone() *Extent {
+	c := make([]trace.ChunkRef, len(e.chunks))
+	copy(c, e.chunks)
+	return &Extent{chunks: c, vol: e.vol}
+}
+
+func (e *Extent) bytes() int {
+	var n int
+	for _, c := range e.chunks {
+		n += int(c.Size)
+	}
+	return n
+}
+
+// Stream is one user's backup stream: extents in stable stream order.
+type Stream struct {
+	extents []*Extent
+}
+
+func (s *Stream) bytes() int {
+	var n int
+	for _, e := range s.extents {
+		n += e.bytes()
+	}
+	return n
+}
+
+func (s *Stream) chunkCount() int {
+	var n int
+	for _, e := range s.extents {
+		n += len(e.chunks)
+	}
+	return n
+}
+
+// library is the shared duplication pool, mirroring internal/trace's
+// two-tier fileLibrary: a tiny hot head copied at geometrically separated
+// rates (the stable frequency head the ciphertext-only attacks seed from)
+// and a broad tail of ordinary extents copied uniformly.
+type library struct {
+	hot  []*Extent
+	tail []*Extent
+}
+
+// State is the working state a generator evolves: per-user extent streams,
+// the shared duplication library, the fingerprint minter, and the single
+// random stream every modifier draws from.
+type State struct {
+	// Rng is the generator's private random source. Modifiers must take
+	// all randomness from it (see the package documentation).
+	Rng *rand.Rand
+	// Cfg is the validated configuration.
+	Cfg Config
+
+	mint  minter
+	users []*Stream
+	lib   *library
+}
+
+func newState(cfg Config) *State {
+	rng := cfg.rng()
+	st := &State{
+		Rng:   rng,
+		Cfg:   cfg,
+		mint:  minter{salt: rng.Uint64()},
+		users: make([]*Stream, cfg.Users),
+	}
+	for i := range st.users {
+		st.users[i] = &Stream{}
+	}
+	return st
+}
+
+// Users returns the per-user streams in stable order.
+func (st *State) Users() []*Stream { return st.users }
+
+// MintChunk mints one fresh chunk with a size drawn from the chunk model.
+func (st *State) MintChunk() trace.ChunkRef {
+	return trace.ChunkRef{FP: st.mint.mint(), Size: st.Cfg.Chunk.Draw(st.Rng)}
+}
+
+// FreshExtent mints a new extent of approximately targetBytes.
+func (st *State) FreshExtent(targetBytes int) *Extent {
+	e := &Extent{}
+	var got int
+	for got < targetBytes || len(e.chunks) == 0 {
+		c := st.MintChunk()
+		e.chunks = append(e.chunks, c)
+		got += int(c.Size)
+	}
+	return e
+}
+
+// objectBytes draws an object size with the configured mean (exponential,
+// floored at one chunk's worth of data).
+func (st *State) objectBytes(mean int) int {
+	n := int(st.Rng.ExpFloat64() * float64(mean))
+	if n < 4096 {
+		n = 4096
+	}
+	return n
+}
+
+// InitLibrary pre-generates the shared duplication pool: nHot hot extents
+// (single-chunk, so the frequency head consists of well-separated
+// singleton ranks) and nTail ordinary extents with the given mean size.
+func (st *State) InitLibrary(nHot, nTail, meanBytes int) {
+	lib := &library{
+		hot:  make([]*Extent, nHot),
+		tail: make([]*Extent, nTail),
+	}
+	for i := range lib.hot {
+		lib.hot[i] = &Extent{chunks: []trace.ChunkRef{st.MintChunk()}}
+	}
+	for i := range lib.tail {
+		lib.tail[i] = st.FreshExtent(st.objectBytes(meanBytes))
+	}
+	st.lib = lib
+}
+
+// pickHot returns a copy of a hot library extent, rank chosen geometrically
+// so rank 0 is copied about twice as often as rank 1 — stable,
+// well-separated frequency ranks across generations.
+func (st *State) pickHot() *Extent {
+	h := 0
+	for h < len(st.lib.hot)-1 && st.Rng.Float64() < 0.5 {
+		h++
+	}
+	return st.lib.hot[h].clone()
+}
+
+// pickTail returns a copy of a uniformly selected tail library extent.
+func (st *State) pickTail() *Extent {
+	return st.lib.tail[st.Rng.Intn(len(st.lib.tail))].clone()
+}
+
+// drawVolatility assigns an extent's churn propensity: stableFrac of
+// extents are immutable, the rest get an exponential weight so a small hot
+// working set dominates churn.
+func (st *State) drawVolatility(stableFrac float64) float64 {
+	if st.Rng.Float64() < stableFrac {
+		return 0
+	}
+	return st.Rng.ExpFloat64() + 0.05
+}
+
+// newObject draws one new extent for a growing stream: a hot library copy
+// with probability hotFrac, a tail library copy with probability reuseFrac,
+// or a fresh extent otherwise.
+func (st *State) newObject(meanBytes int, hotFrac, reuseFrac float64) *Extent {
+	switch r := st.Rng.Float64(); {
+	case st.lib != nil && r < hotFrac:
+		return st.pickHot()
+	case st.lib != nil && r < hotFrac+reuseFrac:
+		return st.pickTail()
+	default:
+		return st.FreshExtent(st.objectBytes(meanBytes))
+	}
+}
+
+// Fill grows user u's stream by approximately targetBytes of objects with
+// the given library-draw and stability mix.
+func (st *State) Fill(u, targetBytes int, hotFrac, reuseFrac, stableFrac float64) {
+	s := st.users[u]
+	var added int
+	for added < targetBytes {
+		e := st.newObject(st.Cfg.MeanObjectBytes, hotFrac, reuseFrac)
+		e.vol = st.drawVolatility(stableFrac)
+		s.extents = append(s.extents, e)
+		added += e.bytes()
+	}
+}
+
+// Snapshot emits the full-backup chunk stream of the current generation:
+// users in order, extents in stream order within each user.
+func (st *State) Snapshot(label string) *trace.Backup {
+	var total int
+	for _, s := range st.users {
+		total += s.chunkCount()
+	}
+	b := &trace.Backup{Label: label, Chunks: make([]trace.ChunkRef, 0, total)}
+	for _, s := range st.users {
+		for _, e := range s.extents {
+			b.Chunks = append(b.Chunks, e.chunks...)
+		}
+	}
+	return b
+}
+
+// rewriteRegion rewrites a clustered contiguous region covering
+// contentFrac of the extent's chunks with freshly minted ones — the
+// paper's "changes to backups often appear in few clustered regions of
+// chunks". When zoneFrac is positive the region starts within the leading
+// zoneFrac of the extent with high probability, concentrating churn in a
+// hot zone and leaving a stable backbone. Chunk counts drift by ±1 like
+// content-defined boundaries under edits.
+func (st *State) rewriteRegion(e *Extent, contentFrac, zoneFrac float64) {
+	n := len(e.chunks)
+	if n == 0 {
+		return
+	}
+	run := int(float64(n)*contentFrac + 0.5)
+	if run < 1 {
+		run = 1
+	}
+	if run > n {
+		run = n
+	}
+	limit := n - run + 1
+	start := st.Rng.Intn(limit)
+	if zoneFrac > 0 && st.Rng.Float64() < 0.85 {
+		zone := int(float64(n) * zoneFrac)
+		if zone < 1 {
+			zone = 1
+		}
+		if zone > limit {
+			zone = limit
+		}
+		start = st.Rng.Intn(zone)
+	}
+	repl := make([]trace.ChunkRef, 0, run+1)
+	for i := 0; i < run; i++ {
+		repl = append(repl, st.MintChunk())
+	}
+	switch st.Rng.Intn(4) {
+	case 0:
+		repl = append(repl, st.MintChunk())
+	case 1:
+		if len(repl) > 1 {
+			repl = repl[:len(repl)-1]
+		}
+	}
+	out := make([]trace.ChunkRef, 0, n-run+len(repl))
+	out = append(out, e.chunks[:start]...)
+	out = append(out, repl...)
+	out = append(out, e.chunks[start+run:]...)
+	e.chunks = out
+}
+
+// weightedSample picks up to k distinct extent indices with probability
+// proportional to volatility; immutable extents are never picked.
+func (st *State) weightedSample(s *Stream, k int) []int {
+	type cand struct {
+		idx int
+		w   float64
+	}
+	cands := make([]cand, 0, len(s.extents))
+	var total float64
+	for i, e := range s.extents {
+		if e.vol > 0 {
+			cands = append(cands, cand{idx: i, w: e.vol})
+			total += e.vol
+		}
+	}
+	if k > len(cands) {
+		k = len(cands)
+	}
+	out := make([]int, 0, k)
+	for len(out) < k {
+		r := st.Rng.Float64() * total
+		var acc float64
+		pick := len(cands) - 1
+		for i, c := range cands {
+			acc += c.w
+			if r < acc {
+				pick = i
+				break
+			}
+		}
+		out = append(out, cands[pick].idx)
+		total -= cands[pick].w
+		cands[pick] = cands[len(cands)-1]
+		cands = cands[:len(cands)-1]
+	}
+	return out
+}

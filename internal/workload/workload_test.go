@@ -1,0 +1,187 @@
+package workload
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+
+	"freqdedup/internal/fphash"
+	"freqdedup/internal/trace"
+)
+
+// smallConfig keeps unit-test generation fast.
+func smallConfig(seed int64) Config {
+	return Config{Seed: seed, Backups: 4, TotalBytes: 2 << 20}
+}
+
+func TestListAndLookup(t *testing.T) {
+	names := List()
+	want := []string{"compressed", "database", "fileserver", "fsl", "media", "synthetic", "teamshare", "vm", "vmfarm"}
+	if len(names) != len(want) {
+		t.Fatalf("List() = %v, want %v", names, want)
+	}
+	for i, n := range want {
+		if names[i] != n {
+			t.Fatalf("List() = %v, want %v (sorted)", names, want)
+		}
+	}
+	for _, n := range names {
+		if _, err := Lookup(n); err != nil {
+			t.Fatalf("Lookup(%q): %v", n, err)
+		}
+	}
+	_, err := Lookup("no-such-workload")
+	if err == nil {
+		t.Fatal("Lookup of an unknown workload succeeded")
+	}
+	for _, n := range want {
+		if !strings.Contains(err.Error(), n) {
+			t.Fatalf("unknown-workload error %q does not name available workload %q", err, n)
+		}
+	}
+}
+
+func TestRegisterPanics(t *testing.T) {
+	mustPanic := func(name string, f Factory) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("Register(%q) did not panic", name)
+			}
+		}()
+		Register(name, f)
+	}
+	mustPanic("", newFileserver)
+	mustPanic("nil-factory", nil)
+	mustPanic("fileserver", newFileserver) // duplicate
+}
+
+func TestConfigValidation(t *testing.T) {
+	cfg, err := Config{}.withDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Backups != 6 || cfg.TotalBytes != 24<<20 || cfg.Users != 1 {
+		t.Fatalf("zero Config defaulted to %+v", cfg)
+	}
+	bad := []Config{
+		{Backups: -1},
+		{TotalBytes: 100},
+		{MeanObjectBytes: 10},
+		{Users: 1000},
+		{Chunk: trace.ChunkSizeModel{Min: 8192, Avg: 4096, Max: 16384, Quantum: 512}},
+	}
+	for _, c := range bad {
+		if _, err := c.withDefaults(); err == nil {
+			t.Fatalf("Config %+v validated", c)
+		}
+	}
+}
+
+// TestGenerateAllWorkloads runs every registered workload and checks the
+// structural invariants every consumer relies on: the configured backup
+// count, non-empty backups, a valid dataset, and real cross-generation
+// deduplication (later backups share fingerprints with the first).
+func TestGenerateAllWorkloads(t *testing.T) {
+	for _, name := range List() {
+		t.Run(name, func(t *testing.T) {
+			cfg := smallConfig(7)
+			d, err := Generate(name, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := d.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			if len(d.Backups) != cfg.Backups {
+				t.Fatalf("%d backups, want %d", len(d.Backups), cfg.Backups)
+			}
+			first := d.Backups[0].Frequencies()
+			if len(first) == 0 {
+				t.Fatal("first backup is empty")
+			}
+			for i, b := range d.Backups {
+				if len(b.Chunks) == 0 {
+					t.Fatalf("backup %d is empty", i)
+				}
+				if i == 0 {
+					continue
+				}
+				var shared int
+				for fp := range b.Frequencies() {
+					if _, ok := first[fp]; ok {
+						shared++
+					}
+				}
+				if shared == 0 {
+					t.Fatalf("backup %d shares no chunks with backup 0 — no cross-generation dedup", i)
+				}
+			}
+			stats := d.Stats()
+			if stats.Ratio() <= 1 {
+				t.Fatalf("dedup ratio %.2f, want > 1", stats.Ratio())
+			}
+		})
+	}
+}
+
+func TestGeneratorModifierNames(t *testing.T) {
+	g, err := NewGenerator("x", Config{},
+		func(st *State) { st.Fill(0, 1<<16, 0, 0, 1) },
+		FileChurn{}, CompressRecut{TailFrac: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mods := g.Modifiers()
+	if len(mods) != 2 || mods[0] != "file-churn" || mods[1] != "compress-recut" {
+		t.Fatalf("Modifiers() = %v", mods)
+	}
+}
+
+func TestGenerateUnknownName(t *testing.T) {
+	if _, err := Generate("bogus", Config{}); err == nil {
+		t.Fatal("Generate of an unknown workload succeeded")
+	}
+}
+
+// TestDataReader checks the byte materializer: output length equals the
+// summed chunk sizes, equal fingerprints expand to equal byte runs, and
+// distinct fingerprints to distinct ones.
+func TestDataReader(t *testing.T) {
+	a := trace.ChunkRef{FP: fphash.FromUint64(1), Size: 8192}
+	b := trace.ChunkRef{FP: fphash.FromUint64(2), Size: 8192}
+	backup := &trace.Backup{Label: "x", Chunks: []trace.ChunkRef{a, b, a}}
+	data, err := io.ReadAll(DataReader(backup))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) != 3*8192 {
+		t.Fatalf("materialized %d bytes, want %d", len(data), 3*8192)
+	}
+	first, second, third := data[:8192], data[8192:2*8192], data[2*8192:]
+	if !bytes.Equal(first, third) {
+		t.Fatal("equal fingerprints expanded to different bytes")
+	}
+	if bytes.Equal(first, second) {
+		t.Fatal("distinct fingerprints expanded to identical bytes")
+	}
+
+	// One-byte reads must produce the identical stream.
+	var slow bytes.Buffer
+	r := DataReader(backup)
+	buf := make([]byte, 1)
+	for {
+		n, err := r.Read(buf)
+		slow.Write(buf[:n])
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !bytes.Equal(slow.Bytes(), data) {
+		t.Fatal("byte-at-a-time read differs from bulk read")
+	}
+}

@@ -3,7 +3,8 @@
 # (backup pipeline, restore pipeline with its container-cache sweep,
 # sharded store, chunker, Rabin primitives, legacy and streaming attack
 # engines — BenchmarkAttackStreaming's shard sweep and the trace-log
-# ingest/replay MB/s — ) with -benchmem and writes the results as a dated
+# ingest/replay MB/s — plus the per-workload trace generators,
+# BenchmarkWorkloadGenerate) with -benchmem and writes the results as a dated
 # JSON baseline (BENCH_<date>.json) for regression tracking across PRs.
 #
 #   scripts/bench.sh              # 1s per benchmark (default)
@@ -17,8 +18,8 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-PATTERN='BenchmarkBackup|BenchmarkRestoreSerial|BenchmarkRestoreParallel|BenchmarkStoreShards|BenchmarkChunker|BenchmarkRabin|BenchmarkContentDefined|BenchmarkFixed|BenchmarkBasicAttackFSL|BenchmarkLocalityAttackFSL|BenchmarkAdvancedAttackFSL|BenchmarkBasicAttackStreamFSL|BenchmarkLocalityAttackStreamFSL|BenchmarkAdvancedAttackStreamFSL|BenchmarkAttackStreaming|BenchmarkTraceLogIngest|BenchmarkTraceLogReplay'
-PKGS='. ./internal/chunker ./internal/rabin ./internal/attack ./internal/tracelog'
+PATTERN='BenchmarkBackup|BenchmarkRestoreSerial|BenchmarkRestoreParallel|BenchmarkStoreShards|BenchmarkChunker|BenchmarkRabin|BenchmarkContentDefined|BenchmarkFixed|BenchmarkBasicAttackFSL|BenchmarkLocalityAttackFSL|BenchmarkAdvancedAttackFSL|BenchmarkBasicAttackStreamFSL|BenchmarkLocalityAttackStreamFSL|BenchmarkAdvancedAttackStreamFSL|BenchmarkAttackStreaming|BenchmarkTraceLogIngest|BenchmarkTraceLogReplay|BenchmarkWorkloadGenerate'
+PKGS='. ./internal/chunker ./internal/rabin ./internal/attack ./internal/tracelog ./internal/workload'
 
 if [ "${1:-}" = "--smoke" ]; then
 	smokelog="$(mktemp)"

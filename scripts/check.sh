@@ -7,6 +7,7 @@
 # names its stage in the last line. GOFLAGS is honored untouched: export
 # e.g. GOFLAGS=-count=1 to defeat test caching. Set CHECK_SKIP_BENCH=1 to
 # skip the bench smoke stage (CI runs it as a separate non-blocking job),
+# CHECK_SKIP_SCENARIOS=1 to skip the workload scenario-matrix smoke,
 # CHECK_SKIP_STATICCHECK=1 to skip static analysis, and CHECK_SKIP_VULN=1
 # to skip the vulnerability scan; a missing staticcheck or govulncheck
 # binary downgrades its stage to a notice rather than failing machines
@@ -57,6 +58,11 @@ go test -race ./... || fail "go test -race"
 if [ "${CHECK_SKIP_BENCH:-0}" != "1" ]; then
 	echo "== bench smoke (-benchtime=1x)"
 	scripts/bench.sh --smoke || fail "bench smoke"
+fi
+
+if [ "${CHECK_SKIP_SCENARIOS:-0}" != "1" ]; then
+	echo "== scenario matrix smoke (tiny scale, every registered workload)"
+	go run ./cmd/defend -fig scenarios -tiny || fail "scenario matrix smoke"
 fi
 
 echo "check: OK"
