@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check fmt vet staticcheck build test race bench bench-smoke
+.PHONY: check fmt vet staticcheck build test race faults bench bench-smoke
 
-check: fmt vet staticcheck build race bench-smoke
+check: fmt vet staticcheck build race faults bench-smoke
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -33,6 +33,14 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Exhaustive crash-point sweep under the race detector: crash the
+# scripted backup/delete/GC/backup scenario at EVERY mutating filesystem
+# operation and check the full recovery invariant set after each. The
+# bounded version of the same sweep runs in every plain `go test`; this
+# target (and scripts/check.sh, and CI) runs it unbounded.
+faults:
+	FAULTS_FULL=1 $(GO) test -race -run 'TestCrashSweep' .
 
 # Full baseline run: writes BENCH_<date>.json (see scripts/bench.sh).
 bench:

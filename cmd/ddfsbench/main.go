@@ -31,6 +31,9 @@
 //	ddfsbench -attack -mb 256 -shards 16 -workers 0
 //	ddfsbench -attack -workload database -mb 64
 //	                     # attack-engine benchmark on a registered workload
+//	ddfsbench -faults -rounds 8
+//	                     # crash-consistency soak: exhaustive crash-point
+//	                     # sweeps across 8 scenario seeds
 package main
 
 import (
@@ -67,6 +70,9 @@ func main() {
 		"benchmark backup-to-disk, reopen, and parallel restore end to end")
 	attackMode := flag.Bool("attack", false,
 		"benchmark the streaming attack engine's sharded parallel counting")
+	faultsMode := flag.Bool("faults", false,
+		"soak the crash-point explorer: exhaustive crash sweeps across -rounds scenario seeds")
+	rounds := flag.Int("rounds", 4, "scenario seeds to sweep in -faults mode")
 	dir := flag.String("dir", "",
 		"store directory for -restore (empty = temporary directory, removed afterwards)")
 	streamMB := flag.Int("mb", 64, "pipeline stream size in MiB")
@@ -93,6 +99,12 @@ func main() {
 	}
 	if *attackMode {
 		if err := runAttack(*streamMB, *shards, *workers, *workloadName); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *faultsMode {
+		if err := runFaults(*rounds); err != nil {
 			fatal(err)
 		}
 		return
@@ -359,6 +371,47 @@ func runAttack(streamMB, shards, workers int, workloadName string) error {
 		elapsed.Round(time.Millisecond), logicalMB/elapsed.Seconds(),
 		len(loc.Pairs), loc.InferenceRate(enc.Truth)*100,
 		loc.Stats.Iterations, loc.Stats.PeakQueue)
+	return nil
+}
+
+// runFaults is the crash-consistency soak: for each scenario seed it runs
+// the exhaustive crash-point sweep — crash the scripted
+// backup/delete/GC/backup scenario at EVERY mutating filesystem
+// operation, reopen the durable image, and check the full recovery
+// invariant set — and reports throughput in crash points per second. Any
+// failure is a real durability bug: it prints the scenario seed and crash
+// op needed to replay it deterministically, and exits non-zero.
+func runFaults(rounds int) error {
+	if rounds <= 0 {
+		return fmt.Errorf("-rounds must be positive, got %d", rounds)
+	}
+	fmt.Printf("faults: exhaustive crash sweep x %d scenario seed(s), GOMAXPROCS=%d\n",
+		rounds, runtime.GOMAXPROCS(0))
+	var points, failures int
+	start := time.Now()
+	for seed := int64(1); seed <= int64(rounds); seed++ {
+		roundStart := time.Now()
+		res, err := freqdedup.ExploreCrashPoints(freqdedup.CrashSweepOptions{
+			Scenario: freqdedup.CrashScenario{Seed: seed},
+		})
+		if err != nil {
+			return fmt.Errorf("seed %d: %w", seed, err)
+		}
+		points += len(res.PointsTested)
+		failures += len(res.Failures)
+		for _, f := range res.Failures {
+			fmt.Printf("  FAIL seed %d crash op %d/%d: %v\n", seed, f.Op, res.TotalOps, f.Err)
+		}
+		fmt.Printf("  seed %d: %d crash points (%d sync points) in %v\n",
+			seed, len(res.PointsTested), len(res.SyncPoints),
+			time.Since(roundStart).Round(time.Millisecond))
+	}
+	elapsed := time.Since(start)
+	fmt.Printf("swept %d crash points in %v: %.1f points/s, %d failure(s)\n",
+		points, elapsed.Round(time.Millisecond), float64(points)/elapsed.Seconds(), failures)
+	if failures > 0 {
+		return fmt.Errorf("%d crash point(s) violated recovery invariants", failures)
+	}
 	return nil
 }
 

@@ -1,0 +1,75 @@
+package freqdedup
+
+import (
+	"os"
+	"reflect"
+	"testing"
+)
+
+// TestCrashSweepSyncPoints is the CI-bounded crash-point sweep: the
+// scripted scenario (backups with dedup overlap → delete → GC/compaction
+// → tapped backup) is crashed at every acknowledged-sync boundary, the
+// durable image reopened, and the full invariant set checked. Run under
+// -race this is also the recovery path's concurrency proof.
+func TestCrashSweepSyncPoints(t *testing.T) {
+	maxPoints := 24
+	if testing.Short() {
+		maxPoints = 8
+	}
+	res, err := ExploreCrashPoints(CrashSweepOptions{
+		Scenario:       CrashScenario{Seed: 1},
+		SyncPointsOnly: true,
+		MaxPoints:      maxPoints,
+	})
+	if err != nil {
+		t.Fatalf("sweep: %v", err)
+	}
+	if res.TotalOps == 0 || len(res.SyncPoints) == 0 || len(res.PointsTested) == 0 {
+		t.Fatalf("sweep explored nothing: %+v", res)
+	}
+	for _, f := range res.Failures {
+		t.Errorf("crash at op %d/%d: %v", f.Op, res.TotalOps, f.Err)
+	}
+	t.Logf("swept %d sync-point crashes across %d mutating ops", len(res.PointsTested), res.TotalOps)
+}
+
+// TestCrashSweepFull explores EVERY mutating operation as a crash point —
+// minutes of work, so it only runs when FAULTS_FULL is set (`make
+// faults`).
+func TestCrashSweepFull(t *testing.T) {
+	if os.Getenv("FAULTS_FULL") == "" {
+		t.Skip("set FAULTS_FULL=1 (or run `make faults`) for the exhaustive crash sweep")
+	}
+	res, err := ExploreCrashPoints(CrashSweepOptions{
+		Scenario: CrashScenario{Seed: 1},
+	})
+	if err != nil {
+		t.Fatalf("sweep: %v", err)
+	}
+	for _, f := range res.Failures {
+		t.Errorf("crash at op %d/%d: %v", f.Op, res.TotalOps, f.Err)
+	}
+	t.Logf("swept all %d mutating ops (%d sync points)", res.TotalOps, len(res.SyncPoints))
+}
+
+// TestCrashSweepDeterministic: the same scenario seed maps to the same
+// op count and sync points — the property the whole sweep's
+// reproducibility rests on.
+func TestCrashSweepDeterministic(t *testing.T) {
+	probe := func() (int64, []int64) {
+		res, err := ExploreCrashPoints(CrashSweepOptions{
+			Scenario:       CrashScenario{Seed: 7},
+			SyncPointsOnly: true,
+			MaxPoints:      1,
+		})
+		if err != nil {
+			t.Fatalf("sweep: %v", err)
+		}
+		return res.TotalOps, res.SyncPoints
+	}
+	ops1, sp1 := probe()
+	ops2, sp2 := probe()
+	if ops1 != ops2 || !reflect.DeepEqual(sp1, sp2) {
+		t.Fatalf("scenario not deterministic: ops %d vs %d, sync points %v vs %v", ops1, ops2, sp1, sp2)
+	}
+}

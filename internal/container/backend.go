@@ -52,6 +52,48 @@ type Backend interface {
 	Close() error
 }
 
+// TolerantScanner is the optional backend capability behind repair: a
+// per-slot scan that surfaces damaged containers as per-slot errors
+// instead of aborting. FileBackend implements it; for backends that do
+// not, ScanShardTolerant falls back to per-container Loads.
+//
+// Unlike Backend.Scan, containers handed to fn are the callback's to
+// keep (implementations allocate fresh records) — but fn itself may run
+// under backend locks, so it must not call back into the backend.
+type TolerantScanner interface {
+	ScanTolerant(shard int, fn func(id int, c *Container, err error) error) error
+}
+
+// Quarantiner is the optional backend capability of preserving a damaged
+// container's raw bytes for forensics before repair drops it.
+// FileBackend implements it.
+type Quarantiner interface {
+	Quarantine(shard, id int) (path string, err error)
+}
+
+// ScanShardTolerant visits every container slot of a shard, reporting
+// damaged slots through fn(id, nil, err) rather than aborting — the scan
+// behind repair. It uses the backend's TolerantScanner when implemented
+// and falls back to Load-by-ID otherwise (one call per container until
+// ErrNotFound). A non-nil error from fn aborts the scan.
+func ScanShardTolerant(b Backend, shard int, fn func(id int, c *Container, err error) error) error {
+	if ts, ok := b.(TolerantScanner); ok {
+		return ts.ScanTolerant(shard, fn)
+	}
+	for id := 0; ; id++ {
+		c, err := b.Load(shard, id)
+		if errors.Is(err, ErrNotFound) {
+			return nil
+		}
+		if err != nil {
+			c = nil
+		}
+		if ferr := fn(id, c, err); ferr != nil {
+			return ferr
+		}
+	}
+}
+
 // MemBackend keeps sealed containers in memory: the original engine's
 // behavior, now behind the Backend interface. It is the default backend of
 // New and NewStoreWithShards-built dedup stores, and it never returns a

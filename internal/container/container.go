@@ -1,6 +1,7 @@
 package container
 
 import (
+	"errors"
 	"fmt"
 
 	"freqdedup/internal/fphash"
@@ -203,13 +204,162 @@ type CompactStats struct {
 	ContainersRewritten int
 }
 
+// RepairStats reports what a shard repair dropped and preserved.
+type RepairStats struct {
+	// ContainersQuarantined is the number of unreadable containers
+	// (structural damage or checksum failure) dropped by the repair.
+	ContainersQuarantined int
+	// EntriesLost counts chunks lost: every entry of a quarantined
+	// container, plus readable entries whose content no longer matches
+	// their recorded fingerprint.
+	EntriesLost int
+	// BytesLost is the total size of the lost entries that repair could
+	// still measure (entries of structurally unreadable containers are
+	// unknowable and not counted here).
+	BytesLost uint64
+	// QuarantinePaths lists where damaged containers' raw bytes were
+	// preserved, when the backend supports quarantine.
+	QuarantinePaths []string
+}
+
+// Repair rewrites the shard keeping every entry that can still be
+// trusted: containers that fail to read (checksum or structural damage)
+// are quarantined — their raw bytes preserved through the backend's
+// Quarantiner capability when present — and dropped; readable entries
+// whose content hash no longer equals their recorded fingerprint are
+// dropped individually (in-flight corruption that a CRC computed after
+// the fact cannot catch). Survivors are repacked densely and renumbered
+// from zero, like Compact, and the open container's entries ride along.
+// On a FileBackend opened in salvage mode, the rewrite produces a clean
+// file and lifts the shard's ErrSalvaged condition.
+//
+// moved is called with every surviving entry and its post-repair
+// location; callers rebuild their fingerprint indexes from it. Like
+// Compact's moved, its effects must be applied only after a nil return.
+func (s *Store) Repair(moved func(Entry, Location)) (RepairStats, error) {
+	var st RepairStats
+	var newSealed []*Container
+	var cur *Container
+	newBytes := 0
+	place := func(e Entry) {
+		if cur == nil {
+			cur = &Container{ID: len(newSealed)}
+		}
+		if cur.Bytes > 0 && cur.Bytes+int(e.Size) > s.capacity {
+			newBytes += cur.Bytes
+			newSealed = append(newSealed, cur)
+			cur = &Container{ID: len(newSealed)}
+		}
+		loc := Location{Container: cur.ID, Index: len(cur.Entries)}
+		cur.Entries = append(cur.Entries, e)
+		cur.Bytes += int(e.Size)
+		if moved != nil {
+			moved(e, loc)
+		}
+	}
+	visit := func(c *Container) {
+		for _, e := range c.Entries {
+			if fphash.FromBytes(e.Data) != e.FP {
+				st.EntriesLost++
+				st.BytesLost += uint64(e.Size)
+				continue
+			}
+			place(e)
+		}
+	}
+	// Collect first, act after: the tolerant scan may hold backend locks
+	// while fn runs (FileBackend's does), so quarantining and metadata
+	// recounts — backend calls themselves — must wait until the scan has
+	// returned. Survivor containers are safely retained: tolerant scans
+	// hand out freshly allocated records (see TolerantScanner).
+	var survivors []*Container
+	var damaged []int
+	err := ScanShardTolerant(s.backend, s.shard, func(id int, c *Container, err error) error {
+		if err != nil {
+			damaged = append(damaged, id)
+			return nil
+		}
+		survivors = append(survivors, c)
+		return nil
+	})
+	if err != nil {
+		return RepairStats{}, err
+	}
+	// Quarantine before the rewrite below replaces the shard file — the
+	// damaged records' raw bytes only exist until then.
+	for _, id := range damaged {
+		st.ContainersQuarantined++
+		if q, ok := s.backend.(Quarantiner); ok {
+			if path, qerr := q.Quarantine(s.shard, id); qerr == nil {
+				st.QuarantinePaths = append(st.QuarantinePaths, path)
+			}
+		}
+		// The container's entry metadata may still be readable even
+		// though its data region is corrupt; count what can be counted
+		// for the report.
+		if mc, merr := s.loadMeta(id); merr == nil {
+			st.EntriesLost += len(mc.Entries)
+			st.BytesLost += uint64(mc.Bytes)
+		}
+	}
+	for _, c := range survivors {
+		visit(c)
+	}
+	// As in Compact: survivors of sealed containers stay sealed, so the
+	// repair's rewrite never demotes durable chunks to volatile memory.
+	if cur != nil {
+		newBytes += cur.Bytes
+		newSealed = append(newSealed, cur)
+		cur = nil
+	}
+	if s.current != nil {
+		visit(s.current)
+	}
+	if err := s.backend.Rewrite(s.shard, newSealed); err != nil {
+		return RepairStats{}, err
+	}
+	s.sealed = len(newSealed)
+	s.sealedBytes = newBytes
+	s.current = cur
+	return st, nil
+}
+
+// loadMeta reads one container's entry metadata without trusting its
+// data, for accounting over damaged containers. Only backends whose Scan
+// supports a metadata-only pass can serve it cheaply; errors just mean
+// the report under-counts.
+func (s *Store) loadMeta(id int) (*Container, error) {
+	var out *Container
+	stop := errors.New("stop")
+	err := s.backend.Scan(s.shard, false, func(c *Container) error {
+		if c.ID == id {
+			out = &Container{ID: c.ID, Entries: append([]Entry(nil), c.Entries...), Bytes: c.Bytes}
+			return stop
+		}
+		return nil
+	})
+	if out != nil {
+		return out, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	return nil, ErrNotFound
+}
+
 // Compact rewrites the store keeping only entries for which keep returns
 // true, repacking survivors densely in their existing order and
 // renumbering containers from zero — the GC sweep's storage rewrite. The
 // new sealed sequence replaces the old one atomically in the backend
-// (FileBackend: a fresh file renamed over the old); the last, partial
-// container stays open in memory, exactly as if the survivors had been
-// Appended into an empty store.
+// (FileBackend: a fresh file renamed over the old).
+//
+// Durability is preserved, not just data: every survivor from a sealed
+// container lands in the new sealed sequence — the trailing partial
+// container is sealed rather than reopened in memory, because its chunks
+// were already durable and a crash between the rewrite and the next
+// flush must not lose them (the crash-point explorer's GC window).
+// Survivors from the old open container were never durable and stay in
+// the new open container.
 //
 // moved, if non-nil, is called with every surviving entry and its
 // post-compaction location, in the new layout order. It may have been
@@ -254,6 +404,13 @@ func (s *Store) Compact(keep func(Entry) bool, moved func(Entry, Location)) (Com
 	}
 	if err := s.backend.Scan(s.shard, true, visit); err != nil {
 		return CompactStats{}, err
+	}
+	// Seal the trailing partial container: its entries were durable
+	// before the compaction and must be durable after it.
+	if cur != nil {
+		newBytes += cur.Bytes
+		newSealed = append(newSealed, cur)
+		cur = nil
 	}
 	if s.current != nil {
 		_ = visit(s.current)

@@ -11,12 +11,19 @@ import (
 	"sync"
 
 	"freqdedup/internal/fphash"
+	"freqdedup/internal/vfs"
 )
 
 // ErrCorrupt is returned when a store file fails structural validation or
 // a container record fails its checksum. It is distinct from ErrNotFound:
 // the data is there but cannot be trusted.
 var ErrCorrupt = errors.New("container: store file corrupt")
+
+// ErrSalvaged is returned by Seal on a backend opened in salvage mode: a
+// salvaged shard file may hold unparseable regions and renumbered
+// containers, so appending to it would bury new data behind garbage.
+// Repair (which rewrites every salvaged shard) clears the condition.
+var ErrSalvaged = errors.New("container: store opened in salvage mode; repair before writing")
 
 // On-disk layout constants. See doc.go for the full format description.
 const (
@@ -34,6 +41,10 @@ const (
 	recordTrailerLen = 4
 )
 
+// QuarantineDir is the subdirectory of a store directory that Quarantine
+// copies damaged container records into.
+const QuarantineDir = "quarantine"
+
 // shardFileName returns the file holding a shard's containers.
 func shardFileName(shard int) string { return fmt.Sprintf("shard-%04d.fdc", shard) }
 
@@ -44,10 +55,16 @@ func shardFileName(shard int) string { return fmt.Sprintf("shard-%04d.fdc", shar
 // operations run fully in parallel.
 type shardFile struct {
 	mu      sync.Mutex
-	f       *os.File
+	f       vfs.File
 	offsets []int64 // byte offset of each sealed record, in ID order
 	size    int64   // current end-of-file offset
 	scratch []byte  // record serialization buffer, reused across Seals
+
+	// salvaged marks a shard opened by OpenFileBackendSalvage whose file
+	// held structural damage: container IDs are renumbered in memory and
+	// unparseable regions remain on disk, so Seal is refused until a
+	// Rewrite produces a clean file.
+	salvaged bool
 }
 
 // FileBackend persists sealed containers in per-shard append-only files
@@ -57,7 +74,12 @@ type shardFile struct {
 // crash; a record torn by a crash mid-append is detected and discarded on
 // Open. GC rewrites a shard by writing a fresh file and renaming it over
 // the old one, so compaction is atomic too.
+//
+// All file operations go through the backend's vfs.FS (vfs.OS in
+// production), so fault-injection harnesses (internal/faultio) exercise
+// the exact production code paths.
 type FileBackend struct {
+	fsys           vfs.FS
 	dir            string
 	containerBytes int
 	shards         []*shardFile
@@ -67,26 +89,32 @@ type FileBackend struct {
 // container file per shard and returns the backend. It fails if the
 // directory already holds a store.
 func CreateFileBackend(dir string, shards, containerBytes int) (*FileBackend, error) {
+	return CreateFileBackendFS(vfs.OS, dir, shards, containerBytes)
+}
+
+// CreateFileBackendFS is CreateFileBackend against an explicit
+// filesystem.
+func CreateFileBackendFS(fsys vfs.FS, dir string, shards, containerBytes int) (*FileBackend, error) {
 	if shards < 1 {
 		return nil, fmt.Errorf("container: backend shard count must be positive, got %d", shards)
 	}
 	if containerBytes <= 0 {
 		return nil, fmt.Errorf("container: capacity must be positive, got %d", containerBytes)
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("container: create store dir: %w", err)
 	}
-	if _, err := os.Stat(filepath.Join(dir, shardFileName(0))); err == nil {
+	if _, err := fsys.Stat(filepath.Join(dir, shardFileName(0))); err == nil {
 		return nil, fmt.Errorf("container: %s already holds a store (use OpenFileBackend)", dir)
 	}
-	b := &FileBackend{dir: dir, containerBytes: containerBytes, shards: make([]*shardFile, shards)}
+	b := &FileBackend{fsys: fsys, dir: dir, containerBytes: containerBytes, shards: make([]*shardFile, shards)}
 	var hdr [fileHeaderLen]byte
 	for i := range b.shards {
 		binary.LittleEndian.PutUint32(hdr[0:], fileMagic)
 		binary.LittleEndian.PutUint32(hdr[4:], fileVersion)
 		binary.LittleEndian.PutUint32(hdr[8:], uint32(i))
 		binary.LittleEndian.PutUint32(hdr[12:], uint32(containerBytes))
-		f, err := os.OpenFile(filepath.Join(dir, shardFileName(i)), os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+		f, err := fsys.OpenFile(filepath.Join(dir, shardFileName(i)), os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
 		if err != nil {
 			b.Close()
 			return nil, fmt.Errorf("container: create shard file: %w", err)
@@ -102,7 +130,7 @@ func CreateFileBackend(dir string, shards, containerBytes int) (*FileBackend, er
 		}
 		b.shards[i] = &shardFile{f: f, size: fileHeaderLen}
 	}
-	if err := syncDir(dir); err != nil {
+	if err := vfs.SyncDir(fsys, dir); err != nil {
 		b.Close()
 		return nil, err
 	}
@@ -117,48 +145,111 @@ func CreateFileBackend(dir string, shards, containerBytes int) (*FileBackend, er
 // damage anywhere else (bad magic, out-of-sequence IDs, a short file
 // header, shards disagreeing on capacity) returns ErrCorrupt.
 func OpenFileBackend(dir string) (*FileBackend, error) {
-	names, err := filepath.Glob(filepath.Join(dir, "shard-*.fdc"))
+	return OpenFileBackendFS(vfs.OS, dir)
+}
+
+// OpenFileBackendFS is OpenFileBackend against an explicit filesystem.
+func OpenFileBackendFS(fsys vfs.FS, dir string) (*FileBackend, error) {
+	b, _, err := openFileBackend(fsys, dir, false)
+	return b, err
+}
+
+// SalvageStats reports what a salvage open could not recover.
+type SalvageStats struct {
+	// ContainersLost is the number of container records skipped because
+	// they could not be parsed (the record chain was broken and no
+	// CRC-valid record could be re-synchronized onto before them).
+	ContainersLost int
+	// BytesSkipped is the total size of the unparseable regions.
+	BytesSkipped int64
+}
+
+// Damaged reports whether the salvage pass had to skip anything.
+func (s SalvageStats) Damaged() bool { return s.ContainersLost > 0 || s.BytesSkipped > 0 }
+
+// OpenFileBackendSalvage opens a store directory whose shard files may be
+// structurally damaged — the fsck path for stores OpenFileBackend rejects
+// with ErrCorrupt. Instead of failing on a broken record chain, the
+// salvage scan skips the unparseable region and re-synchronizes on the
+// next record whose header parses and whose CRC verifies; surviving
+// containers are renumbered densely in memory. Records reachable through
+// an intact chain but failing their CRC are kept (Load and ScanTolerant
+// surface their ErrCorrupt, so Repair can quarantine them).
+//
+// A salvaged backend is read-only until repaired: Seal returns
+// ErrSalvaged for a shard whose file held damage, because appending would
+// bury new records behind garbage. Rewrite (which Repair performs on
+// every damaged shard) produces a clean file and clears the condition.
+func OpenFileBackendSalvage(fsys vfs.FS, dir string) (*FileBackend, SalvageStats, error) {
+	return openFileBackend(fsys, dir, true)
+}
+
+func openFileBackend(fsys vfs.FS, dir string, salvage bool) (*FileBackend, SalvageStats, error) {
+	var stats SalvageStats
+	names, err := fsys.Glob(filepath.Join(dir, "shard-*.fdc"))
 	if err != nil {
-		return nil, err
+		return nil, stats, err
 	}
 	if len(names) == 0 {
-		return nil, fmt.Errorf("container: %s holds no store (no shard files)", dir)
+		return nil, stats, fmt.Errorf("container: %s holds no store (no shard files)", dir)
 	}
 	sort.Strings(names)
-	b := &FileBackend{dir: dir, shards: make([]*shardFile, len(names))}
+	b := &FileBackend{fsys: fsys, dir: dir, shards: make([]*shardFile, len(names))}
 	for i, name := range names {
 		if filepath.Base(name) != shardFileName(i) {
 			b.Close()
-			return nil, fmt.Errorf("%w: shard files not dense at %s", ErrCorrupt, name)
+			return nil, stats, fmt.Errorf("%w: shard files not dense at %s", ErrCorrupt, name)
 		}
-		sf, capacity, err := openShardFile(name, i)
+		sf, capacity, sst, err := openShardFile(fsys, name, i, salvage)
 		if err != nil {
 			b.Close()
-			return nil, err
+			return nil, stats, err
 		}
+		stats.ContainersLost += sst.ContainersLost
+		stats.BytesSkipped += sst.BytesSkipped
 		if i == 0 {
 			b.containerBytes = capacity
 		} else if capacity != b.containerBytes {
 			sf.f.Close()
 			b.Close()
-			return nil, fmt.Errorf("%w: shard %d capacity %d, shard 0 has %d",
+			return nil, stats, fmt.Errorf("%w: shard %d capacity %d, shard 0 has %d",
 				ErrCorrupt, i, capacity, b.containerBytes)
 		}
 		b.shards[i] = sf
 	}
-	return b, nil
+	return b, stats, nil
+}
+
+// parseRecordHeader validates a record header's plausibility at pos and
+// returns its fields and end offset. It does not verify the CRC.
+func parseRecordHeader(hdr []byte, pos, size int64) (id int, end int64, ok bool) {
+	if binary.LittleEndian.Uint32(hdr[0:]) != recordMagic {
+		return 0, 0, false
+	}
+	id = int(binary.LittleEndian.Uint32(hdr[4:]))
+	entries := int64(binary.LittleEndian.Uint32(hdr[8:]))
+	dataBytes := int64(binary.LittleEndian.Uint32(hdr[12:]))
+	end = pos + recordHeaderLen + entries*entryMetaLen + dataBytes + recordTrailerLen
+	if end < pos || end > size {
+		return 0, 0, false
+	}
+	return id, end, true
 }
 
 // openShardFile validates one shard file and builds its record index,
-// truncating a torn tail record left by a crash.
-func openShardFile(name string, shard int) (*shardFile, int, error) {
-	f, err := os.OpenFile(name, os.O_RDWR, 0)
+// truncating a torn tail record left by a crash. In salvage mode a broken
+// record chain is skipped instead of failing the open; see
+// OpenFileBackendSalvage.
+func openShardFile(fsys vfs.FS, name string, shard int, salvage bool) (*shardFile, int, SalvageStats, error) {
+	var sst SalvageStats
+	flag := os.O_RDWR
+	f, err := fsys.OpenFile(name, flag, 0)
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, sst, err
 	}
-	fail := func(err error) (*shardFile, int, error) {
+	fail := func(err error) (*shardFile, int, SalvageStats, error) {
 		f.Close()
-		return nil, 0, err
+		return nil, 0, sst, err
 	}
 	st, err := f.Stat()
 	if err != nil {
@@ -188,6 +279,7 @@ func openShardFile(name string, shard int) (*shardFile, int, error) {
 
 	sf := &shardFile{f: f}
 	pos := int64(fileHeaderLen)
+	lastDiskID := -1
 	var rec [recordHeaderLen]byte
 	for pos < size {
 		if pos+recordHeaderLen > size {
@@ -196,23 +288,50 @@ func openShardFile(name string, shard int) (*shardFile, int, error) {
 		if _, err := f.ReadAt(rec[:], pos); err != nil {
 			return fail(err)
 		}
-		if m := binary.LittleEndian.Uint32(rec[0:]); m != recordMagic {
-			return fail(fmt.Errorf("%w: %s: bad record magic %#x at offset %d", ErrCorrupt, name, m, pos))
-		}
-		id := binary.LittleEndian.Uint32(rec[4:])
-		if int(id) != len(sf.offsets) {
+		id, end, headerOK := parseRecordHeader(rec[:], pos, size)
+		inSequence := headerOK && (salvage && id > lastDiskID || !salvage && id == len(sf.offsets))
+		if headerOK && !inSequence && !salvage {
 			return fail(fmt.Errorf("%w: %s: container %d at position %d", ErrCorrupt, name, id, len(sf.offsets)))
 		}
-		entries := int64(binary.LittleEndian.Uint32(rec[8:]))
-		dataBytes := int64(binary.LittleEndian.Uint32(rec[12:]))
-		end := pos + recordHeaderLen + entries*entryMetaLen + dataBytes + recordTrailerLen
-		if end > size {
-			break // torn tail: body incomplete
+		if !headerOK {
+			if binary.LittleEndian.Uint32(rec[0:]) != recordMagic && !salvage {
+				return fail(fmt.Errorf("%w: %s: bad record magic %#x at offset %d",
+					ErrCorrupt, name, binary.LittleEndian.Uint32(rec[0:]), pos))
+			}
+			if !salvage {
+				break // torn tail: body incomplete
+			}
+		}
+		if salvage && (!headerOK || !inSequence) {
+			// Broken chain: scan forward for the next CRC-valid record.
+			next, nid, nend, found := resyncRecord(f, pos+1, size, lastDiskID)
+			if !found {
+				// Nothing parseable remains; everything from pos on is
+				// lost. Whether that region held zero or many records is
+				// unknowable — count bytes, not containers.
+				sst.BytesSkipped += size - pos
+				pos = size
+				break
+			}
+			sst.BytesSkipped += next - pos
+			sst.ContainersLost += nid - lastDiskID - 1
+			sf.salvaged = true
+			sf.offsets = append(sf.offsets, next)
+			lastDiskID = nid
+			pos = nend
+			continue
+		}
+		if salvage && id != lastDiskID+1 {
+			// Parsable record but IDs skipped: the records between were
+			// overwritten or never made it. Renumber densely in memory.
+			sst.ContainersLost += id - lastDiskID - 1
+			sf.salvaged = true
 		}
 		sf.offsets = append(sf.offsets, pos)
+		lastDiskID = id
 		pos = end
 	}
-	if pos < size {
+	if pos < size && !sf.salvaged {
 		// Discard the torn tail so future appends start at a record
 		// boundary.
 		if err := f.Truncate(pos); err != nil {
@@ -223,7 +342,36 @@ func openShardFile(name string, shard int) (*shardFile, int, error) {
 		}
 	}
 	sf.size = pos
-	return sf, capacity, nil
+	return sf, capacity, sst, nil
+}
+
+// resyncRecord scans forward from pos for the next plausible container
+// record: header parses, ID exceeds lastID, and the CRC verifies (a
+// resync point must prove itself — the chain is already broken, so a
+// merely plausible header could be chunk data that happens to contain the
+// magic). It returns the record's offset, on-disk ID, and end.
+func resyncRecord(f vfs.File, pos, size int64, lastID int) (at int64, id int, end int64, ok bool) {
+	var hdr [recordHeaderLen]byte
+	for ; pos+recordHeaderLen <= size; pos++ {
+		if _, err := f.ReadAt(hdr[:], pos); err != nil {
+			return 0, 0, 0, false
+		}
+		id, end, headerOK := parseRecordHeader(hdr[:], pos, size)
+		if !headerOK || id <= lastID {
+			continue
+		}
+		body := make([]byte, end-pos-recordHeaderLen)
+		if _, err := f.ReadAt(body, pos+recordHeaderLen); err != nil {
+			continue
+		}
+		crc := crc32.ChecksumIEEE(hdr[:])
+		crc = crc32.Update(crc, crc32.IEEETable, body[:len(body)-recordTrailerLen])
+		if crc != binary.LittleEndian.Uint32(body[len(body)-recordTrailerLen:]) {
+			continue
+		}
+		return pos, id, end, true
+	}
+	return 0, 0, 0, false
 }
 
 // buildRecord serializes c into sf.scratch as one container record.
@@ -265,6 +413,9 @@ func (b *FileBackend) Seal(shard int, c *Container) error {
 	sf := b.shards[shard]
 	sf.mu.Lock()
 	defer sf.mu.Unlock()
+	if sf.salvaged {
+		return fmt.Errorf("%w (shard %d)", ErrSalvaged, shard)
+	}
 	if c.ID != len(sf.offsets) {
 		return fmt.Errorf("container: seal of container %d on shard %d, want %d", c.ID, shard, len(sf.offsets))
 	}
@@ -299,8 +450,10 @@ func (sf *shardFile) discardTail() {
 
 // readRecord reads and validates the record at offset, returning the
 // container. With withData false the data region is skipped and the CRC
-// (which covers it) is not verified.
-func (sf *shardFile) readRecord(shard int, offset int64, withData bool) (*Container, error) {
+// (which covers it) is not verified. id is the container's logical ID:
+// equal to the on-disk ID for a normally opened shard, the dense renumber
+// for a salvaged one.
+func (sf *shardFile) readRecord(shard, id int, offset int64, withData bool) (*Container, error) {
 	var hdr [recordHeaderLen]byte
 	if _, err := sf.f.ReadAt(hdr[:], offset); err != nil {
 		return nil, fmt.Errorf("container: read record header: %w", err)
@@ -308,7 +461,6 @@ func (sf *shardFile) readRecord(shard int, offset int64, withData bool) (*Contai
 	if m := binary.LittleEndian.Uint32(hdr[0:]); m != recordMagic {
 		return nil, fmt.Errorf("%w: bad record magic %#x", ErrCorrupt, m)
 	}
-	id := int(binary.LittleEndian.Uint32(hdr[4:]))
 	entries := int(binary.LittleEndian.Uint32(hdr[8:]))
 	dataBytes := int(binary.LittleEndian.Uint32(hdr[12:]))
 	metaLen := entries * entryMetaLen
@@ -360,7 +512,7 @@ func (b *FileBackend) Load(shard, id int) (*Container, error) {
 	if id < 0 || id >= len(sf.offsets) {
 		return nil, ErrNotFound
 	}
-	return sf.readRecord(shard, sf.offsets[id], true)
+	return sf.readRecord(shard, id, sf.offsets[id], true)
 }
 
 // Scan visits the shard's sealed containers in ID order. With withData
@@ -371,8 +523,8 @@ func (b *FileBackend) Scan(shard int, withData bool, fn func(*Container) error) 
 	sf := b.shards[shard]
 	sf.mu.Lock()
 	defer sf.mu.Unlock()
-	for _, off := range sf.offsets {
-		c, err := sf.readRecord(shard, off, withData)
+	for id, off := range sf.offsets {
+		c, err := sf.readRecord(shard, id, off, withData)
 		if err != nil {
 			return err
 		}
@@ -383,10 +535,76 @@ func (b *FileBackend) Scan(shard int, withData bool, fn func(*Container) error) 
 	return nil
 }
 
+// ScanTolerant visits every container slot of the shard in ID order,
+// damaged ones included: fn receives the slot's ID, its container (nil
+// when the record is unreadable), and the read error. Records are read
+// with data and CRC-verified, so a post-fsync bit flip surfaces here as a
+// per-slot ErrCorrupt instead of aborting the whole scan — the substrate
+// of the repair pass. A non-nil error from fn aborts the scan.
+func (b *FileBackend) ScanTolerant(shard int, fn func(id int, c *Container, err error) error) error {
+	sf := b.shards[shard]
+	sf.mu.Lock()
+	defer sf.mu.Unlock()
+	for id, off := range sf.offsets {
+		c, err := sf.readRecord(shard, id, off, true)
+		if err != nil {
+			c = nil
+		}
+		if ferr := fn(id, c, err); ferr != nil {
+			return ferr
+		}
+	}
+	return nil
+}
+
+// Quarantine copies the raw bytes of one container record into the
+// store's quarantine directory (quarantine/shard-SSSS-container-CCCC.rec)
+// for forensics, before a repair rewrite drops it from the shard. The
+// copy is byte-exact, damage included. It returns the quarantine file's
+// path.
+func (b *FileBackend) Quarantine(shard, id int) (string, error) {
+	sf := b.shards[shard]
+	sf.mu.Lock()
+	defer sf.mu.Unlock()
+	if id < 0 || id >= len(sf.offsets) {
+		return "", ErrNotFound
+	}
+	start := sf.offsets[id]
+	end := sf.size
+	if id+1 < len(sf.offsets) {
+		end = sf.offsets[id+1]
+	}
+	raw := make([]byte, end-start)
+	if _, err := sf.f.ReadAt(raw, start); err != nil {
+		return "", fmt.Errorf("container: quarantine read: %w", err)
+	}
+	qdir := filepath.Join(b.dir, QuarantineDir)
+	if err := b.fsys.MkdirAll(qdir, 0o755); err != nil {
+		return "", fmt.Errorf("container: quarantine dir: %w", err)
+	}
+	name := filepath.Join(qdir, fmt.Sprintf("shard-%04d-container-%04d.rec", shard, id))
+	qf, err := b.fsys.OpenFile(name, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return "", fmt.Errorf("container: quarantine file: %w", err)
+	}
+	_, err = qf.Write(raw)
+	if err == nil {
+		err = qf.Sync()
+	}
+	if cerr := qf.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return "", fmt.Errorf("container: quarantine write: %w", err)
+	}
+	return name, nil
+}
+
 // Rewrite atomically replaces the shard's file with one holding cs: the
 // new generation is written to a temporary file, fsynced, and renamed
 // over the old file, so a crash mid-compaction leaves the previous
-// generation intact.
+// generation intact. Rewriting a salvaged shard produces a clean file and
+// clears its read-only (ErrSalvaged) condition.
 func (b *FileBackend) Rewrite(shard int, cs []*Container) error {
 	sf := b.shards[shard]
 	sf.mu.Lock()
@@ -394,13 +612,13 @@ func (b *FileBackend) Rewrite(shard int, cs []*Container) error {
 
 	name := filepath.Join(b.dir, shardFileName(shard))
 	tmpName := name + ".rewrite"
-	tmp, err := os.OpenFile(tmpName, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	tmp, err := b.fsys.OpenFile(tmpName, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return fmt.Errorf("container: rewrite shard %d: %w", shard, err)
 	}
 	abort := func(err error) error {
 		tmp.Close()
-		os.Remove(tmpName)
+		b.fsys.Remove(tmpName)
 		return err
 	}
 	var hdr [fileHeaderLen]byte
@@ -430,7 +648,7 @@ func (b *FileBackend) Rewrite(shard int, cs []*Container) error {
 	if err := tmp.Sync(); err != nil {
 		return abort(err)
 	}
-	if err := os.Rename(tmpName, name); err != nil {
+	if err := b.fsys.Rename(tmpName, name); err != nil {
 		return abort(err)
 	}
 	// The rename is the commit point: from here the on-disk shard is the
@@ -442,7 +660,8 @@ func (b *FileBackend) Rewrite(shard int, cs []*Container) error {
 	sf.f = tmp
 	sf.offsets = offsets
 	sf.size = size
-	_ = syncDir(b.dir)
+	sf.salvaged = false
+	_ = vfs.SyncDir(b.fsys, b.dir)
 	return nil
 }
 
@@ -456,33 +675,40 @@ func (b *FileBackend) ContainerBytes() int { return b.containerBytes }
 // Dir returns the store directory.
 func (b *FileBackend) Dir() string { return b.dir }
 
-// Close closes every shard file. Sealed data is already durable; Close
-// exists to release descriptors.
-func (b *FileBackend) Close() error {
-	var first error
+// Salvaged reports whether any shard still carries salvage damage (and
+// therefore refuses Seal until repaired).
+func (b *FileBackend) Salvaged() bool {
 	for _, sf := range b.shards {
-		if sf == nil || sf.f == nil {
+		if sf == nil {
 			continue
 		}
 		sf.mu.Lock()
-		err := sf.f.Close()
+		s := sf.salvaged
 		sf.mu.Unlock()
-		if err != nil && first == nil {
-			first = err
+		if s {
+			return true
 		}
 	}
-	return first
+	return false
 }
 
-// syncDir fsyncs a directory so renames and file creations within it are
-// durable.
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
-	if err != nil {
-		return err
+// Close closes every shard file. Sealed data is already durable; Close
+// exists to release descriptors. Close is idempotent: a second call is a
+// no-op returning nil.
+func (b *FileBackend) Close() error {
+	var first error
+	for _, sf := range b.shards {
+		if sf == nil {
+			continue
+		}
+		sf.mu.Lock()
+		if sf.f != nil {
+			if err := sf.f.Close(); err != nil && first == nil {
+				first = err
+			}
+			sf.f = nil
+		}
+		sf.mu.Unlock()
 	}
-	defer d.Close()
-	// Directory fsync is best-effort: some filesystems reject it.
-	_ = d.Sync()
-	return nil
+	return first
 }

@@ -9,6 +9,8 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+
+	"freqdedup/internal/vfs"
 )
 
 // The snapshot catalog: the durable record of which snapshots a repository
@@ -92,13 +94,15 @@ type SnapshotRecord struct {
 // is safe for concurrent use.
 type Catalog struct {
 	mu         sync.Mutex
-	f          *os.File // nil for a memory-only catalog
+	fsys       vfs.FS   // nil for a memory-only catalog
+	f          vfs.File // nil for a memory-only catalog
 	path       string
 	closed     bool
 	size       int64
 	live       map[string]SnapshotRecord
 	tombstones int // delete records in the file not yet compacted away
 	scratch    []byte
+	salvage    CatalogSalvageStats
 }
 
 // NewMemCatalog returns a catalog kept only in memory — the
@@ -111,7 +115,12 @@ func NewMemCatalog() *Catalog {
 // CreateCatalog initializes a new, empty catalog file. It fails if the
 // file already exists.
 func CreateCatalog(path string) (*Catalog, error) {
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+	return CreateCatalogFS(vfs.OS, path)
+}
+
+// CreateCatalogFS is CreateCatalog against an explicit filesystem.
+func CreateCatalogFS(fsys vfs.FS, path string) (*Catalog, error) {
+	f, err := fsys.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("dedup: create catalog: %w", err)
 	}
@@ -124,15 +133,16 @@ func CreateCatalog(path string) (*Catalog, error) {
 	}
 	if err != nil {
 		f.Close()
-		os.Remove(path)
+		fsys.Remove(path)
 		return nil, fmt.Errorf("dedup: write catalog header: %w", err)
 	}
-	if err := syncParentDir(path); err != nil {
+	if err := vfs.SyncDir(fsys, filepath.Dir(path)); err != nil {
 		f.Close()
-		os.Remove(path)
+		fsys.Remove(path)
 		return nil, err
 	}
 	return &Catalog{
+		fsys: fsys,
 		f:    f,
 		path: path,
 		size: catHeaderLen,
@@ -146,21 +156,68 @@ func CreateCatalog(path string) (*Catalog, error) {
 // to the last acknowledged record. Structural damage anywhere else
 // returns ErrCatalogCorrupt.
 func OpenCatalog(path string) (*Catalog, error) {
-	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	return OpenCatalogFS(vfs.OS, path)
+}
+
+// OpenCatalogFS is OpenCatalog against an explicit filesystem.
+func OpenCatalogFS(fsys vfs.FS, path string) (*Catalog, error) {
+	f, err := fsys.OpenFile(path, os.O_RDWR, 0)
 	if err != nil {
 		return nil, fmt.Errorf("dedup: open catalog: %w", err)
 	}
-	c := &Catalog{f: f, path: path, live: make(map[string]SnapshotRecord)}
-	if err := c.replay(); err != nil {
+	c := &Catalog{fsys: fsys, f: f, path: path, live: make(map[string]SnapshotRecord)}
+	if err := c.replay(false); err != nil {
 		f.Close()
 		return nil, err
 	}
 	return c, nil
 }
 
+// CatalogSalvageStats reports what a salvage open of the catalog dropped.
+type CatalogSalvageStats struct {
+	// RecordsDropped counts mid-file records skipped because their
+	// checksum failed or their structure could not be parsed.
+	RecordsDropped int
+	// BytesSkipped is the total size of the skipped regions.
+	BytesSkipped int64
+}
+
+// Damaged reports whether the salvage pass had to drop anything.
+func (s CatalogSalvageStats) Damaged() bool {
+	return s.RecordsDropped > 0 || s.BytesSkipped > 0
+}
+
+// OpenCatalogSalvage opens a catalog whose file may be damaged mid-file —
+// the fsck path for catalogs OpenCatalog rejects with ErrCatalogCorrupt.
+// Unparseable or checksum-failing records are skipped (the replay
+// re-synchronizes on the next record whose header parses and whose CRC
+// verifies); a tombstone for a snapshot whose add record was lost is
+// ignored rather than fatal. If anything was dropped the catalog is
+// immediately compacted, so the on-disk file is clean again and appends
+// are safe.
+func OpenCatalogSalvage(fsys vfs.FS, path string) (*Catalog, CatalogSalvageStats, error) {
+	f, err := fsys.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return nil, CatalogSalvageStats{}, fmt.Errorf("dedup: open catalog: %w", err)
+	}
+	c := &Catalog{fsys: fsys, f: f, path: path, live: make(map[string]SnapshotRecord)}
+	if err := c.replay(true); err != nil {
+		f.Close()
+		return nil, c.salvage, err
+	}
+	if c.salvage.Damaged() {
+		if err := c.compactLocked(); err != nil {
+			f.Close()
+			return nil, c.salvage, fmt.Errorf("dedup: rewrite salvaged catalog: %w", err)
+		}
+	}
+	return c, c.salvage, nil
+}
+
 // replay scans the catalog file, rebuilding the live-snapshot map and
-// truncating a torn tail.
-func (c *Catalog) replay() error {
+// truncating a torn tail. In salvage mode, damaged mid-file records are
+// skipped and counted instead of failing the open.
+func (c *Catalog) replay(salvage bool) error {
 	st, err := c.f.Stat()
 	if err != nil {
 		return err
@@ -182,6 +239,18 @@ func (c *Catalog) replay() error {
 
 	pos := int64(catHeaderLen)
 	var rec [catRecHeaderLen]byte
+	// damaged re-synchronizes a salvage replay on the next record whose
+	// header parses and whose checksum verifies, counting what it skips.
+	damaged := func(pos int64) (int64, bool) {
+		next, ok := resyncCatalogRecord(c.f, pos+1, size)
+		if !ok {
+			c.salvage.BytesSkipped += size - pos
+			return size, false
+		}
+		c.salvage.RecordsDropped++
+		c.salvage.BytesSkipped += next - pos
+		return next, true
+	}
 	for pos < size {
 		if pos+catRecHeaderLen > size {
 			break // torn tail: header itself incomplete
@@ -190,17 +259,29 @@ func (c *Catalog) replay() error {
 			return err
 		}
 		if m := binary.LittleEndian.Uint32(rec[0:]); m != catRecMagic {
+			if salvage {
+				pos, _ = damaged(pos)
+				continue
+			}
 			return fmt.Errorf("%w: %s: bad record magic %#x at offset %d", ErrCatalogCorrupt, c.path, m, pos)
 		}
 		kind := binary.LittleEndian.Uint32(rec[4:])
 		nameLen := int64(binary.LittleEndian.Uint32(rec[8:]))
 		payloadLen := int64(binary.LittleEndian.Uint32(rec[12:]))
 		if nameLen == 0 || nameLen > catMaxName || payloadLen > catMaxPayload {
+			if salvage {
+				pos, _ = damaged(pos)
+				continue
+			}
 			return fmt.Errorf("%w: %s: absurd record lengths (%d, %d) at offset %d",
 				ErrCatalogCorrupt, c.path, nameLen, payloadLen, pos)
 		}
 		end := pos + catRecHeaderLen + nameLen + payloadLen + catRecTrailer
 		if end > size {
+			if salvage {
+				pos, _ = damaged(pos)
+				continue
+			}
 			break // torn tail: body incomplete
 		}
 		body := make([]byte, nameLen+payloadLen+catRecTrailer)
@@ -210,11 +291,15 @@ func (c *Catalog) replay() error {
 		crc := crc32.ChecksumIEEE(rec[:])
 		crc = crc32.Update(crc, crc32.IEEETable, body[:nameLen+payloadLen])
 		if stored := binary.LittleEndian.Uint32(body[nameLen+payloadLen:]); crc != stored {
-			if end == size {
+			if end == size && !salvage {
 				// The final record's bytes are all present but the
 				// checksum fails: a crash caught the append mid-write.
 				// Discard it like any other torn tail.
 				break
+			}
+			if salvage {
+				pos, _ = damaged(pos)
+				continue
 			}
 			return fmt.Errorf("%w: %s: record checksum mismatch at offset %d", ErrCatalogCorrupt, c.path, pos)
 		}
@@ -223,10 +308,21 @@ func (c *Catalog) replay() error {
 		switch kind {
 		case catKindAdd:
 			if payloadLen < catMetaLen {
+				if salvage {
+					c.salvage.RecordsDropped++
+					pos = end
+					continue
+				}
 				return fmt.Errorf("%w: %s: add record for %q has a short payload", ErrCatalogCorrupt, c.path, name)
 			}
 			if _, ok := c.live[name]; ok {
-				return fmt.Errorf("%w: %s: duplicate add for live snapshot %q", ErrCatalogCorrupt, c.path, name)
+				if !salvage {
+					return fmt.Errorf("%w: %s: duplicate add for live snapshot %q", ErrCatalogCorrupt, c.path, name)
+				}
+				// A duplicate add means the tombstone between the two was
+				// lost to damage: the later record is the acknowledged
+				// state, so replace.
+				c.salvage.RecordsDropped++
 			}
 			c.live[name] = SnapshotRecord{
 				Name:         name,
@@ -237,14 +333,32 @@ func (c *Catalog) replay() error {
 			}
 		case catKindDelete:
 			if _, ok := c.live[name]; !ok {
+				if salvage {
+					// The add this tombstone pairs with was lost; the
+					// skip was already counted when it was dropped.
+					pos = end
+					continue
+				}
 				return fmt.Errorf("%w: %s: tombstone for unknown snapshot %q", ErrCatalogCorrupt, c.path, name)
 			}
 			delete(c.live, name)
 			c.tombstones++
 		default:
+			if salvage {
+				c.salvage.RecordsDropped++
+				pos = end
+				continue
+			}
 			return fmt.Errorf("%w: %s: unknown record kind %d at offset %d", ErrCatalogCorrupt, c.path, kind, pos)
 		}
 		pos = end
+	}
+	if salvage && pos < size {
+		// The skipped tail is rewritten away by the compaction that
+		// follows a damaged salvage open; nothing to truncate here.
+		c.salvage.BytesSkipped += size - pos
+		c.size = pos
+		return nil
 	}
 	if pos < size {
 		// Discard the torn tail so future appends start at a record
@@ -258,6 +372,42 @@ func (c *Catalog) replay() error {
 	}
 	c.size = pos
 	return nil
+}
+
+// resyncCatalogRecord scans forward from pos for the next catalog record
+// that proves itself: magic and plausible lengths, and a verifying CRC —
+// the chain is already broken, so a merely plausible header could be
+// recipe bytes that happen to contain the magic.
+func resyncCatalogRecord(f vfs.File, pos, size int64) (int64, bool) {
+	var hdr [catRecHeaderLen]byte
+	for ; pos+catRecHeaderLen <= size; pos++ {
+		if _, err := f.ReadAt(hdr[:], pos); err != nil {
+			return 0, false
+		}
+		if binary.LittleEndian.Uint32(hdr[0:]) != catRecMagic {
+			continue
+		}
+		nameLen := int64(binary.LittleEndian.Uint32(hdr[8:]))
+		payloadLen := int64(binary.LittleEndian.Uint32(hdr[12:]))
+		if nameLen == 0 || nameLen > catMaxName || payloadLen > catMaxPayload {
+			continue
+		}
+		end := pos + catRecHeaderLen + nameLen + payloadLen + catRecTrailer
+		if end > size {
+			continue
+		}
+		body := make([]byte, nameLen+payloadLen+catRecTrailer)
+		if _, err := f.ReadAt(body, pos+catRecHeaderLen); err != nil {
+			continue
+		}
+		crc := crc32.ChecksumIEEE(hdr[:])
+		crc = crc32.Update(crc, crc32.IEEETable, body[:nameLen+payloadLen])
+		if crc != binary.LittleEndian.Uint32(body[nameLen+payloadLen:]) {
+			continue
+		}
+		return pos, true
+	}
+	return 0, false
 }
 
 // buildRecord serializes one record into c.scratch.
@@ -412,13 +562,13 @@ func (c *Catalog) Compact() error {
 
 func (c *Catalog) compactLocked() error {
 	tmpName := c.path + ".rewrite"
-	tmp, err := os.OpenFile(tmpName, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	tmp, err := c.fsys.OpenFile(tmpName, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return fmt.Errorf("dedup: compact catalog: %w", err)
 	}
 	abort := func(err error) error {
 		tmp.Close()
-		os.Remove(tmpName)
+		c.fsys.Remove(tmpName)
 		return err
 	}
 	var hdr [catHeaderLen]byte
@@ -445,7 +595,7 @@ func (c *Catalog) compactLocked() error {
 	if err := tmp.Sync(); err != nil {
 		return abort(err)
 	}
-	if err := os.Rename(tmpName, c.path); err != nil {
+	if err := c.fsys.Rename(tmpName, c.path); err != nil {
 		return abort(err)
 	}
 	// The rename is the commit point; the renamed temp handle is the new
@@ -454,7 +604,7 @@ func (c *Catalog) compactLocked() error {
 	c.f = tmp
 	c.size = size
 	c.tombstones = 0
-	_ = syncParentDir(c.path)
+	_ = vfs.SyncDir(c.fsys, filepath.Dir(c.path))
 	return nil
 }
 
@@ -470,16 +620,4 @@ func (c *Catalog) Close() error {
 	err := c.f.Close()
 	c.f = nil
 	return err
-}
-
-// syncParentDir fsyncs a file's directory so its creation or rename is
-// durable. Best-effort, as with the container files' directory syncs.
-func syncParentDir(path string) error {
-	d, err := os.Open(filepath.Dir(path))
-	if err != nil {
-		return err
-	}
-	defer d.Close()
-	_ = d.Sync()
-	return nil
 }

@@ -70,6 +70,15 @@ type Config struct {
 	// disables the cache — every read batch fetches its container from
 	// the store. Restored bytes are identical at every setting.
 	RestoreCacheContainers int
+	// DegradedRestore turns unrecoverable chunks into zero-filled holes
+	// instead of failing the restore: when a chunk is missing or its
+	// container is corrupt, Restore writes zeros for the chunk's range,
+	// keeps going, and returns a *DegradedError listing every lost range —
+	// so after a partial media failure, everything outside the reported
+	// ranges is still byte-identical to the original. Other errors (backend
+	// I/O failures) still abort. Off by default: a restore either returns
+	// the exact original bytes or an error.
+	DegradedRestore bool
 	// Observer, when non-nil, taps the post-encryption upload stream:
 	// it receives every uploaded chunk's ciphertext fingerprint and
 	// ciphertext size in upload (wire) order — exactly the Section 3.3

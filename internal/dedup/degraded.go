@@ -1,0 +1,63 @@
+package dedup
+
+import (
+	"errors"
+	"fmt"
+
+	"freqdedup/internal/container"
+	"freqdedup/internal/fphash"
+)
+
+// LostRange describes one contiguous region of a degraded restore's output
+// that could not be recovered: the chunk behind it is missing or corrupt,
+// and the region was zero-filled instead.
+type LostRange struct {
+	// Offset is the region's byte offset in the restored stream.
+	Offset uint64
+	// Length is the region's length in bytes (the lost chunk's size, from
+	// the recipe).
+	Length uint64
+	// Fingerprint identifies the lost ciphertext chunk.
+	Fingerprint fphash.Fingerprint
+}
+
+// DegradedError reports a restore that completed with holes: every byte
+// outside Ranges is correct, every byte inside is zero. It is returned by
+// Restore when Config.DegradedRestore is set and at least one chunk was
+// unrecoverable; retrieve it with errors.As. Ranges are in stream order
+// and never overlap.
+type DegradedError struct {
+	Ranges []LostRange
+}
+
+func (e *DegradedError) Error() string {
+	return fmt.Sprintf("dedup: degraded restore: %d lost ranges, %d bytes zero-filled",
+		len(e.Ranges), e.BytesLost())
+}
+
+// BytesLost is the total zero-filled byte count.
+func (e *DegradedError) BytesLost() uint64 {
+	var n uint64
+	for _, r := range e.Ranges {
+		n += r.Length
+	}
+	return n
+}
+
+// lostable reports whether a chunk-read error is the kind degraded restore
+// absorbs as a hole: the chunk is gone (not in the index, not in its
+// container) or its container is corrupt. Anything else — a backend I/O
+// failure, a crashed fault layer — still fails the restore, because
+// retrying could succeed.
+func lostable(err error) bool {
+	return errors.Is(err, ErrNotFound) ||
+		errors.Is(err, container.ErrNotFound) ||
+		errors.Is(err, container.ErrCorrupt)
+}
+
+// zeroFill zeroes a (possibly pool-recycled) buffer.
+func zeroFill(buf []byte) {
+	for i := range buf {
+		buf[i] = 0
+	}
+}

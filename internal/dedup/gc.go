@@ -78,6 +78,17 @@ func (s *Store) DeleteBackup(id string) error {
 	return nil
 }
 
+// ResetRetention drops every registered backup and all reference counts,
+// so retention can be rebuilt from an authoritative catalog — the step
+// after a damaging Repair, where stale references to lost chunks would
+// otherwise skew GC decisions.
+func (s *Store) ResetRetention() {
+	s.retMu.Lock()
+	defer s.retMu.Unlock()
+	s.backups = nil
+	s.refs = nil
+}
+
 // Backups lists the registered backup IDs in sorted order, so the listing
 // is deterministic rather than leaking map iteration order.
 func (s *Store) Backups() []string {

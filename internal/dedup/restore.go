@@ -53,12 +53,22 @@ func (c *Client) RestoreContext(ctx context.Context, recipe *mle.Recipe, w io.Wr
 // pipeline is proven against and the path Restore takes for the
 // single-worker, uncached configuration.
 func (c *Client) restoreSerial(ctx context.Context, recipe *mle.Recipe, w io.Writer) error {
+	var offset uint64
+	var lost []LostRange
 	for i, e := range recipe.Entries {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
 		ct, err := c.store.Get(e.Fingerprint)
 		if err != nil {
+			if c.cfg.DegradedRestore && lostable(err) {
+				if err := writeZeros(w, int(e.Size)); err != nil {
+					return err
+				}
+				lost = append(lost, LostRange{Offset: offset, Length: uint64(e.Size), Fingerprint: e.Fingerprint})
+				offset += uint64(e.Size)
+				continue
+			}
 			return fmt.Errorf("dedup: restore: chunk %d (%v): %w", i, e.Fingerprint, err)
 		}
 		plain := mle.DecryptDeterministic(e.Key, ct)
@@ -68,6 +78,22 @@ func (c *Client) restoreSerial(ctx context.Context, recipe *mle.Recipe, w io.Wri
 		if _, err := w.Write(plain); err != nil {
 			return fmt.Errorf("dedup: restore: write: %w", err)
 		}
+		offset += uint64(e.Size)
+	}
+	if len(lost) > 0 {
+		return &DegradedError{Ranges: lost}
+	}
+	return nil
+}
+
+// writeZeros writes n zero bytes through a pooled buffer.
+func writeZeros(w io.Writer, n int) error {
+	buf := restoreBufGet(n)
+	zeroFill(buf)
+	_, err := w.Write(buf)
+	restoreBufPut(buf)
+	if err != nil {
+		return fmt.Errorf("dedup: restore: write: %w", err)
 	}
 	return nil
 }
@@ -82,10 +108,12 @@ type restoreBatch struct {
 }
 
 // restoreResult is one decrypted batch heading to the in-order writer:
-// pooled plaintext buffers in recipe order, or the batch's error.
+// pooled plaintext buffers in recipe order, or the batch's error. In
+// degraded mode a batch may also carry the lost ranges it zero-filled.
 type restoreResult struct {
 	idx  int
 	bufs [][]byte
+	lost []LostRange
 	err  error
 }
 
@@ -128,11 +156,22 @@ func (c *Client) restoreParallel(ctx context.Context, recipe *mle.Recipe, w io.W
 	// searching; they are verified against the fingerprint at use (a
 	// concurrent GC may move chunks) with a point-lookup fallback.
 	locs := make([]container.Location, len(entries))
+	offsets := make([]uint64, len(entries))
+	var off uint64
 	var batches []restoreBatch
 	for i, e := range entries {
+		offsets[i] = off
+		off += uint64(e.Size)
 		ref, loc, ok := c.store.locate(e.Fingerprint)
 		if !ok {
-			return fmt.Errorf("dedup: restore: chunk %d (%v): %w", i, e.Fingerprint, ErrNotFound)
+			if !c.cfg.DegradedRestore {
+				return fmt.Errorf("dedup: restore: chunk %d (%v): %w", i, e.Fingerprint, ErrNotFound)
+			}
+			// Degraded mode: plan the missing chunk into a container-less
+			// batch (adjacent missing chunks share one); the worker's
+			// point-lookup fallback re-checks the store and zero-fills.
+			ref = containerRef{shard: -1, id: -1}
+			loc = container.Location{Index: -1}
 		}
 		locs[i] = loc
 		if n := len(batches); n > 0 && batches[n-1].ref == ref {
@@ -195,7 +234,7 @@ func (c *Client) restoreParallel(ctx context.Context, recipe *mle.Recipe, w io.W
 				if ctx.Err() != nil {
 					return
 				}
-				res := c.processRestoreBatch(entries, locs, batches[bi], cache)
+				res := c.processRestoreBatch(entries, locs, offsets, batches[bi], cache)
 				res.idx = bi
 				select {
 				case results <- res:
@@ -222,6 +261,7 @@ func (c *Client) restoreParallel(ctx context.Context, recipe *mle.Recipe, w io.W
 	pending := make(map[int]restoreResult, inflight)
 	next := 0
 	var firstErr error
+	var lostAll []LostRange
 	fail := func(err error) {
 		firstErr = err
 		close(done)
@@ -251,6 +291,9 @@ func (c *Client) restoreParallel(ctx context.Context, recipe *mle.Recipe, w io.W
 				fail(err)
 				break
 			}
+			// Lost ranges are appended in plan (stream) order, because
+			// batches are written in plan order.
+			lostAll = append(lostAll, r.lost...)
 			<-sem
 			next++
 		}
@@ -264,36 +307,49 @@ func (c *Client) restoreParallel(ctx context.Context, recipe *mle.Recipe, w io.W
 		// success.
 		firstErr = ctx.Err()
 	}
+	if firstErr == nil && len(lostAll) > 0 {
+		return &DegradedError{Ranges: lostAll}
+	}
 	return firstErr
 }
 
 // processRestoreBatch fetches the batch's container (through the cache,
 // when one is configured) and decrypts its entries into pooled buffers.
-func (c *Client) processRestoreBatch(entries []mle.RecipeEntry, locs []container.Location, b restoreBatch, cache *restoreCache) restoreResult {
+// In degraded mode, unrecoverable chunks become zero-filled buffers with
+// their ranges recorded instead of aborting the batch.
+func (c *Client) processRestoreBatch(entries []mle.RecipeEntry, locs []container.Location, offsets []uint64, b restoreBatch, cache *restoreCache) restoreResult {
 	var centries []container.Entry
-	var ok bool
-	if cache != nil {
-		centries, ok = cache.get(b.ref)
-	}
-	if !ok {
-		var err error
-		centries, err = c.store.readContainer(b.ref)
-		switch {
-		case errors.Is(err, container.ErrNotFound):
-			// The planned container vanished (a concurrent GC compacted
-			// the shard); every chunk is still live, so fall through with
-			// no container — each entry below takes the point-lookup
-			// fallback.
-			centries = nil
-		case err != nil:
-			return restoreResult{err: fmt.Errorf("dedup: restore: container %d (shard %d): %w", b.ref.id, b.ref.shard, err)}
-		default:
-			if cache != nil {
-				cache.put(b.ref, centries)
+	if b.ref.shard >= 0 {
+		var ok bool
+		if cache != nil {
+			centries, ok = cache.get(b.ref)
+		}
+		if !ok {
+			var err error
+			centries, err = c.store.readContainer(b.ref)
+			switch {
+			case errors.Is(err, container.ErrNotFound):
+				// The planned container vanished (a concurrent GC compacted
+				// the shard); every chunk is still live, so fall through with
+				// no container — each entry below takes the point-lookup
+				// fallback.
+				centries = nil
+			case c.cfg.DegradedRestore && lostable(err):
+				// A corrupt container in degraded mode: fall through with no
+				// container, so each entry's point lookup decides its fate
+				// individually (it fails the same way and zero-fills).
+				centries = nil
+			case err != nil:
+				return restoreResult{err: fmt.Errorf("dedup: restore: container %d (shard %d): %w", b.ref.id, b.ref.shard, err)}
+			default:
+				if cache != nil {
+					cache.put(b.ref, centries)
+				}
 			}
 		}
 	}
 	bufs := make([][]byte, 0, b.n)
+	var lost []LostRange
 	abort := func(err error) restoreResult {
 		releaseRestoreBufs(bufs)
 		return restoreResult{err: err}
@@ -305,10 +361,18 @@ func (c *Client) processRestoreBatch(entries []mle.RecipeEntry, locs []container
 			ct = centries[idx].Data
 		} else {
 			// The planned location went stale (a GC pass moved survivors
-			// mid-restore); fall back to a point lookup.
+			// mid-restore) or was never resolved; fall back to a point
+			// lookup.
 			var err error
 			ct, err = c.store.Get(e.Fingerprint)
 			if err != nil {
+				if c.cfg.DegradedRestore && lostable(err) {
+					buf := restoreBufGet(int(e.Size))
+					zeroFill(buf)
+					bufs = append(bufs, buf)
+					lost = append(lost, LostRange{Offset: offsets[i], Length: uint64(e.Size), Fingerprint: e.Fingerprint})
+					continue
+				}
 				return abort(fmt.Errorf("dedup: restore: chunk %d (%v): %w", i, e.Fingerprint, err))
 			}
 		}
@@ -319,7 +383,7 @@ func (c *Client) processRestoreBatch(entries []mle.RecipeEntry, locs []container
 		mle.DecryptDeterministicInto(e.Key, ct, buf)
 		bufs = append(bufs, buf)
 	}
-	return restoreResult{bufs: bufs}
+	return restoreResult{bufs: bufs, lost: lost}
 }
 
 // writeRestoreBufs writes a batch's buffers in order, releasing each to
@@ -354,6 +418,12 @@ var restorePool sync.Pool
 // drain-on-error tests assert it returns to its baseline after a failed
 // restore (no buffer is abandoned).
 var restoreBufsOutstanding atomic.Int64
+
+// RestoreBufsOutstanding reports how many pooled restore buffers are
+// currently handed out. It is a test hook: harnesses (the crash-point
+// explorer, the drain-on-error tests) assert it returns to its baseline
+// after failed and degraded restores, proving no pooled buffer leaks.
+func RestoreBufsOutstanding() int64 { return restoreBufsOutstanding.Load() }
 
 // restoreBufGet returns a pooled buffer of length n.
 func restoreBufGet(n int) []byte {

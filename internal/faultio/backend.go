@@ -1,0 +1,113 @@
+package faultio
+
+import (
+	"fmt"
+	"math/rand"
+
+	"freqdedup/internal/container"
+)
+
+// FaultBackend wraps a container.Backend with rule-driven fault
+// injection at the backend-operation level (OpSeal, OpLoad, OpScan,
+// OpRewrite) — the seam for testing store-level error handling without a
+// file-backed stack underneath, and for modeling a network backend's
+// failures (timeouts, flakes) that have no file-level analogue. The
+// "path" a rule's PathGlob matches is "shard-N".
+type FaultBackend struct {
+	inner container.Backend
+	inj   *Injector
+}
+
+// NewFaultBackend wraps inner with the fault plan.
+func NewFaultBackend(inner container.Backend, plan Plan) *FaultBackend {
+	return &FaultBackend{inner: inner, inj: NewInjector(plan)}
+}
+
+// Injector returns the backend's injector.
+func (b *FaultBackend) Injector() *Injector { return b.inj }
+
+func shardPath(shard int) string { return fmt.Sprintf("shard-%d", shard) }
+
+func (b *FaultBackend) observe(op Op, shard int, mutating bool) error {
+	f, matched, err := b.inj.observe(op, shardPath(shard), mutating)
+	if err != nil {
+		return err
+	}
+	if !matched {
+		return nil
+	}
+	return b.inj.fire(f)
+}
+
+// Seal implements container.Backend.
+func (b *FaultBackend) Seal(shard int, c *container.Container) error {
+	if err := b.observe(OpSeal, shard, true); err != nil {
+		return err
+	}
+	return b.inner.Seal(shard, c)
+}
+
+// Load implements container.Backend. A FlipBit rule on OpLoad corrupts
+// one seeded-random bit of one entry's data in the loaded copy — silent
+// read corruption, which only the store's checksums and fingerprint
+// verification can catch.
+func (b *FaultBackend) Load(shard, id int) (*container.Container, error) {
+	f, matched, err := b.inj.observe(OpLoad, shardPath(shard), false)
+	if err != nil {
+		return nil, err
+	}
+	if matched {
+		if err := b.inj.fire(f); err != nil {
+			return nil, err
+		}
+	}
+	c, err := b.inner.Load(shard, id)
+	if err != nil {
+		return nil, err
+	}
+	if matched && f.FlipBit {
+		corruptContainer(b.inj, c)
+	}
+	return c, nil
+}
+
+// corruptContainer flips one bit in one non-empty entry's data.
+func corruptContainer(inj *Injector, c *container.Container) {
+	var candidates []int
+	for i, e := range c.Entries {
+		if len(e.Data) > 0 {
+			candidates = append(candidates, i)
+		}
+	}
+	if len(candidates) == 0 {
+		return
+	}
+	inj.random(func(rng *rand.Rand) {
+		e := &c.Entries[candidates[rng.Intn(len(candidates))]]
+		d := append([]byte(nil), e.Data...)
+		d[rng.Intn(len(d))] ^= 1 << rng.Intn(8)
+		e.Data = d
+	})
+}
+
+// Scan implements container.Backend.
+func (b *FaultBackend) Scan(shard int, withData bool, fn func(*container.Container) error) error {
+	if err := b.observe(OpScan, shard, false); err != nil {
+		return err
+	}
+	return b.inner.Scan(shard, withData, fn)
+}
+
+// Rewrite implements container.Backend.
+func (b *FaultBackend) Rewrite(shard int, cs []*container.Container) error {
+	if err := b.observe(OpRewrite, shard, true); err != nil {
+		return err
+	}
+	return b.inner.Rewrite(shard, cs)
+}
+
+// Shards implements container.Backend.
+func (b *FaultBackend) Shards() int { return b.inner.Shards() }
+
+// Close implements container.Backend.
+func (b *FaultBackend) Close() error { return b.inner.Close() }

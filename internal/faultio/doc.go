@@ -1,0 +1,54 @@
+// Package faultio is the storage stack's fault-injection lab: a
+// deterministic, seeded, scriptable fault layer that slides under the
+// production code paths — never beside them — at two seams.
+//
+//   - The file seam: MemFS implements vfs.FS, the interface every durable
+//     format (the .fdc container shards, the .fdr snapshot catalog, the
+//     .fdt trace log) performs its file operations through. MemFS models
+//     durability explicitly: writes land in a volatile view, Sync copies
+//     it to a durable view, and CrashImage materializes only the durable
+//     view — so "crash" means exactly what it means on real hardware:
+//     everything not fsynced is gone.
+//   - The backend seam: FaultBackend wraps any container.Backend,
+//     injecting faults at the Seal/Load/Scan/Rewrite granularity — the
+//     failure model of a future network backend.
+//
+// # The fault-plan contract
+//
+// A Plan is a pure value: a Seed, an optional CrashAtOp, and an ordered
+// list of Rules. The contract is determinism: the same Plan applied to
+// the same workload injects byte-identical faults — same torn-write
+// lengths, same flipped bits, same crash state — because every random
+// choice is drawn from the plan's private rand.Rand seeded with
+// Plan.Seed, and nothing else. No global randomness, no wall clock, no
+// dependence on goroutine scheduling for single-threaded workloads.
+//
+// Rules are evaluated in order against each observed operation; the
+// first rule whose Op and PathGlob match fires (from its Nth matching
+// operation on, Count times). A firing fault either fails the operation
+// (Err, ShortWrite — always wrapping ErrInjected), corrupts silently
+// (FlipBit: in-flight on a write, post-fsync on a sync), or merely
+// delays it (Delay alone).
+//
+// The crash clock counts mutating operations only (create, write,
+// truncate, sync, rename, remove at the file seam; seal and rewrite at
+// the backend seam): reads cannot advance a machine toward a crash.
+// When the clock reaches CrashAtOp, that operation and every later one
+// fail with ErrCrashed. The workload's error handling runs exactly as it
+// would on a dying machine; the harness then reopens the stack against
+// CrashImage() and asserts the recovery invariants.
+//
+// Injector.SyncPoints records the clock value of every acknowledged
+// sync. These are the interesting crash points — between two syncs the
+// durable state does not change, so a sweep over sync points (plus the
+// full-resolution sweep in `make faults`) covers every distinct
+// post-crash disk image the workload can produce.
+//
+// # Retry policy
+//
+// RetryBackend wraps a container.Backend with exponential backoff and
+// seeded full jitter, classifying errors as permanent (corrupt, not
+// found, salvaged, crashed, or explicitly marked non-transient) versus
+// transient (everything else). MarkTransient/IsTransient define the
+// marking protocol; injected faults set it via Fault.Transient.
+package faultio

@@ -1,0 +1,171 @@
+package faultio
+
+import (
+	"errors"
+	"math/rand"
+	"time"
+
+	"freqdedup/internal/container"
+)
+
+// RetryPolicy configures a RetryBackend.
+type RetryPolicy struct {
+	// MaxRetries is how many times a failed operation is retried beyond
+	// the first attempt (default 3).
+	MaxRetries int
+	// BaseDelay is the first retry's backoff (default 10ms); each further
+	// retry doubles it, capped at MaxDelay.
+	BaseDelay time.Duration
+	// MaxDelay caps the exponential backoff (default 1s).
+	MaxDelay time.Duration
+	// Seed feeds the jitter's private rand.Rand, so retry schedules are
+	// reproducible. A zero seed is used as-is.
+	Seed int64
+	// Sleep is called to wait out each backoff (time.Sleep if nil) — a
+	// test hook, so retry tests assert the schedule instead of living it.
+	Sleep func(time.Duration)
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxRetries == 0 {
+		p.MaxRetries = 3
+	}
+	if p.BaseDelay == 0 {
+		p.BaseDelay = 10 * time.Millisecond
+	}
+	if p.MaxDelay == 0 {
+		p.MaxDelay = time.Second
+	}
+	if p.Sleep == nil {
+		p.Sleep = time.Sleep
+	}
+	return p
+}
+
+// RetryBackend wraps a container.Backend with an exponential-backoff
+// retry loop, the policy a network backend (ROADMAP item 1) inherits for
+// free. Each failed operation is classified:
+//
+//   - Permanent: container.ErrCorrupt, container.ErrNotFound,
+//     container.ErrSalvaged, ErrCrashed, or any error marked
+//     non-transient via a `Transient() bool` implementation. Retrying
+//     cannot help — the data is damaged, absent, or the machine is gone
+//     — so the error returns immediately.
+//   - Transient: everything else (I/O flakes, injected faults marked
+//     transient, timeouts). The operation is retried MaxRetries times
+//     with exponential backoff and seeded full jitter (each wait is a
+//     uniform draw from (0, backoff]), then the last error returns.
+//
+// Scan is retried as a whole only if its callback was never reached
+// (fn invocations must not repeat); once fn has run, errors return
+// unretried.
+type RetryBackend struct {
+	inner  container.Backend
+	policy RetryPolicy
+	rng    *rand.Rand
+	// Retries counts retry sleeps performed, for observability in tests
+	// and the soak harness. Read it only after operations quiesce.
+	Retries int64
+}
+
+// NewRetryBackend wraps inner with the retry policy.
+func NewRetryBackend(inner container.Backend, policy RetryPolicy) *RetryBackend {
+	p := policy.withDefaults()
+	return &RetryBackend{inner: inner, policy: p, rng: rand.New(rand.NewSource(p.Seed))}
+}
+
+// Permanent reports whether err is hopeless to retry.
+func Permanent(err error) bool {
+	if errors.Is(err, container.ErrCorrupt) ||
+		errors.Is(err, container.ErrNotFound) ||
+		errors.Is(err, container.ErrSalvaged) ||
+		errors.Is(err, ErrCrashed) {
+		return true
+	}
+	// An explicit transient marking decides either way.
+	for e := err; e != nil; e = errors.Unwrap(e) {
+		if t, ok := e.(interface{ Transient() bool }); ok {
+			return !t.Transient()
+		}
+	}
+	return false
+}
+
+// retry runs op with the backend's policy.
+func (b *RetryBackend) retry(op func() error) error {
+	backoff := b.policy.BaseDelay
+	var err error
+	for attempt := 0; ; attempt++ {
+		err = op()
+		if err == nil || Permanent(err) || attempt >= b.policy.MaxRetries {
+			return err
+		}
+		// Full jitter: a uniform draw from (0, backoff] from the seeded
+		// rand, so concurrent retriers spread out deterministically per
+		// seed.
+		wait := time.Duration(b.rng.Int63n(int64(backoff))) + 1
+		b.Retries++
+		b.policy.Sleep(wait)
+		if backoff < b.policy.MaxDelay {
+			backoff *= 2
+			if backoff > b.policy.MaxDelay {
+				backoff = b.policy.MaxDelay
+			}
+		}
+	}
+}
+
+// Seal implements container.Backend.
+func (b *RetryBackend) Seal(shard int, c *container.Container) error {
+	return b.retry(func() error { return b.inner.Seal(shard, c) })
+}
+
+// Load implements container.Backend.
+func (b *RetryBackend) Load(shard, id int) (*container.Container, error) {
+	var out *container.Container
+	err := b.retry(func() error {
+		c, err := b.inner.Load(shard, id)
+		out = c
+		return err
+	})
+	return out, err
+}
+
+// Scan implements container.Backend. A scan whose callback has already
+// run is not retried: the caller would observe duplicate containers.
+func (b *RetryBackend) Scan(shard int, withData bool, fn func(*container.Container) error) error {
+	reached := false
+	return b.retry(func() error {
+		if reached {
+			return nil
+		}
+		err := b.inner.Scan(shard, withData, func(c *container.Container) error {
+			reached = true
+			return fn(c)
+		})
+		if err != nil && reached {
+			// Not retryable anymore; disguise as permanent by returning
+			// through a non-transient marker.
+			return permanentErr{err}
+		}
+		return err
+	})
+}
+
+// permanentErr marks an error non-retryable without changing its chain.
+type permanentErr struct{ err error }
+
+func (p permanentErr) Error() string   { return p.err.Error() }
+func (p permanentErr) Unwrap() error   { return p.err }
+func (p permanentErr) Transient() bool { return false }
+
+// Rewrite implements container.Backend.
+func (b *RetryBackend) Rewrite(shard int, cs []*container.Container) error {
+	return b.retry(func() error { return b.inner.Rewrite(shard, cs) })
+}
+
+// Shards implements container.Backend.
+func (b *RetryBackend) Shards() int { return b.inner.Shards() }
+
+// Close implements container.Backend; never retried.
+func (b *RetryBackend) Close() error { return b.inner.Close() }

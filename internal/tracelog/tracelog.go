@@ -46,6 +46,7 @@ import (
 	"freqdedup/internal/attack"
 	"freqdedup/internal/fphash"
 	"freqdedup/internal/trace"
+	"freqdedup/internal/vfs"
 )
 
 // LogName is the trace log's file name within a repository directory.
@@ -94,7 +95,8 @@ type extent struct {
 // while new ones are appended.
 type Log struct {
 	mu       sync.Mutex
-	f        *os.File // nil for a memory-only log
+	fsys     vfs.FS   // nil for a memory-only log
+	f        vfs.File // nil for a memory-only log
 	path     string
 	readOnly bool
 	size     int64
@@ -112,7 +114,12 @@ func NewMem() *Log { return &Log{} }
 // Create initializes a new, empty trace log file. It fails if the file
 // already exists.
 func Create(path string) (*Log, error) {
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+	return CreateFS(vfs.OS, path)
+}
+
+// CreateFS is Create against an explicit filesystem.
+func CreateFS(fsys vfs.FS, path string) (*Log, error) {
+	f, err := fsys.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("tracelog: create: %w", err)
 	}
@@ -125,15 +132,15 @@ func Create(path string) (*Log, error) {
 	}
 	if err != nil {
 		f.Close()
-		os.Remove(path)
+		fsys.Remove(path)
 		return nil, fmt.Errorf("tracelog: write header: %w", err)
 	}
-	if err := syncParentDir(path); err != nil {
+	if err := vfs.SyncDir(fsys, filepath.Dir(path)); err != nil {
 		f.Close()
-		os.Remove(path)
+		fsys.Remove(path)
 		return nil, err
 	}
-	return &Log{f: f, path: path, size: logHeaderLen}, nil
+	return &Log{fsys: fsys, f: f, path: path, size: logHeaderLen}, nil
 }
 
 // Open opens an existing trace log and replays its records, recovering
@@ -144,11 +151,16 @@ func Create(path string) (*Log, error) {
 // use OpenReadOnly — Open's tail truncation would corrupt a log another
 // process is still appending to.
 func Open(path string) (*Log, error) {
-	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	return OpenFS(vfs.OS, path)
+}
+
+// OpenFS is Open against an explicit filesystem.
+func OpenFS(fsys vfs.FS, path string) (*Log, error) {
+	f, err := fsys.OpenFile(path, os.O_RDWR, 0)
 	if err != nil {
 		return nil, fmt.Errorf("tracelog: open: %w", err)
 	}
-	l := &Log{f: f, path: path}
+	l := &Log{fsys: fsys, f: f, path: path}
 	if err := l.replay(); err != nil {
 		f.Close()
 		return nil, err
@@ -163,11 +175,16 @@ func Open(path string) (*Log, error) {
 // inspection tools (`defend attack -repo`, `-dataset repo:`) pointed at
 // a repository that may still be live.
 func OpenReadOnly(path string) (*Log, error) {
-	f, err := os.Open(path)
+	return OpenReadOnlyFS(vfs.OS, path)
+}
+
+// OpenReadOnlyFS is OpenReadOnly against an explicit filesystem.
+func OpenReadOnlyFS(fsys vfs.FS, path string) (*Log, error) {
+	f, err := fsys.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("tracelog: open: %w", err)
 	}
-	l := &Log{f: f, path: path, readOnly: true}
+	l := &Log{fsys: fsys, f: f, path: path, readOnly: true}
 	if err := l.replay(); err != nil {
 		f.Close()
 		return nil, err
@@ -556,7 +573,7 @@ func (t *BackupTrace) Materialize() (*trace.Backup, error) {
 // same file) and CRC-checked before any reference is handed out.
 type traceReader struct {
 	t   *BackupTrace
-	f   *os.File // captured at Open; a closed log fails reads cleanly
+	f   vfs.File // captured at Open; a closed log fails reads cleanly
 	ext int      // next extent to load
 	buf []trace.ChunkRef
 	pos int
@@ -608,17 +625,5 @@ func (r *traceReader) load(e extent) error {
 
 func (r *traceReader) Close() error {
 	r.buf = nil
-	return nil
-}
-
-// syncParentDir fsyncs a file's directory so its creation is durable.
-// Best-effort beyond the open, as with the container files.
-func syncParentDir(path string) error {
-	d, err := os.Open(filepath.Dir(path))
-	if err != nil {
-		return err
-	}
-	defer d.Close()
-	_ = d.Sync()
 	return nil
 }

@@ -5,7 +5,6 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"os"
 	"path/filepath"
 	"sync"
 	"time"
@@ -15,6 +14,7 @@ import (
 	"freqdedup/internal/mle"
 	"freqdedup/internal/trace"
 	"freqdedup/internal/tracelog"
+	"freqdedup/internal/vfs"
 )
 
 // Repository is the system front door: a long-lived encrypted
@@ -60,6 +60,16 @@ type Repository struct {
 	// snapshots, which GC never reclaims (and the store already handles
 	// mid-restore chunk relocation).
 	gcMu sync.RWMutex
+
+	// closeMu/closed make Close idempotent and safe after partial failures.
+	closeMu sync.Mutex
+	closed  bool
+
+	// Salvage context for Repair: what the (salvage) open had to drop.
+	fsys        vfs.FS
+	path        string
+	salvaged    container.SalvageStats
+	catSalvaged dedup.CatalogSalvageStats
 }
 
 // Encryption selects a Repository's (or ClientConfig's) chunk-encryption
@@ -105,6 +115,8 @@ type repoOptions struct {
 	key            Key
 	tap            bool
 	observer       UploadObserver
+	fsys           vfs.FS
+	salvage        bool
 }
 
 // RepositoryOption configures CreateRepository and OpenRepository.
@@ -210,6 +222,45 @@ func WithUploadObserver(obs UploadObserver) RepositoryOption {
 	}
 }
 
+// FileSystem is the file-operations interface a file-backed repository
+// runs against — see the vfs package. The default is the real filesystem;
+// fault-injection harnesses substitute faultio implementations.
+type FileSystem = vfs.FS
+
+// OSFileSystem is the production FileSystem: package os, unwrapped.
+var OSFileSystem = vfs.OS
+
+// WithFileSystem routes every file operation of a file-backed repository
+// — container shards, snapshot catalog, trace log — through fs instead of
+// the real filesystem. This is the fault-injection seam: a
+// faultio.FaultFS injects errors, torn writes, and crash points under the
+// exact production code paths. Ignored by repositories using a custom
+// WithBackend for container storage (the catalog and trace log still go
+// through fs then).
+func WithFileSystem(fs FileSystem) RepositoryOption {
+	return func(o *repoOptions) { o.fsys = fs }
+}
+
+// WithSalvage makes OpenRepository tolerate on-disk damage instead of
+// failing: container shards and the snapshot catalog are opened in
+// salvage mode, which skips unreadable records (resynchronizing on the
+// next intact one) and keeps everything that still parses. A salvaged
+// repository can read, restore, and list, but refuses to seal new
+// containers until Repair has rebuilt a clean layout — open with salvage,
+// run Repair, then operate normally. Ignored by CreateRepository.
+func WithSalvage() RepositoryOption {
+	return func(o *repoOptions) { o.salvage = true }
+}
+
+// WithDegradedRestore makes Restore survive lost chunks: unrecoverable
+// regions of the output are zero-filled and reported through a
+// *DegradedError (retrieve it with errors.As) instead of failing the
+// restore — every byte outside the reported ranges is still exact. Off by
+// default: a restore either returns the original bytes or an error.
+func WithDegradedRestore() RepositoryOption {
+	return func(o *repoOptions) { o.cfg.DegradedRestore = true }
+}
+
 // WithRepositoryKey sets the user key that seals snapshot recipes in the
 // catalog (Section 3.3: recipes are conventionally encrypted under the
 // user's own secret). OpenRepository must be given the same key — it is
@@ -233,6 +284,7 @@ func buildRepo(store *dedup.Store, catalog *dedup.Catalog, tapLog *tracelog.Log,
 		key:     o.key,
 		tapLog:  tapLog,
 		tapObs:  o.observer,
+		fsys:    o.fsys,
 	}, nil
 }
 
@@ -271,9 +323,9 @@ func CreateRepository(path string, opts ...RepositoryOption) (*Repository, error
 	removeShards := false
 	fail := func(err error) (*Repository, error) {
 		if removeShards {
-			if names, gerr := filepath.Glob(filepath.Join(path, "shard-*.fdc")); gerr == nil {
+			if names, gerr := o.fsys.Glob(filepath.Join(path, "shard-*.fdc")); gerr == nil {
 				for _, name := range names {
-					os.Remove(name)
+					o.fsys.Remove(name)
 				}
 			}
 		}
@@ -283,7 +335,7 @@ func CreateRepository(path string, opts ...RepositoryOption) (*Repository, error
 		if path == "" {
 			backend = container.NewMemBackend(shards)
 		} else {
-			fb, err := container.CreateFileBackend(path, shards, containerBytes)
+			fb, err := container.CreateFileBackendFS(o.fsys, path, shards, containerBytes)
 			if err != nil {
 				return nil, err
 			}
@@ -299,7 +351,7 @@ func CreateRepository(path string, opts ...RepositoryOption) (*Repository, error
 	} else {
 		catalogPath = filepath.Join(path, dedup.CatalogName)
 		var err error
-		catalog, err = dedup.CreateCatalog(catalogPath)
+		catalog, err = dedup.CreateCatalogFS(o.fsys, catalogPath)
 		if err != nil {
 			backend.Close()
 			return fail(err)
@@ -314,10 +366,10 @@ func CreateRepository(path string, opts ...RepositoryOption) (*Repository, error
 		catalog.Close()
 		backend.Close()
 		if catalogPath != "" {
-			os.Remove(catalogPath)
+			o.fsys.Remove(catalogPath)
 		}
 		if tapPath != "" {
-			os.Remove(tapPath)
+			o.fsys.Remove(tapPath)
 		}
 		return fail(err)
 	}
@@ -327,7 +379,7 @@ func CreateRepository(path string, opts ...RepositoryOption) (*Repository, error
 		} else {
 			tapPath = filepath.Join(path, tracelog.LogName)
 			var terr error
-			tapLog, terr = tracelog.Create(tapPath)
+			tapLog, terr = tracelog.CreateFS(o.fsys, tapPath)
 			if terr != nil {
 				tapPath = ""
 				return failClosing(terr)
@@ -343,6 +395,7 @@ func CreateRepository(path string, opts ...RepositoryOption) (*Repository, error
 	if err != nil {
 		return failClosing(err)
 	}
+	repo.path = path
 	return repo, nil
 }
 
@@ -366,8 +419,16 @@ func OpenRepository(path string, opts ...RepositoryOption) (*Repository, error) 
 	// containers keep packing with the geometry the store was created
 	// with. A custom backend may not record one, so the option applies.
 	containerBytes := o.containerBytes
+	var salvaged container.SalvageStats
+	var catSalvaged dedup.CatalogSalvageStats
 	if backend == nil {
-		fb, err := container.OpenFileBackend(path)
+		var fb *container.FileBackend
+		var err error
+		if o.salvage {
+			fb, salvaged, err = container.OpenFileBackendSalvage(o.fsys, path)
+		} else {
+			fb, err = container.OpenFileBackendFS(o.fsys, path)
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -375,7 +436,13 @@ func OpenRepository(path string, opts ...RepositoryOption) (*Repository, error) 
 		containerBytes = 0
 		cleanup = func() { fb.Close() }
 	}
-	catalog, err := dedup.OpenCatalog(filepath.Join(path, dedup.CatalogName))
+	var catalog *dedup.Catalog
+	var err error
+	if o.salvage {
+		catalog, catSalvaged, err = dedup.OpenCatalogSalvage(o.fsys, filepath.Join(path, dedup.CatalogName))
+	} else {
+		catalog, err = dedup.OpenCatalogFS(o.fsys, filepath.Join(path, dedup.CatalogName))
+	}
 	if err != nil {
 		cleanup()
 		return nil, err
@@ -386,10 +453,10 @@ func OpenRepository(path string, opts ...RepositoryOption) (*Repository, error) 
 	// history never silently gains gaps.
 	var tapLog *tracelog.Log
 	tapPath := filepath.Join(path, tracelog.LogName)
-	if _, statErr := os.Stat(tapPath); statErr == nil {
-		tapLog, err = tracelog.Open(tapPath)
+	if _, statErr := o.fsys.Stat(tapPath); statErr == nil {
+		tapLog, err = tracelog.OpenFS(o.fsys, tapPath)
 	} else if o.tap {
-		tapLog, err = tracelog.Create(tapPath)
+		tapLog, err = tracelog.CreateFS(o.fsys, tapPath)
 	}
 	if err != nil {
 		catalog.Close()
@@ -429,13 +496,19 @@ func OpenRepository(path string, opts ...RepositoryOption) (*Repository, error) 
 	if err != nil {
 		return fail(err)
 	}
+	repo.path = path
+	repo.salvaged = salvaged
+	repo.catSalvaged = catSalvaged
 	return repo, nil
 }
 
 func applyOptions(opts []RepositoryOption) *repoOptions {
-	o := &repoOptions{}
+	o := &repoOptions{fsys: vfs.OS}
 	for _, opt := range opts {
 		opt(o)
+	}
+	if o.fsys == nil {
+		o.fsys = vfs.OS
 	}
 	return o
 }
@@ -633,6 +706,138 @@ func (r *Repository) Verify(ctx context.Context) error {
 	return nil
 }
 
+// DegradedError reports a restore that completed with zero-filled holes
+// where chunks were unrecoverable; see WithDegradedRestore.
+type DegradedError = dedup.DegradedError
+
+// LostRange is one zero-filled region of a degraded restore's output.
+type LostRange = dedup.LostRange
+
+// SnapshotDamage describes what a Repair found missing from one snapshot.
+type SnapshotDamage struct {
+	// Name is the snapshot's name.
+	Name string
+	// ChunksLost is how many of the snapshot's unique chunks the store no
+	// longer holds.
+	ChunksLost int
+	// BytesLost is the ciphertext size of the lost chunks.
+	BytesLost uint64
+	// TotalChunks is the snapshot's unique chunk count, for scale.
+	TotalChunks int
+	// RecipeUnreadable marks a snapshot whose sealed recipe failed to
+	// open (authentication failure — corrupt record or wrong key); the
+	// snapshot is unrestorable and its chunk counts are unknown.
+	RecipeUnreadable bool
+}
+
+// RepairReport is a Repair's full account of what was found and dropped.
+type RepairReport struct {
+	// ContainersQuarantined counts unreadable containers dropped from the
+	// store (their raw records preserved at QuarantinePaths).
+	ContainersQuarantined int
+	// ChunksLost and BytesLost measure the distinct chunks the store no
+	// longer holds after the repair.
+	ChunksLost int
+	BytesLost  uint64
+	// QuarantinePaths lists the preserved raw records of quarantined
+	// containers, for forensics.
+	QuarantinePaths []string
+	// SalvageContainersLost and SalvageBytesSkipped report what the
+	// salvage open (WithSalvage) had to skip in the container shards
+	// before Repair even ran; zero for a cleanly opened repository.
+	SalvageContainersLost int
+	SalvageBytesSkipped   int64
+	// CatalogRecordsDropped and CatalogBytesSkipped report the same for
+	// the snapshot catalog: snapshot records lost to on-disk damage.
+	CatalogRecordsDropped int
+	CatalogBytesSkipped   int64
+	// Snapshots lists every snapshot that lost chunks (or its recipe),
+	// sorted by name. An empty list means every remaining snapshot is
+	// fully restorable.
+	Snapshots []SnapshotDamage
+}
+
+// Damaged reports whether the repair found any loss at all.
+func (r *RepairReport) Damaged() bool {
+	return r.ContainersQuarantined > 0 || r.ChunksLost > 0 ||
+		r.SalvageContainersLost > 0 || r.SalvageBytesSkipped > 0 ||
+		r.CatalogRecordsDropped > 0 || r.CatalogBytesSkipped > 0 ||
+		len(r.Snapshots) > 0
+}
+
+// Repair is the repository fsck: it scans every container tolerantly,
+// quarantines the unreadable ones (preserving their raw bytes for
+// forensics), drops chunks whose content no longer matches their
+// fingerprint, repacks the survivors into a clean layout, rebuilds the
+// fingerprint index, resets retention state, and re-registers every
+// snapshot's references from the catalog — then reports exactly which
+// snapshots lost which chunks. After a nil-error Repair, the store is
+// writable again (a salvage-mode open's seal refusal is lifted), Verify's
+// chunk checks agree with physical reality, and restores of undamaged
+// snapshots are byte-identical; damaged snapshots restore with
+// WithDegradedRestore, zero-filled exactly at the reported losses.
+//
+// Repair stops the world like GC: it waits for in-flight Backups and
+// blocks new ones for the duration. Cancelling ctx stops it between
+// shards with ctx.Err(); already-repaired shards keep their repaired
+// state and a re-run completes the job.
+func (r *Repository) Repair(ctx context.Context) (RepairReport, error) {
+	r.gcMu.Lock()
+	defer r.gcMu.Unlock()
+
+	st, err := r.store.Repair(ctx)
+	rep := RepairReport{
+		ContainersQuarantined: st.ContainersQuarantined,
+		ChunksLost:            st.ChunksLost,
+		BytesLost:             st.BytesLost,
+		QuarantinePaths:       st.QuarantinePaths,
+		SalvageContainersLost: r.salvaged.ContainersLost,
+		SalvageBytesSkipped:   r.salvaged.BytesSkipped,
+		CatalogRecordsDropped: r.catSalvaged.RecordsDropped,
+		CatalogBytesSkipped:   r.catSalvaged.BytesSkipped,
+	}
+	if err != nil {
+		return rep, err
+	}
+
+	// Retention state was built against the pre-repair index; rebuild it
+	// from the catalog so GC decisions match what the store now holds, and
+	// measure each snapshot's damage along the way. RegisterBackup accepts
+	// fingerprints missing from the index — a damaged snapshot stays
+	// registered, so its surviving chunks are still GC-protected.
+	r.store.ResetRetention()
+	for _, rec := range r.catalog.List() {
+		recipe, oerr := mle.OpenRecipe(rec.SealedRecipe, r.key)
+		if oerr != nil {
+			rep.Snapshots = append(rep.Snapshots, SnapshotDamage{
+				Name:             rec.Name,
+				RecipeUnreadable: true,
+			})
+			continue
+		}
+		if rerr := r.store.RegisterBackup(rec.Name, recipe); rerr != nil {
+			return rep, fmt.Errorf("freqdedup: repair: re-register snapshot %q: %w", rec.Name, rerr)
+		}
+		dmg := SnapshotDamage{Name: rec.Name}
+		seen := make(map[Fingerprint]struct{}, len(recipe.Entries))
+		for _, e := range recipe.Entries {
+			if _, dup := seen[e.Fingerprint]; dup {
+				continue
+			}
+			seen[e.Fingerprint] = struct{}{}
+			dmg.TotalChunks++
+			if !r.store.Contains(e.Fingerprint) {
+				dmg.ChunksLost++
+				dmg.BytesLost += uint64(e.Size)
+			}
+		}
+		if dmg.ChunksLost > 0 {
+			rep.Snapshots = append(rep.Snapshots, dmg)
+		}
+	}
+	return rep, nil
+}
+
 // Stats reports the repository's deduplication effectiveness so far.
 func (r *Repository) Stats() DedupStats { return r.store.Stats() }
 
@@ -661,7 +866,18 @@ func (t teeObserver) ObserveUpload(refs []trace.ChunkRef) error {
 // acknowledged snapshot is already durable before Close; closing exists
 // to release resources (and to seal chunks uploaded by raw-store users
 // bypassing Backup). The repository must not be used afterwards.
+//
+// Close is idempotent: a second call is a no-op returning nil. It is also
+// safe after a failed Backup or a storage-layer error — each layer is
+// closed independently, and the first error is reported without stopping
+// the others from releasing their resources.
 func (r *Repository) Close() error {
+	r.closeMu.Lock()
+	defer r.closeMu.Unlock()
+	if r.closed {
+		return nil
+	}
+	r.closed = true
 	err := r.store.Close()
 	if cerr := r.catalog.Close(); cerr != nil && err == nil {
 		err = cerr

@@ -8,6 +8,8 @@
 # e.g. GOFLAGS=-count=1 to defeat test caching. Set CHECK_SKIP_BENCH=1 to
 # skip the bench smoke stage (CI runs it as a separate non-blocking job),
 # CHECK_SKIP_SCENARIOS=1 to skip the workload scenario-matrix smoke,
+# CHECK_SKIP_FAULTS=1 to skip the exhaustive crash-point sweep (the
+# bounded sweep still runs inside go test -race),
 # CHECK_SKIP_STATICCHECK=1 to skip static analysis, and CHECK_SKIP_VULN=1
 # to skip the vulnerability scan; a missing staticcheck or govulncheck
 # binary downgrades its stage to a notice rather than failing machines
@@ -54,6 +56,11 @@ go build ./... || fail "go build"
 
 echo "== go test -race"
 go test -race ./... || fail "go test -race"
+
+if [ "${CHECK_SKIP_FAULTS:-0}" != "1" ]; then
+	echo "== crash-point sweep (exhaustive, -race)"
+	FAULTS_FULL=1 go test -race -run 'TestCrashSweep' . || fail "crash-point sweep"
+fi
 
 if [ "${CHECK_SKIP_BENCH:-0}" != "1" ]; then
 	echo "== bench smoke (-benchtime=1x)"
