@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check fmt vet staticcheck build test race faults bench bench-smoke
+.PHONY: check fmt vet staticcheck build test race faults bench bench-smoke bench-gate
 
-check: fmt vet staticcheck build race faults bench-smoke
+check: fmt vet staticcheck build race faults bench-smoke bench-gate
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -50,3 +50,9 @@ bench:
 # benchmark rot; the pattern lives in scripts/bench.sh.
 bench-smoke:
 	scripts/bench.sh --smoke
+
+# Stable-tier performance-regression gate: three pinned iterations of the
+# chunker/backup/restore/store benchmarks compared against the newest
+# committed BENCH_*.json (>20% MB/s loss fails; see cmd/benchgate).
+bench-gate:
+	$(GO) run ./cmd/benchgate

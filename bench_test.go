@@ -426,6 +426,81 @@ func BenchmarkChunkerCDCFingerprinted(b *testing.B) {
 	}
 }
 
+// BenchmarkChunkerGear is BenchmarkChunkerCDC with the gear-hash
+// algorithm (AlgoGear): same pooled-buffer stream, same deferred
+// fingerprinting, different (incompatible) cut-point format. The gap to
+// BenchmarkChunkerCDC is the rolling-hash speedup — one table lookup,
+// shift, and add per byte plus cut-point skipping, versus Rabin's
+// window maintenance.
+func BenchmarkChunkerGear(b *testing.B) {
+	data := benchStream(16 << 20)
+	params := DefaultChunkingParams()
+	params.Algorithm = AlgoGear
+	params.DeferFingerprint = true
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c, err := NewGearChunker(bytes.NewReader(data), params)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var n int64
+		for {
+			ch, err := c.Next()
+			if err != nil {
+				break
+			}
+			n += int64(ch.Size())
+			ch.Release()
+		}
+		if n != int64(len(data)) {
+			b.Fatalf("chunked %d of %d bytes", n, len(data))
+		}
+	}
+}
+
+// BenchmarkChunkerGearMulti is the multi-stream gear chunker: the input
+// split into segments scanned by parallel workers with deterministic
+// cut-point stitching (bit-identical to BenchmarkChunkerGear's output).
+// The sweep shows aggregate-throughput scaling with worker count; on a
+// single-core runner the gain comes from pipeline overlap (read/scan/
+// stitch), on multicore from parallel scanning.
+func BenchmarkChunkerGearMulti(b *testing.B) {
+	data := benchStream(16 << 20)
+	params := DefaultChunkingParams()
+	params.Algorithm = AlgoGear
+	params.DeferFingerprint = true
+	for _, workers := range []int{2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.SetBytes(int64(len(data)))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c, err := NewMultiGearChunker(bytes.NewReader(data), params, workers)
+				if err != nil {
+					b.Fatal(err)
+				}
+				var n int64
+				for {
+					ch, err := c.Next()
+					if err != nil {
+						break
+					}
+					n += int64(ch.Size())
+					ch.Release()
+				}
+				if err := c.Close(); err != nil {
+					b.Fatal(err)
+				}
+				if n != int64(len(data)) {
+					b.Fatalf("chunked %d of %d bytes", n, len(data))
+				}
+			}
+		})
+	}
+}
+
 // --- Restore pipeline benchmarks (PR 3): BenchmarkRestoreSerial is the
 // --- chunk-at-a-time baseline; BenchmarkRestoreParallel fans container
 // --- fetch+decrypt out to GOMAXPROCS workers, swept across restore
@@ -472,16 +547,21 @@ func BenchmarkRestoreParallel(b *testing.B) {
 
 // BenchmarkStoreShards measures concurrent PutBatch throughput against
 // the shard count: GOMAXPROCS uploaders hammer one store with disjoint
-// chunk batches. shards=1 is the serialized baseline.
+// chunk batches. shards=1 is the serialized baseline. Each b.N iteration
+// pushes batchesPerOp batches (~16 MiB), so one iteration spans many GC
+// cycles — a single-batch iteration is ~130µs and its timing is GC
+// lottery, which made the benchmark too noisy for cmd/benchgate's
+// pinned-iteration regression gate.
 func BenchmarkStoreShards(b *testing.B) {
 	const (
-		chunkSize = 8 << 10
-		perBatch  = 64
+		chunkSize    = 8 << 10
+		perBatch     = 64
+		batchesPerOp = 32
 	)
 	for _, shards := range []int{1, 4, 16, 64} {
 		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
 			store := NewStoreWithShards(0, shards)
-			b.SetBytes(chunkSize * perBatch)
+			b.SetBytes(chunkSize * perBatch * batchesPerOp)
 			b.ReportAllocs()
 			var worker atomic.Int64
 			b.RunParallel(func(pb *testing.PB) {
@@ -495,13 +575,15 @@ func BenchmarkStoreShards(b *testing.B) {
 				data := benchStream(chunkSize)
 				var n uint64
 				for pb.Next() {
-					for i := range batch {
-						n++
-						fp := fphash.FromUint64(base + n)
-						batch[i] = StoreChunk{FP: fphash.FromUint64(fp.Mix(0)), Data: data}
-					}
-					if _, err := store.PutBatch(batch); err != nil {
-						b.Fatal(err)
+					for j := 0; j < batchesPerOp; j++ {
+						for i := range batch {
+							n++
+							fp := fphash.FromUint64(base + n)
+							batch[i] = StoreChunk{FP: fphash.FromUint64(fp.Mix(0)), Data: data}
+						}
+						if _, err := store.PutBatch(batch); err != nil {
+							b.Fatal(err)
+						}
 					}
 				}
 			})

@@ -4,6 +4,7 @@ import (
 	"os"
 	"reflect"
 	"testing"
+	"time"
 )
 
 // TestCrashSweepSyncPoints is the CI-bounded crash-point sweep: the
@@ -33,6 +34,40 @@ func TestCrashSweepSyncPoints(t *testing.T) {
 	t.Logf("swept %d sync-point crashes across %d mutating ops", len(res.PointsTested), res.TotalOps)
 }
 
+// TestCrashSweepGroupCommit reruns the sync-point sweep with the batched
+// durability paths enabled: group-commit straggler window on the catalog
+// and trace log, gear chunking, and multi-stream chunk workers. The
+// invariant set is unchanged — in particular invariant 2 ("the snapshot
+// list equals exactly the acknowledged state") asserts at every crash
+// point that no Backup was acknowledged before the group-committed fsync
+// covering its records returned.
+func TestCrashSweepGroupCommit(t *testing.T) {
+	maxPoints := 24
+	if testing.Short() {
+		maxPoints = 8
+	}
+	res, err := ExploreCrashPoints(CrashSweepOptions{
+		Scenario: CrashScenario{
+			Seed:              3,
+			GroupCommitWindow: 2 * time.Millisecond,
+			GearChunking:      true,
+			ChunkWorkers:      2,
+		},
+		SyncPointsOnly: true,
+		MaxPoints:      maxPoints,
+	})
+	if err != nil {
+		t.Fatalf("sweep: %v", err)
+	}
+	if res.TotalOps == 0 || len(res.SyncPoints) == 0 || len(res.PointsTested) == 0 {
+		t.Fatalf("sweep explored nothing: %+v", res)
+	}
+	for _, f := range res.Failures {
+		t.Errorf("crash at op %d/%d: %v", f.Op, res.TotalOps, f.Err)
+	}
+	t.Logf("swept %d group-commit sync-point crashes across %d mutating ops", len(res.PointsTested), res.TotalOps)
+}
+
 // TestCrashSweepFull explores EVERY mutating operation as a crash point —
 // minutes of work, so it only runs when FAULTS_FULL is set (`make
 // faults`).
@@ -50,6 +85,30 @@ func TestCrashSweepFull(t *testing.T) {
 		t.Errorf("crash at op %d/%d: %v", f.Op, res.TotalOps, f.Err)
 	}
 	t.Logf("swept all %d mutating ops (%d sync points)", res.TotalOps, len(res.SyncPoints))
+}
+
+// TestCrashSweepFullGroupCommit is the exhaustive sweep with group commit
+// (plus gear multi-stream chunking) enabled — every mutating op is a crash
+// point on the batched durability paths. Gated like TestCrashSweepFull.
+func TestCrashSweepFullGroupCommit(t *testing.T) {
+	if os.Getenv("FAULTS_FULL") == "" {
+		t.Skip("set FAULTS_FULL=1 (or run `make faults`) for the exhaustive crash sweep")
+	}
+	res, err := ExploreCrashPoints(CrashSweepOptions{
+		Scenario: CrashScenario{
+			Seed:              3,
+			GroupCommitWindow: time.Millisecond,
+			GearChunking:      true,
+			ChunkWorkers:      2,
+		},
+	})
+	if err != nil {
+		t.Fatalf("sweep: %v", err)
+	}
+	for _, f := range res.Failures {
+		t.Errorf("crash at op %d/%d: %v", f.Op, res.TotalOps, f.Err)
+	}
+	t.Logf("swept all %d mutating ops with group commit (%d sync points)", res.TotalOps, len(res.SyncPoints))
 }
 
 // TestCrashSweepDeterministic: the same scenario seed maps to the same

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"time"
 
 	"freqdedup/internal/chunker"
 	"freqdedup/internal/dedup"
@@ -51,6 +52,20 @@ type CrashScenario struct {
 	ContainerBytes int
 	// Shards is the store's shard count (2 if zero).
 	Shards int
+	// GroupCommitWindow enables the catalog/trace-log group-commit
+	// straggler window (WithGroupCommit). The scenario is serial, so the
+	// window changes timing but not the operation sequence — the sweep
+	// stays deterministic while every crash point exercises the batched
+	// commit path, proving no Backup acks before its covering fsync even
+	// when the fsync is a shared, delayed group commit.
+	GroupCommitWindow time.Duration
+	// GearChunking switches the scenario's backups to AlgoGear chunking,
+	// covering the gear format's pooled-buffer and recipe paths under
+	// crash injection.
+	GearChunking bool
+	// ChunkWorkers enables multi-stream chunking (WithChunkWorkers);
+	// meaningful only with GearChunking.
+	ChunkWorkers int
 }
 
 func (sc CrashScenario) withDefaults() CrashScenario {
@@ -97,7 +112,7 @@ func (sc CrashScenario) repoKey() Key {
 }
 
 func (sc CrashScenario) repoOptions(m *faultio.MemFS) []RepositoryOption {
-	return []RepositoryOption{
+	opts := []RepositoryOption{
 		WithFileSystem(m),
 		WithRepositoryKey(sc.repoKey()),
 		WithShards(sc.Shards),
@@ -106,6 +121,18 @@ func (sc CrashScenario) repoOptions(m *faultio.MemFS) []RepositoryOption {
 		WithRestoreCache(2),
 		WithUploadObserver(nil), // durable adversary tap on
 	}
+	if sc.GroupCommitWindow > 0 {
+		opts = append(opts, WithGroupCommit(sc.GroupCommitWindow))
+	}
+	if sc.GearChunking {
+		p := DefaultChunkingParams()
+		p.Algorithm = AlgoGear
+		opts = append(opts, WithChunking(p))
+		if sc.ChunkWorkers > 1 {
+			opts = append(opts, WithChunkWorkers(sc.ChunkWorkers))
+		}
+	}
+	return opts
 }
 
 // run drives the scripted workload against m until completion or the

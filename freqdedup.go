@@ -60,8 +60,25 @@ type (
 	// Chunker cuts a stream into chunks.
 	Chunker = chunker.Chunker
 	// ChunkingParams configures content-defined chunking, including
-	// DeferFingerprint for pipelines that hash chunk contents out of band.
+	// DeferFingerprint for pipelines that hash chunk contents out of band
+	// and Algorithm to select the boundary function.
 	ChunkingParams = chunker.Params
+	// ChunkAlgorithm selects a content-defined chunker's boundary
+	// function: AlgoRabin or AlgoGear. The two are distinct formats —
+	// their cut points differ, so data chunked with one does not
+	// deduplicate against data chunked with the other.
+	ChunkAlgorithm = chunker.Algorithm
+)
+
+// Chunking algorithms.
+const (
+	// AlgoRabin cuts with the rolling Rabin fingerprint — the original
+	// freqdedup format and the default.
+	AlgoRabin = chunker.AlgoRabin
+	// AlgoGear cuts with a gear hash (FastCDC-style), roughly 3x the
+	// rolling speed of Rabin. A new format: NOT cut-point compatible with
+	// AlgoRabin.
+	AlgoGear = chunker.AlgoGear
 )
 
 // NewFixedChunker returns a fixed-size chunker (the paper's VM dataset
@@ -71,6 +88,21 @@ var NewFixedChunker = chunker.NewFixed
 // NewContentDefinedChunker returns a Rabin-fingerprint content-defined
 // chunker (the paper's FSL and synthetic datasets use 8 KB average).
 var NewContentDefinedChunker = chunker.NewContentDefined
+
+// NewChunker returns the content-defined chunker selected by
+// ChunkingParams.Algorithm.
+var NewChunker = chunker.New
+
+// NewGearChunker returns a gear-hash content-defined chunker (AlgoGear's
+// concrete type).
+var NewGearChunker = chunker.NewGear
+
+// NewMultiGearChunker returns a multi-stream gear chunker: the input is
+// split across worker goroutines (0 selects GOMAXPROCS) and the cut
+// points are stitched deterministically, emitting the exact serial
+// AlgoGear chunk sequence at any worker count. Requires Min >= 64; call
+// Close when abandoning the stream before EOF.
+var NewMultiGearChunker = chunker.NewMultiGear
 
 // DefaultChunkingParams mirrors the paper's FSL chunking configuration.
 var DefaultChunkingParams = chunker.DefaultParams

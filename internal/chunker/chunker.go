@@ -175,8 +175,13 @@ type Params struct {
 	// Max is the maximum chunk size in bytes. A boundary is forced at Max.
 	Max int
 	// Window is the rolling-hash window size in bytes. Zero selects
-	// rabin.DefaultWindow.
+	// rabin.DefaultWindow. AlgoGear ignores it (the gear window is fixed
+	// at 64 bytes by construction).
 	Window int
+	// Algorithm selects the rolling-hash family. The zero value is
+	// AlgoRabin, the original format; AlgoGear is roughly 3x faster but
+	// cuts at different boundaries (see Algorithm).
+	Algorithm Algorithm
 	// DeferFingerprint leaves Chunk.Fingerprint zero so callers can hash
 	// chunk contents out of band (e.g. in a worker pool) instead of paying
 	// a serial SHA-256 inside Next.
@@ -203,6 +208,9 @@ func (p Params) Validate() error {
 	if p.Window < 0 {
 		return fmt.Errorf("chunker: negative window %d", p.Window)
 	}
+	if p.Algorithm != AlgoRabin && p.Algorithm != AlgoGear {
+		return fmt.Errorf("chunker: unknown algorithm %d", int(p.Algorithm))
+	}
 	return nil
 }
 
@@ -211,22 +219,89 @@ func (p Params) Validate() error {
 // approaches the buffer's end.
 const minFillSpace = 32 * 1024
 
+// lookaheadSize sizes the fixed lookahead buffer for a maximum chunk size.
+func lookaheadSize(max int) int {
+	size := 4 * max
+	if size < 256*1024 {
+		size = 256 * 1024
+	}
+	return size
+}
+
+// lookahead is the streaming buffer shared by the content-defined
+// chunkers: a fixed window into the input that reads land in directly,
+// with the consumed prefix compacted away as the write position nears the
+// end. It decouples the read/buffer machinery from the cut policy, so
+// Rabin and gear chunkers differ only in their boundary scan.
+type lookahead struct {
+	r      io.Reader
+	buf    []byte // fixed lookahead buffer; reads land directly in it
+	start  int    // first unconsumed byte in buf
+	end    int    // end of valid data in buf
+	offset int64  // stream offset of buf[start]
+	eof    bool
+}
+
+func newLookahead(r io.Reader, size int) lookahead {
+	return lookahead{r: r, buf: make([]byte, size)}
+}
+
+// fill reads more data directly into the lookahead buffer, compacting the
+// consumed prefix away when the remaining write space has become small.
+// It returns any read error; io.EOF is recorded in l.eof instead.
+func (l *lookahead) fill() error {
+	if len(l.buf)-l.end < minFillSpace && l.start > 0 {
+		l.end = copy(l.buf, l.buf[l.start:l.end])
+		l.start = 0
+	}
+	n, err := l.r.Read(l.buf[l.end:])
+	l.end += n
+	if err != nil {
+		if errors.Is(err, io.EOF) {
+			l.eof = true
+			return nil
+		}
+		return fmt.Errorf("chunker: read: %w", err)
+	}
+	return nil
+}
+
+// take returns the next up-to-max unconsumed bytes, reading until at
+// least max are buffered or the stream ends. It returns io.EOF when no
+// bytes remain. The returned slice is valid until the next consume call.
+func (l *lookahead) take(max int) ([]byte, error) {
+	for l.end-l.start < max && !l.eof {
+		if err := l.fill(); err != nil {
+			return nil, err
+		}
+	}
+	avail := l.end - l.start
+	if avail == 0 {
+		return nil, io.EOF
+	}
+	if avail > max {
+		avail = max
+	}
+	return l.buf[l.start : l.start+avail], nil
+}
+
+// consume marks n bytes returned by take as chunked.
+func (l *lookahead) consume(n int) {
+	l.start += n
+	l.offset += int64(n)
+}
+
 // ContentDefined cuts the input at content-defined boundaries using a
 // rolling Rabin fingerprint: a boundary is declared at the first position
 // past Min where fp mod Avg == Avg-1 (the paper's "fingerprint modulo a
 // pre-defined divisor equals some constant"), or at Max bytes.
 type ContentDefined struct {
-	r      io.Reader
+	la     lookahead
 	p      Params
 	mask   uint64
 	magic  uint64
 	window int
 	hash   *rabin.Hash
-	buf    []byte // fixed lookahead buffer; reads land directly in it
-	start  int    // first unconsumed byte in buf
-	end    int    // end of valid data in buf
-	offset int64
-	eof    bool
 }
 
 var _ Chunker = (*ContentDefined)(nil)
@@ -240,39 +315,14 @@ func NewContentDefined(r io.Reader, p Params) (*ContentDefined, error) {
 	if window == 0 {
 		window = rabin.DefaultWindow
 	}
-	bufSize := 4 * p.Max
-	if bufSize < 256*1024 {
-		bufSize = 256 * 1024
-	}
 	return &ContentDefined{
-		r:      r,
+		la:     newLookahead(r, lookaheadSize(p.Max)),
 		p:      p,
 		mask:   uint64(p.Avg - 1),
 		magic:  uint64(p.Avg - 1),
 		window: window,
 		hash:   rabin.New(window),
-		buf:    make([]byte, bufSize),
 	}, nil
-}
-
-// fill reads more data directly into the lookahead buffer, compacting the
-// consumed prefix away when the remaining write space has become small.
-// It returns any read error; io.EOF is recorded in c.eof instead.
-func (c *ContentDefined) fill() error {
-	if len(c.buf)-c.end < minFillSpace && c.start > 0 {
-		c.end = copy(c.buf, c.buf[c.start:c.end])
-		c.start = 0
-	}
-	n, err := c.r.Read(c.buf[c.end:])
-	c.end += n
-	if err != nil {
-		if errors.Is(err, io.EOF) {
-			c.eof = true
-			return nil
-		}
-		return fmt.Errorf("chunker: read: %w", err)
-	}
-	return nil
 }
 
 // findCut returns the boundary position within data (1 <= cut <= len(data)),
@@ -315,34 +365,24 @@ func (c *ContentDefined) findCut(data []byte) int {
 // Next implements Chunker.
 func (c *ContentDefined) Next() (Chunk, error) {
 	// Ensure a full Max-sized lookahead (or the stream remainder).
-	for c.end-c.start < c.p.Max && !c.eof {
-		if err := c.fill(); err != nil {
-			return Chunk{}, err
-		}
+	window, err := c.la.take(c.p.Max)
+	if err != nil {
+		return Chunk{}, err
 	}
-	avail := c.end - c.start
-	if avail == 0 {
-		return Chunk{}, io.EOF
-	}
-	lookahead := c.buf[c.start:c.end]
-	if avail > c.p.Max {
-		lookahead = lookahead[:c.p.Max]
-	}
-	cut := c.findCut(lookahead)
+	cut := c.findCut(window)
 	data := getBuf(cut)
-	copy(data, lookahead[:cut])
-	ch := Chunk{Data: data, Offset: c.offset}
+	copy(data, window[:cut])
+	ch := Chunk{Data: data, Offset: c.la.offset}
 	if !c.p.DeferFingerprint {
 		ch.Fingerprint = fphash.FromBytes(data)
 	}
-	c.start += cut
-	c.offset += int64(cut)
+	c.la.consume(cut)
 	return ch, nil
 }
 
 // chunkCountHint estimates how many chunks remain, for All's preallocation.
 func (c *ContentDefined) chunkCountHint() int {
-	return remainingHint(c.r, c.p.Avg)
+	return remainingHint(c.la.r, c.p.Avg)
 }
 
 // remainingHint divides the reader's remaining length (when it exposes one,

@@ -1,0 +1,352 @@
+package chunker
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+
+	"freqdedup/internal/fphash"
+)
+
+// MultiGear chunks one input stream across several workers and emits the
+// exact serial Gear chunk sequence. It exploits the gear hash's fixed
+// 64-byte window: the hash value at any stream position is a pure
+// function of the trailing 64 bytes, independent of where the governing
+// chunk started (once the chunk is at least 64 bytes old — hence the
+// Min >= 64 requirement). Workers therefore compute boundary-match
+// positions over disjoint segments with no chain dependency, and a cheap
+// serial stitcher walks the cut chain — next cut after c is the first
+// match in [c+Min, c+Max), else the forced cut at c+Max — which is
+// bit-identical to the serial scan at any worker count or segment size.
+//
+// Chunks carry the same pooled-buffer ownership contract as the serial
+// chunkers. The consumer must not call Next concurrently, and should
+// call Close when abandoning the stream before io.EOF so the pipeline's
+// goroutines and pooled segment buffers are reclaimed; after a full
+// drain Close is optional (everything has already wound down).
+type MultiGear struct {
+	p         Params
+	out       chan gearOut
+	stop      chan struct{}
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+	finalErr  error // sticky terminal error, returned after out closes
+}
+
+var _ Chunker = (*MultiGear)(nil)
+
+// gearOut is one stitched result: a chunk, or the stream's terminal
+// error (io.EOF is represented by closing the channel instead).
+type gearOut struct {
+	ch  Chunk
+	err error
+}
+
+// gearSeg is one segment job: data to scan for boundary matches, plus
+// the up-to-63 stream bytes preceding it so the worker can roll the full
+// gear window over the segment's earliest positions. A segment with nil
+// data carries the stream's terminal read error instead.
+type gearSeg struct {
+	data []byte // pooled; released by the stitcher
+	pre  []byte // copy of the preceding window tail; worker-owned
+	base int64  // stream offset of data[0]
+	res  chan []int64
+	err  error // terminal read error (data == nil)
+}
+
+// multiGearMinSeg keeps segments large enough that stitching and
+// channel traffic stay negligible next to the hash scan.
+const multiGearMinSeg = 1 << 20
+
+// NewMultiGear returns a multi-stream gear chunker reading from r with
+// the given worker count (0 selects GOMAXPROCS). It requires
+// p.Min >= 64: below the gear window the hash at candidate positions
+// still depends on where the previous cut fell, so segments cannot be
+// scanned independently — use the serial Gear chunker for such params.
+func NewMultiGear(r io.Reader, p Params, workers int) (*MultiGear, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	segSize := multiGearMinSeg
+	if segSize < 2*p.Max {
+		segSize = 2 * p.Max
+	}
+	return newMultiGear(r, p, workers, segSize)
+}
+
+// newMultiGear is the test seam: a small segment size forces chunks to
+// straddle segment boundaries on small inputs.
+func newMultiGear(r io.Reader, p Params, workers, segSize int) (*MultiGear, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if p.Min < gearWindow {
+		return nil, fmt.Errorf("chunker: multi-stream gear needs Min >= %d, got %d", gearWindow, p.Min)
+	}
+	if workers < 1 || segSize < 1 {
+		return nil, fmt.Errorf("chunker: need positive workers and segment size, got %d/%d", workers, segSize)
+	}
+	m := &MultiGear{
+		p:    p,
+		out:  make(chan gearOut, 16),
+		stop: make(chan struct{}),
+	}
+	jobs := make(chan *gearSeg, workers)
+	ordered := make(chan *gearSeg, workers+2)
+	mask := gearMask(p.Avg)
+
+	m.wg.Add(1)
+	go m.read(r, segSize, jobs, ordered)
+	for i := 0; i < workers; i++ {
+		m.wg.Add(1)
+		go m.scan(jobs, mask)
+	}
+	m.wg.Add(1)
+	go m.stitch(ordered)
+	return m, nil
+}
+
+// read splits the stream into segments, remembering the trailing
+// window bytes of each so the next segment's worker can seed its hash.
+// A terminal read error travels down the ordered queue as a segment with
+// nil data.
+func (m *MultiGear) read(r io.Reader, segSize int, jobs, ordered chan<- *gearSeg) {
+	defer m.wg.Done()
+	defer close(jobs)
+	defer close(ordered)
+	var (
+		tail []byte // last up-to-63 bytes of the previous segment
+		base int64
+	)
+	for {
+		buf := getBuf(segSize)
+		n, err := io.ReadFull(r, buf)
+		if n == 0 {
+			putBuf(buf)
+			if err != nil && !errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) {
+				m.sendSeg(ordered, &gearSeg{err: err})
+			}
+			return
+		}
+		seg := &gearSeg{
+			data: buf[:n],
+			pre:  append([]byte(nil), tail...),
+			base: base,
+			res:  make(chan []int64, 1),
+		}
+		from := n - (gearWindow - 1)
+		if from < 0 {
+			from = 0
+		}
+		tail = append(tail, buf[from:n]...)
+		if len(tail) > gearWindow-1 {
+			tail = tail[len(tail)-(gearWindow-1):]
+		}
+		base += int64(n)
+		if !m.sendSeg(jobs, seg) {
+			// Closing before any worker saw the segment: reclaim it here.
+			putBuf(buf)
+			return
+		}
+		if !m.sendSeg(ordered, seg) {
+			// A worker has (or will pick up) the job; wait for its result
+			// before reclaiming the buffer it scans.
+			<-seg.res
+			putBuf(buf)
+			return
+		}
+		if err != nil {
+			// Stream exhausted (io.EOF / ErrUnexpectedEOF), or a real
+			// error that arrived alongside the final partial read — the
+			// partial segment was already dispatched; forward the error
+			// behind it so delivered chunks stay exact.
+			if !errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) {
+				m.sendSeg(ordered, &gearSeg{err: err})
+			}
+			return
+		}
+	}
+}
+
+// sendSeg sends with cancellation; false means the pipeline is closing.
+func (m *MultiGear) sendSeg(ch chan<- *gearSeg, seg *gearSeg) bool {
+	select {
+	case ch <- seg:
+		return true
+	case <-m.stop:
+		return false
+	}
+}
+
+// scan is the worker loop: for each segment, roll the gear hash over the
+// preceding window tail and the segment, recording every absolute stream
+// position p (p = bytes consumed) where h&mask == 0. Only positions at
+// least gearWindow into the stream carry the full-window hash, but the
+// stitcher never queries earlier ones (its candidates start at Min >=
+// gearWindow), and within the first segment the short-history hash is
+// exact anyway (the first chunk starts at offset 0).
+func (m *MultiGear) scan(jobs <-chan *gearSeg, mask uint64) {
+	defer m.wg.Done()
+	for seg := range jobs {
+		var h uint64
+		for _, b := range seg.pre {
+			h = h<<1 + gearTable[b]
+		}
+		var matches []int64
+		base := seg.base
+		for i, b := range seg.data {
+			h = h<<1 + gearTable[b]
+			if h&mask == 0 {
+				matches = append(matches, base+int64(i)+1)
+			}
+		}
+		seg.res <- matches
+	}
+}
+
+// stitch walks the cut chain over the in-order segment results and emits
+// chunks. State across segments: c, the last cut (absolute); carry, the
+// bytes of the in-progress chunk that earlier segments contributed.
+func (m *MultiGear) stitch(ordered <-chan *gearSeg) {
+	defer m.wg.Done()
+	defer close(m.out)
+	var (
+		c       int64 // last cut position
+		carry   = make([]byte, 0, m.p.Max)
+		min     = int64(m.p.Min)
+		max     = int64(m.p.Max)
+		end     int64 // stream end, known after the last segment
+		aborted bool
+	)
+	emit := func(cut int64, segData []byte, segBase int64) bool {
+		size := int(cut - c)
+		buf := getBuf(size)
+		n := copy(buf, carry)
+		copy(buf[n:], segData[c+int64(n)-segBase:cut-segBase])
+		carry = carry[:0]
+		ch := Chunk{Data: buf, Offset: c}
+		if !m.p.DeferFingerprint {
+			ch.Fingerprint = fphash.FromBytes(buf)
+		}
+		select {
+		case m.out <- gearOut{ch: ch}:
+			c = cut
+			return true
+		case <-m.stop:
+			putBuf(buf)
+			return false
+		}
+	}
+	for seg := range ordered {
+		if aborted {
+			if seg.data != nil {
+				<-seg.res // wait out the worker before reclaiming
+				putBuf(seg.data)
+			}
+			continue
+		}
+		if seg.data == nil {
+			// Terminal read error from the reader.
+			select {
+			case m.out <- gearOut{err: fmt.Errorf("chunker: read: %w", seg.err)}:
+			case <-m.stop:
+			}
+			aborted = true
+			continue
+		}
+		matches := <-seg.res
+		segEnd := seg.base + int64(len(seg.data))
+		end = segEnd
+		mi := 0
+		for {
+			// Advance past matches inside the current chunk's Min region.
+			for mi < len(matches) && matches[mi] < c+min {
+				mi++
+			}
+			hi := c + max // forced cut
+			if mi < len(matches) && matches[mi] < hi {
+				if !emit(matches[mi], seg.data, seg.base) {
+					aborted = true
+					break
+				}
+				continue
+			}
+			if hi <= segEnd {
+				if !emit(hi, seg.data, seg.base) {
+					aborted = true
+					break
+				}
+				continue
+			}
+			// The next cut is not decidable within this segment: bank the
+			// unchunked suffix and move on.
+			from := c
+			if from < seg.base {
+				from = seg.base
+			}
+			carry = append(carry, seg.data[from-seg.base:]...)
+			break
+		}
+		putBuf(seg.data)
+	}
+	if aborted {
+		return
+	}
+	// Stream exhausted: flush the remainder. No matches are left over (a
+	// segment's scan loop only exits once its match list is consumed), so
+	// the remainder splits into forced Max cuts plus a trailing partial.
+	for c < end {
+		cut := c + max
+		if cut > end {
+			cut = end
+		}
+		size := int(cut - c)
+		buf := getBuf(size)
+		copy(buf, carry[:size])
+		carry = carry[:copy(carry, carry[size:])]
+		ch := Chunk{Data: buf, Offset: c}
+		if !m.p.DeferFingerprint {
+			ch.Fingerprint = fphash.FromBytes(buf)
+		}
+		select {
+		case m.out <- gearOut{ch: ch}:
+			c = cut
+		case <-m.stop:
+			putBuf(buf)
+			return
+		}
+	}
+}
+
+// Next implements Chunker.
+func (m *MultiGear) Next() (Chunk, error) {
+	o, ok := <-m.out
+	if !ok {
+		if m.finalErr != nil {
+			return Chunk{}, m.finalErr
+		}
+		return Chunk{}, io.EOF
+	}
+	if o.err != nil {
+		m.finalErr = o.err
+		return Chunk{}, o.err
+	}
+	return o.ch, nil
+}
+
+// Close tears the pipeline down: it cancels the goroutines, reclaims
+// every in-flight pooled buffer (segments and undelivered chunks), and
+// waits for the workers to exit. It is idempotent and safe after a full
+// drain; it must not race a concurrent Next (single-consumer contract).
+func (m *MultiGear) Close() error {
+	m.closeOnce.Do(func() { close(m.stop) })
+	for o := range m.out {
+		if o.err == nil {
+			o.ch.Release()
+		}
+	}
+	m.wg.Wait()
+	return nil
+}

@@ -9,7 +9,9 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"time"
 
+	"freqdedup/internal/gcommit"
 	"freqdedup/internal/vfs"
 )
 
@@ -103,6 +105,58 @@ type Catalog struct {
 	tombstones int // delete records in the file not yet compacted away
 	scratch    []byte
 	salvage    CatalogSalvageStats
+
+	// Group commit: mutations append their record under c.mu, then release
+	// it and call gc.Commit with their append's sequence number; concurrent
+	// mutations share fsyncs. syncMu orders the committer's fsync against
+	// the file-handle swaps in compactLocked and Close (lock order: c.mu
+	// before syncMu; the fsync itself holds only syncMu).
+	syncMu  sync.Mutex
+	gc      *gcommit.Committer
+	seq     int64        // last assigned append sequence
+	pending []catPending // appended records not yet covered by a sync
+}
+
+// catPending maps an append sequence to the file offset its record starts
+// at, so a failed commit can truncate the file back to the durable
+// boundary.
+type catPending struct {
+	seq int64
+	off int64
+}
+
+// initCommitter wires the catalog's group committer. Catalog fsync
+// failures are sticky: the file tail past the last successful sync is in
+// an unknown durable state, so the instance refuses further appends and
+// the caller reopens (replay truncates any torn tail).
+func (c *Catalog) initCommitter() {
+	c.gc = gcommit.New(func() error {
+		c.syncMu.Lock()
+		defer c.syncMu.Unlock()
+		if c.f == nil {
+			return errors.New("dedup: catalog is closed")
+		}
+		return c.f.Sync()
+	}, true)
+}
+
+// SetGroupCommitWindow sets the straggler window for catalog group
+// commit: a leader delays its fsync this long so concurrent mutations can
+// join the round. Zero (the default) syncs immediately.
+func (c *Catalog) SetGroupCommitWindow(d time.Duration) {
+	if c.gc != nil {
+		c.gc.SetWindow(d)
+	}
+}
+
+// CommitSyncs returns how many catalog fsync rounds have run — with
+// concurrent mutations this is less than the mutation count, the batching
+// ratio group commit exists to win.
+func (c *Catalog) CommitSyncs() int64 {
+	if c.gc == nil {
+		return 0
+	}
+	return c.gc.Syncs()
 }
 
 // NewMemCatalog returns a catalog kept only in memory — the
@@ -141,13 +195,15 @@ func CreateCatalogFS(fsys vfs.FS, path string) (*Catalog, error) {
 		fsys.Remove(path)
 		return nil, err
 	}
-	return &Catalog{
+	c := &Catalog{
 		fsys: fsys,
 		f:    f,
 		path: path,
 		size: catHeaderLen,
 		live: make(map[string]SnapshotRecord),
-	}, nil
+	}
+	c.initCommitter()
+	return c, nil
 }
 
 // OpenCatalog opens an existing catalog file and replays its records. A
@@ -166,6 +222,7 @@ func OpenCatalogFS(fsys vfs.FS, path string) (*Catalog, error) {
 		return nil, fmt.Errorf("dedup: open catalog: %w", err)
 	}
 	c := &Catalog{fsys: fsys, f: f, path: path, live: make(map[string]SnapshotRecord)}
+	c.initCommitter()
 	if err := c.replay(false); err != nil {
 		f.Close()
 		return nil, err
@@ -201,6 +258,7 @@ func OpenCatalogSalvage(fsys vfs.FS, path string) (*Catalog, CatalogSalvageStats
 		return nil, CatalogSalvageStats{}, fmt.Errorf("dedup: open catalog: %w", err)
 	}
 	c := &Catalog{fsys: fsys, f: f, path: path, live: make(map[string]SnapshotRecord)}
+	c.initCommitter()
 	if err := c.replay(true); err != nil {
 		f.Close()
 		return nil, c.salvage, err
@@ -430,24 +488,73 @@ func (c *Catalog) buildRecord(kind uint32, name string, meta []byte, sealed []by
 	return buf
 }
 
-// appendRecord appends one record and fsyncs; durability is acknowledged
-// only by a nil return. On a failed append the written tail is discarded
-// so a later successful append does not bury garbage mid-file.
-func (c *Catalog) appendRecord(buf []byte) error {
-	if _, err := c.f.WriteAt(buf, c.size); err != nil {
-		c.discardTail()
-		return fmt.Errorf("dedup: append catalog record: %w", err)
+// appendRecordLocked writes one record at the current tail and assigns it
+// the next commit sequence, without syncing — durability comes from the
+// group commit that follows. Called with c.mu held.
+func (c *Catalog) appendRecordLocked(buf []byte) (int64, error) {
+	if err := c.gc.Err(); err != nil {
+		return 0, fmt.Errorf("dedup: catalog poisoned by earlier sync failure: %w", err)
 	}
-	if err := c.f.Sync(); err != nil {
-		c.discardTail()
+	off := c.size
+	if _, err := c.f.WriteAt(buf, off); err != nil {
+		// The record never landed; the tail state is unchanged, so no
+		// truncation is needed — just report the failure.
+		return 0, fmt.Errorf("dedup: append catalog record: %w", err)
+	}
+	c.size = off + int64(len(buf))
+	c.seq++
+	c.pending = append(c.pending, catPending{seq: c.seq, off: off})
+	return c.seq, nil
+}
+
+// commitRecord runs the group commit for an appended record. Called with
+// c.mu released (the committer blocks; holding c.mu would serialize the
+// batching it exists to provide). On success the covered pending entries
+// are pruned; on failure the file is truncated back to the durable
+// boundary so a later successful append does not bury unsynced garbage
+// mid-file.
+func (c *Catalog) commitRecord(seq int64) error {
+	err := c.gc.Commit(seq)
+	d := c.gc.Durable()
+	c.mu.Lock()
+	if err != nil {
+		c.truncateToDurableLocked(d)
+	} else {
+		c.prunePendingLocked(d)
+	}
+	c.mu.Unlock()
+	if err != nil {
 		return fmt.Errorf("dedup: sync catalog: %w", err)
 	}
-	c.size += int64(len(buf))
 	return nil
 }
 
-func (c *Catalog) discardTail() {
-	if c.f.Truncate(c.size) == nil {
+// prunePendingLocked drops pending entries covered by durable sequence d.
+func (c *Catalog) prunePendingLocked(d int64) {
+	i := 0
+	for i < len(c.pending) && c.pending[i].seq <= d {
+		i++
+	}
+	if i > 0 {
+		c.pending = append(c.pending[:0], c.pending[i:]...)
+	}
+}
+
+// truncateToDurableLocked discards every appended-but-unsynced record
+// after a failed commit, so the file tail holds only acknowledged
+// mutations. Idempotent: concurrent failed commits all compute the same
+// durable boundary.
+func (c *Catalog) truncateToDurableLocked(d int64) {
+	c.prunePendingLocked(d)
+	boundary := c.size
+	if len(c.pending) > 0 {
+		boundary = c.pending[0].off
+	}
+	c.pending = c.pending[:0]
+	if boundary < c.size {
+		c.size = boundary
+	}
+	if c.f != nil && c.f.Truncate(c.size) == nil {
 		_ = c.f.Sync()
 	}
 }
@@ -462,8 +569,11 @@ func encodeMeta(rec SnapshotRecord) []byte {
 }
 
 // Add records a new snapshot. When Add returns nil the snapshot is as
-// durable as the catalog: for a file-backed catalog the record is fsynced
-// before Add returns.
+// durable as the catalog: for a file-backed catalog a sync covering the
+// record has returned before Add does. Concurrent Adds share fsyncs via
+// group commit — the mutation is applied tentatively under the lock, the
+// commit runs with the lock released, and a failed commit rolls the
+// mutation back.
 func (c *Catalog) Add(rec SnapshotRecord) error {
 	if rec.Name == "" {
 		return errors.New("dedup: empty snapshot name")
@@ -472,50 +582,81 @@ func (c *Catalog) Add(rec SnapshotRecord) error {
 		return fmt.Errorf("dedup: snapshot name longer than %d bytes", catMaxName)
 	}
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if c.closed {
+		c.mu.Unlock()
 		return errors.New("dedup: catalog is closed")
 	}
 	if _, ok := c.live[rec.Name]; ok {
+		c.mu.Unlock()
 		return fmt.Errorf("%w: %q", ErrSnapshotExists, rec.Name)
-	}
-	if c.f != nil {
-		buf := c.buildRecord(catKindAdd, rec.Name, encodeMeta(rec), rec.SealedRecipe)
-		if err := c.appendRecord(buf); err != nil {
-			return err
-		}
 	}
 	stored := rec
 	stored.SealedRecipe = append([]byte(nil), rec.SealedRecipe...)
-	c.live[rec.Name] = stored
+	if c.f == nil {
+		c.live[rec.Name] = stored
+		c.mu.Unlock()
+		return nil
+	}
+	buf := c.buildRecord(catKindAdd, rec.Name, encodeMeta(rec), rec.SealedRecipe)
+	seq, err := c.appendRecordLocked(buf)
+	if err != nil {
+		c.mu.Unlock()
+		return err
+	}
+	c.live[rec.Name] = stored // tentative until the commit covers it
+	c.mu.Unlock()
+	if err := c.commitRecord(seq); err != nil {
+		c.mu.Lock()
+		delete(c.live, rec.Name)
+		c.mu.Unlock()
+		return err
+	}
 	return nil
 }
 
 // Delete removes a snapshot, appending a tombstone record. When the
 // tombstones outnumber the live snapshots the catalog is compacted in the
-// same call.
+// same call. Like Add, concurrent Deletes share fsyncs via group commit.
 func (c *Catalog) Delete(name string) error {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if c.closed {
+		c.mu.Unlock()
 		return errors.New("dedup: catalog is closed")
 	}
-	if _, ok := c.live[name]; !ok {
+	rec, ok := c.live[name]
+	if !ok {
+		c.mu.Unlock()
 		return fmt.Errorf("%w: %q", ErrSnapshotNotFound, name)
 	}
-	if c.f != nil {
-		if err := c.appendRecord(c.buildRecord(catKindDelete, name, nil, nil)); err != nil {
-			return err
-		}
+	if c.f == nil {
+		delete(c.live, name)
+		c.tombstones++
+		c.mu.Unlock()
+		return nil
 	}
-	delete(c.live, name)
+	seq, err := c.appendRecordLocked(c.buildRecord(catKindDelete, name, nil, nil))
+	if err != nil {
+		c.mu.Unlock()
+		return err
+	}
+	delete(c.live, name) // tentative until the commit covers it
 	c.tombstones++
-	if c.f != nil && c.tombstones >= 8 && c.tombstones > len(c.live) {
+	c.mu.Unlock()
+	if err := c.commitRecord(seq); err != nil {
+		c.mu.Lock()
+		c.live[name] = rec
+		c.tombstones--
+		c.mu.Unlock()
+		return err
+	}
+	c.mu.Lock()
+	if c.f != nil && !c.closed && c.tombstones >= 8 && c.tombstones > len(c.live) {
 		// Compaction is an optimization: the log already replays to the
 		// right state, so a failed compaction only means the log stays
 		// long. Do not fail the delete over it.
 		_ = c.compactLocked()
 	}
+	c.mu.Unlock()
 	return nil
 }
 
@@ -599,11 +740,22 @@ func (c *Catalog) compactLocked() error {
 		return abort(err)
 	}
 	// The rename is the commit point; the renamed temp handle is the new
-	// catalog file. The directory sync afterwards is best-effort.
+	// catalog file. Swap the handle under syncMu so an in-flight group
+	// commit never fsyncs a closed descriptor. The directory sync
+	// afterwards is best-effort.
+	c.syncMu.Lock()
 	c.f.Close()
 	c.f = tmp
+	c.syncMu.Unlock()
 	c.size = size
 	c.tombstones = 0
+	// The compacted file was synced and renamed: every record appended so
+	// far — including tentative ones awaiting their group commit — is now
+	// durable through the rewrite. Release their waiters without a sync.
+	c.pending = c.pending[:0]
+	if c.gc != nil {
+		c.gc.MarkDurable(c.seq)
+	}
 	_ = vfs.SyncDir(c.fsys, filepath.Dir(c.path))
 	return nil
 }
@@ -617,7 +769,9 @@ func (c *Catalog) Close() error {
 	if c.f == nil {
 		return nil
 	}
+	c.syncMu.Lock()
 	err := c.f.Close()
 	c.f = nil
+	c.syncMu.Unlock()
 	return err
 }

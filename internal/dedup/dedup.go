@@ -35,8 +35,19 @@ const (
 
 // Config configures a Client.
 type Config struct {
-	// Chunking parameters (chunker.DefaultParams if zero).
+	// Chunking parameters (chunker.DefaultParams if zero). The Algorithm
+	// field selects the boundary function: AlgoRabin (the default) or the
+	// faster AlgoGear. The two produce different cut points — a store's
+	// dedup ratio is only preserved against backups chunked the same way.
 	Chunking chunker.Params
+	// ChunkWorkers enables multi-stream chunking: with a value above 1 and
+	// AlgoGear, Backup splits the input across that many chunking workers
+	// with deterministic cut-point stitching — the chunk sequence is
+	// bit-identical to serial gear chunking at any worker count. 0 and 1
+	// chunk serially. Requires Chunking.Min >= chunker.GearWindow and is
+	// rejected for AlgoRabin (its rolling hash carries unbounded history,
+	// so segments cannot be scanned independently).
+	ChunkWorkers int
 	// Encryption selects the MLE scheme (EncConvergent if zero).
 	Encryption Encryption
 	// Deriver supplies keys for EncServerAided and EncMinHash. It must be
@@ -143,6 +154,18 @@ func NewClient(store *Store, cfg Config) (*Client, error) {
 	if cfg.Workers < 0 {
 		return nil, fmt.Errorf("dedup: negative worker count %d", cfg.Workers)
 	}
+	if cfg.ChunkWorkers < 0 {
+		return nil, fmt.Errorf("dedup: negative chunk worker count %d", cfg.ChunkWorkers)
+	}
+	if cfg.ChunkWorkers > 1 {
+		if cfg.Chunking.Algorithm != chunker.AlgoGear {
+			return nil, errors.New("dedup: multi-stream chunking requires the gear algorithm (chunker.AlgoGear)")
+		}
+		if cfg.Chunking.Min < chunker.GearWindow {
+			return nil, fmt.Errorf("dedup: multi-stream chunking needs Chunking.Min >= %d, got %d",
+				chunker.GearWindow, cfg.Chunking.Min)
+		}
+	}
 	if cfg.RestoreCacheContainers < 0 {
 		return nil, fmt.Errorf("dedup: negative restore cache size %d", cfg.RestoreCacheContainers)
 	}
@@ -228,7 +251,15 @@ func (c *Client) BackupContext(ctx context.Context, r io.Reader) (*mle.Recipe, e
 	}
 	params := c.cfg.Chunking
 	params.DeferFingerprint = true
-	cdc, err := chunker.NewContentDefined(r, params)
+	var (
+		cdc chunker.Chunker
+		err error
+	)
+	if c.cfg.ChunkWorkers > 1 && params.Algorithm == chunker.AlgoGear {
+		cdc, err = chunker.NewMultiGear(r, params, c.cfg.ChunkWorkers)
+	} else {
+		cdc, err = chunker.New(r, params)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -236,6 +267,15 @@ func (c *Client) BackupContext(ctx context.Context, r io.Reader) (*mle.Recipe, e
 		return c.backupPlanned(ctx, cdc)
 	}
 	return c.backupStreaming(ctx, cdc)
+}
+
+// closeChunker winds down chunkers that own pipeline goroutines and
+// pooled buffers (the multi-stream gear chunker); serial chunkers have
+// nothing to release. It must not race the chunker's Next.
+func closeChunker(c chunker.Chunker) {
+	if mc, ok := c.(interface{ Close() error }); ok {
+		_ = mc.Close()
+	}
 }
 
 // chunkMsg is one producer-to-consumer handoff: a chunk or a chunking
@@ -249,7 +289,7 @@ type chunkMsg struct {
 // upload order is the chunk order (no scrambling, no segment keys): chunks
 // flow from the producer goroutine through window-sized encrypt fan-outs
 // straight into the store, and never accumulate beyond the pipeline bound.
-func (c *Client) backupStreaming(ctx context.Context, cdc *chunker.ContentDefined) (*mle.Recipe, error) {
+func (c *Client) backupStreaming(ctx context.Context, cdc chunker.Chunker) (*mle.Recipe, error) {
 	chunks := make(chan chunkMsg, chunkQueueDepth)
 	done := make(chan struct{})
 	window := make([]encJob, 0, uploadWindowChunks)
@@ -274,6 +314,11 @@ func (c *Client) backupStreaming(ctx context.Context, cdc *chunker.ContentDefine
 	}()
 	go func() {
 		defer close(chunks)
+		// The producer is the chunker's sole consumer, so it owns the
+		// teardown: for a multi-stream chunker this reclaims the pipeline's
+		// goroutines and pooled segment buffers. An error return of Backup
+		// does not wait for it (see Backup's doc on in-flight reads).
+		defer closeChunker(cdc)
 		for {
 			// Stop before touching the reader again once the consumer has
 			// bailed: the drain goroutine keeps the send case below ready,
@@ -384,8 +429,21 @@ func (c *Client) backupStreaming(ctx context.Context, cdc *chunker.ContentDefine
 // scrambling RNG on this goroutine so the plan is a deterministic function
 // of input, config, and seed), then encrypt and upload in bounded windows
 // of the plan.
-func (c *Client) backupPlanned(ctx context.Context, cdc *chunker.ContentDefined) (*mle.Recipe, error) {
+func (c *Client) backupPlanned(ctx context.Context, cdc chunker.Chunker) (*mle.Recipe, error) {
 	var chunks []chunker.Chunk
+	// Wind the chunker down on every exit. After a complete drain this is
+	// synchronous (the chunker has already stopped); on an early error the
+	// teardown runs on a goroutine, because a multi-stream chunker's Close
+	// waits out an in-flight read of r that an error return must not wait
+	// for (see Backup's doc).
+	drained := false
+	defer func() {
+		if drained {
+			closeChunker(cdc)
+		} else {
+			go closeChunker(cdc)
+		}
+	}()
 	// On any error return — including cancellation mid-drain — hand back
 	// every chunk the upload loop has not yet released (released chunks
 	// are marked by a nil Data, for which Release is a no-op): the planned
@@ -412,6 +470,7 @@ func (c *Client) backupPlanned(ctx context.Context, cdc *chunker.ContentDefined)
 		}
 		chunks = append(chunks, ch)
 	}
+	drained = true
 	if len(chunks) == 0 {
 		return &mle.Recipe{}, nil
 	}

@@ -5,9 +5,11 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"freqdedup/internal/container"
 	"freqdedup/internal/fphash"
+	"freqdedup/internal/gcommit"
 	"freqdedup/internal/trace"
 )
 
@@ -90,6 +92,13 @@ type Store struct {
 	retMu   sync.Mutex
 	backups map[string][]fphash.Fingerprint
 	refs    map[fphash.Fingerprint]int
+
+	// Seal coalescing: concurrent Sync calls share whole-store flush
+	// passes instead of each running (and fsyncing) their own. Non-sticky:
+	// a failed pass fails only the Syncs waiting on it; the next Sync runs
+	// a fresh pass.
+	syncSeq atomic.Int64
+	syncGC  *gcommit.Committer
 }
 
 // NewStore returns an empty store with the given container capacity
@@ -167,6 +176,7 @@ func NewStoreWithBackend(containerBytes int, backend container.Backend) (*Store,
 		sh.containers = cs
 		s.shards[i] = sh
 	}
+	s.syncGC = gcommit.New(s.syncAllShards, false)
 	return s, nil
 }
 
@@ -237,7 +247,19 @@ func (s *Store) Close() error {
 // usable; subsequent Puts open fresh containers. Syncing after every small
 // backup trades container packing density for per-backup durability —
 // that is the Repository front door's contract.
+//
+// Concurrent Syncs coalesce: a flush pass that starts after a Sync call
+// arrives covers it, so N simultaneous callers share far fewer passes
+// (and per-shard fsyncs) than N. Sync returns only after a covering pass
+// has completed — never on the strength of a pass already in flight when
+// it was called.
 func (s *Store) Sync() error {
+	return s.syncGC.Commit(s.syncSeq.Add(1))
+}
+
+// syncAllShards is the coalesced barrier: one pass sealing every shard's
+// open container.
+func (s *Store) syncAllShards() error {
 	for i, sh := range s.shards {
 		sh.mu.Lock()
 		_, err := sh.containers.Flush()
@@ -248,6 +270,10 @@ func (s *Store) Sync() error {
 	}
 	return nil
 }
+
+// SealSyncs returns how many coalesced flush passes have run — with
+// concurrent Syncs this is less than the call count.
+func (s *Store) SealSyncs() int64 { return s.syncGC.Syncs() }
 
 // Contains reports whether the store holds a chunk with the given
 // fingerprint. It is an index lookup only; no chunk data is read.

@@ -24,8 +24,11 @@
 //	end     (kind 3): payload = total chunk count u64
 //
 // where sid is a per-session id letting concurrently running backups
-// interleave their records in one file. The end record is fsynced before
-// a backup is acknowledged; a trace with no end record (a crashed or
+// interleave their records in one file. Sessions buffer their windows in
+// memory (spilling unsynced chunks records past a threshold), and the
+// end record is fsynced — one group-committed sync shared by concurrent
+// sessions — before a backup is acknowledged; a trace with no end record
+// (a crashed or
 // failed backup) is ignored on replay, and a record torn by a mid-append
 // crash — an incomplete tail, or a final record whose CRC fails — is
 // truncated away. Structural damage anywhere else is ErrCorrupt: a
@@ -42,9 +45,11 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"time"
 
 	"freqdedup/internal/attack"
 	"freqdedup/internal/fphash"
+	"freqdedup/internal/gcommit"
 	"freqdedup/internal/trace"
 	"freqdedup/internal/vfs"
 )
@@ -104,6 +109,56 @@ type Log struct {
 	backups  []*BackupTrace
 	closed   bool
 	scratch  []byte
+
+	// Group commit for the end-record fsync: sessions buffer their chunk
+	// windows in memory (spilling unsynced records past a threshold), so
+	// the only durability barrier is at Commit — and concurrent commits
+	// share it. syncMu orders the committer's fsync against the handle
+	// teardown in Close (lock order: l.mu before syncMu).
+	syncMu  sync.Mutex
+	gc      *gcommit.Committer
+	seq     int64        // last assigned commit sequence
+	pending []logPending // committed-but-unsynced end records
+}
+
+// logPending maps a commit sequence to the file offset of its end record,
+// so a failed sync can truncate back to the durable boundary.
+type logPending struct {
+	seq int64
+	off int64
+}
+
+// initCommitter wires the log's group committer. Trace-log fsync failures
+// are sticky: the tail past the last successful sync is in an unknown
+// durable state, so the instance refuses further appends and the caller
+// reopens (replay truncates any torn tail).
+func (l *Log) initCommitter() {
+	l.gc = gcommit.New(func() error {
+		l.syncMu.Lock()
+		defer l.syncMu.Unlock()
+		if l.f == nil {
+			return errors.New("tracelog: log is closed")
+		}
+		return l.f.Sync()
+	}, true)
+}
+
+// SetGroupCommitWindow sets the straggler window for the end-record group
+// commit: a leader delays its fsync this long so concurrent session
+// commits can join the round. Zero (the default) syncs immediately.
+func (l *Log) SetGroupCommitWindow(d time.Duration) {
+	if l.gc != nil {
+		l.gc.SetWindow(d)
+	}
+}
+
+// CommitSyncs returns how many end-record fsync rounds have run — with
+// concurrent sessions this is less than the session count.
+func (l *Log) CommitSyncs() int64 {
+	if l.gc == nil {
+		return 0
+	}
+	return l.gc.Syncs()
 }
 
 // NewMem returns a log kept only in memory — the tap used by in-memory
@@ -140,7 +195,9 @@ func CreateFS(fsys vfs.FS, path string) (*Log, error) {
 		fsys.Remove(path)
 		return nil, err
 	}
-	return &Log{fsys: fsys, f: f, path: path, size: logHeaderLen}, nil
+	l := &Log{fsys: fsys, f: f, path: path, size: logHeaderLen}
+	l.initCommitter()
+	return l, nil
 }
 
 // Open opens an existing trace log and replays its records, recovering
@@ -161,6 +218,7 @@ func OpenFS(fsys vfs.FS, path string) (*Log, error) {
 		return nil, fmt.Errorf("tracelog: open: %w", err)
 	}
 	l := &Log{fsys: fsys, f: f, path: path}
+	l.initCommitter()
 	if err := l.replay(); err != nil {
 		f.Close()
 		return nil, err
@@ -346,8 +404,10 @@ func (l *Log) Close() error {
 	if l.f == nil {
 		return nil
 	}
+	l.syncMu.Lock()
 	err := l.f.Close()
 	l.f = nil
+	l.syncMu.Unlock()
 	return err
 }
 
@@ -368,20 +428,51 @@ func (l *Log) buildRecord(kind, sid uint32, payload []byte) []byte {
 }
 
 // appendRecord appends one record (callers hold l.mu), returning the
-// record's start offset. A failed append truncates the written tail so a
-// later append never buries garbage mid-file. Durability is deferred to
-// the session's Commit, which fsyncs.
+// record's start offset. A failed write leaves the tail state unchanged —
+// the next append lands at the same offset. Durability is deferred to the
+// session's Commit, which runs the group-commit fsync.
 func (l *Log) appendRecord(kind, sid uint32, payload []byte) (int64, error) {
+	if err := l.gc.Err(); err != nil {
+		return 0, fmt.Errorf("tracelog: log poisoned by earlier sync failure: %w", err)
+	}
 	buf := l.buildRecord(kind, sid, payload)
 	at := l.size
 	if _, err := l.f.WriteAt(buf, at); err != nil {
-		if l.f.Truncate(l.size) == nil {
-			_ = l.f.Sync()
-		}
 		return 0, fmt.Errorf("tracelog: append record: %w", err)
 	}
 	l.size += int64(len(buf))
 	return at, nil
+}
+
+// prunePendingLocked drops pending entries covered by durable sequence d.
+func (l *Log) prunePendingLocked(d int64) {
+	i := 0
+	for i < len(l.pending) && l.pending[i].seq <= d {
+		i++
+	}
+	if i > 0 {
+		l.pending = append(l.pending[:0], l.pending[i:]...)
+	}
+}
+
+// truncateToDurableLocked discards end records past the durable boundary
+// after a failed sync. Unsynced chunk records of other in-flight sessions
+// may survive past the boundary as dead space; the log is poisoned, so
+// nothing further appends behind them, and replay's torn-tail handling
+// cleans up after the reopen.
+func (l *Log) truncateToDurableLocked(d int64) {
+	l.prunePendingLocked(d)
+	boundary := l.size
+	if len(l.pending) > 0 {
+		boundary = l.pending[0].off
+	}
+	l.pending = l.pending[:0]
+	if boundary < l.size {
+		l.size = boundary
+	}
+	if l.f != nil && l.f.Truncate(l.size) == nil {
+		_ = l.f.Sync()
+	}
 }
 
 // Begin starts recording one backup's upload trace. The returned Session
@@ -410,9 +501,21 @@ func (l *Log) Begin(label string) (*Session, error) {
 	return s, nil
 }
 
+// sessionSpillBytes is the encoded size past which a session's buffered
+// windows spill to an (unsynced) chunks record. Below it, a backup's
+// whole trace stays in memory until Commit — ObserveUpload does no I/O at
+// all, keeping the observation tap off the backup's critical path.
+const sessionSpillBytes = 4 << 20
+
 // Session records one backup's observed upload stream. It implements
 // dedup.UploadObserver. A session is used by one backup pipeline at a
 // time; the log it writes to may carry concurrent sessions.
+//
+// A file-backed session buffers its windows in memory and writes them
+// out — still without an fsync — only when the buffer passes the spill
+// threshold. Durability happens once, at Commit: the buffered tail and
+// the end record are appended, and the end-record fsync is shared with
+// concurrently committing sessions via group commit.
 type Session struct {
 	log     *Log
 	label   string
@@ -421,7 +524,7 @@ type Session struct {
 	extents []extent
 	mem     []trace.ChunkRef // memory-log accumulation
 	done    bool
-	scratch []byte
+	buf     []byte // encoded refs not yet spilled to the file
 }
 
 // ObserveUpload appends one window of observed uploads: ciphertext
@@ -435,38 +538,58 @@ func (s *Session) ObserveUpload(refs []trace.ChunkRef) error {
 		return errors.New("tracelog: session already committed or aborted")
 	}
 	l := s.log
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	if l.closed {
-		return errors.New("tracelog: log is closed")
-	}
-	if l.f == nil {
+	if l.fsys == nil {
+		l.mu.Lock()
+		defer l.mu.Unlock()
+		if l.closed {
+			return errors.New("tracelog: log is closed")
+		}
 		s.mem = append(s.mem, refs...)
 		s.count += int64(len(refs))
 		return nil
 	}
-	n := len(refs) * refLen
-	if cap(s.scratch) < n {
-		s.scratch = make([]byte, n)
+	// File-backed: encode into the session-local buffer, no log lock and
+	// no I/O unless the spill threshold is crossed.
+	off := len(s.buf)
+	s.buf = append(s.buf, make([]byte, len(refs)*refLen)...)
+	for _, ref := range refs {
+		copy(s.buf[off:], ref.FP[:])
+		binary.LittleEndian.PutUint32(s.buf[off+fphash.Size:], ref.Size)
+		off += refLen
 	}
-	payload := s.scratch[:n]
-	for i, ref := range refs {
-		off := i * refLen
-		copy(payload[off:], ref.FP[:])
-		binary.LittleEndian.PutUint32(payload[off+fphash.Size:], ref.Size)
+	s.count += int64(len(refs))
+	if len(s.buf) < sessionSpillBytes {
+		return nil
 	}
-	at, err := l.appendRecord(kindChunks, s.sid, payload)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return s.spillLocked()
+}
+
+// spillLocked writes the session's buffered windows as one chunks record,
+// without syncing. Called with l.mu held.
+func (s *Session) spillLocked() error {
+	if len(s.buf) == 0 {
+		return nil
+	}
+	l := s.log
+	if l.closed {
+		return errors.New("tracelog: log is closed")
+	}
+	at, err := l.appendRecord(kindChunks, s.sid, s.buf)
 	if err != nil {
 		return err
 	}
-	s.extents = append(s.extents, extent{off: at + recHeaderLen, n: len(refs)})
-	s.count += int64(len(refs))
+	s.extents = append(s.extents, extent{off: at + recHeaderLen, n: len(s.buf) / refLen})
+	s.buf = s.buf[:0]
 	return nil
 }
 
-// Commit seals the session's trace: the end record is appended and the
-// log fsynced before Commit returns, so an acknowledged backup's trace
-// survives a crash. The trace becomes visible to Backups.
+// Commit seals the session's trace: buffered windows and the end record
+// are appended, and a sync covering them has returned before Commit does,
+// so an acknowledged backup's trace survives a crash. The sync is shared
+// with concurrently committing sessions (group commit). The trace becomes
+// visible to Backups.
 func (s *Session) Commit() error {
 	if s.done {
 		return errors.New("tracelog: session already committed or aborted")
@@ -474,36 +597,59 @@ func (s *Session) Commit() error {
 	s.done = true
 	l := s.log
 	l.mu.Lock()
-	defer l.mu.Unlock()
 	if l.closed {
+		l.mu.Unlock()
 		return errors.New("tracelog: log is closed")
 	}
-	if l.f != nil {
-		var payload [8]byte
-		binary.LittleEndian.PutUint64(payload[:], uint64(s.count))
-		if _, err := l.appendRecord(kindEnd, s.sid, payload[:]); err != nil {
-			return err
-		}
-		if err := l.f.Sync(); err != nil {
-			return fmt.Errorf("tracelog: sync: %w", err)
-		}
+	if l.f == nil {
+		l.backups = append(l.backups, &BackupTrace{
+			Label: s.label, Chunks: s.count, log: l, mem: s.mem,
+		})
+		l.mu.Unlock()
+		return nil
 	}
+	if err := s.spillLocked(); err != nil {
+		l.mu.Unlock()
+		return err
+	}
+	var payload [8]byte
+	binary.LittleEndian.PutUint64(payload[:], uint64(s.count))
+	at, err := l.appendRecord(kindEnd, s.sid, payload[:])
+	if err != nil {
+		l.mu.Unlock()
+		return err
+	}
+	l.seq++
+	seq := l.seq
+	l.pending = append(l.pending, logPending{seq: seq, off: at})
+	l.mu.Unlock()
+
+	err = l.gc.Commit(seq)
+	d := l.gc.Durable()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err != nil {
+		l.truncateToDurableLocked(d)
+		return fmt.Errorf("tracelog: sync: %w", err)
+	}
+	l.prunePendingLocked(d)
 	l.backups = append(l.backups, &BackupTrace{
 		Label:   s.label,
 		Chunks:  s.count,
 		log:     l,
 		extents: s.extents,
-		mem:     s.mem,
 	})
 	return nil
 }
 
-// Abort drops the session. Records already appended stay in the file as
-// dead space but are never replayed: without an end record the trace is
-// not committed — exactly the state a crash mid-backup leaves behind.
+// Abort drops the session. Buffered windows are discarded; records
+// already spilled stay in the file as dead space but are never replayed:
+// without an end record the trace is not committed — exactly the state a
+// crash mid-backup leaves behind.
 func (s *Session) Abort() {
 	s.done = true
 	s.mem = nil
+	s.buf = nil
 }
 
 // BackupTrace is one committed backup's observed upload stream. It

@@ -117,6 +117,7 @@ type repoOptions struct {
 	observer       UploadObserver
 	fsys           vfs.FS
 	salvage        bool
+	gcWindow       time.Duration
 }
 
 // RepositoryOption configures CreateRepository and OpenRepository.
@@ -146,9 +147,35 @@ func WithBackend(b StoreBackend) RepositoryOption {
 }
 
 // WithChunking sets the content-defined chunking parameters
-// (DefaultChunkingParams if unset).
+// (DefaultChunkingParams if unset). The Algorithm field selects the
+// boundary function: AlgoRabin (the default) or the faster AlgoGear. The
+// two are distinct formats — their cut points differ, so a repository's
+// dedup ratio is only preserved against backups chunked with the same
+// algorithm.
 func WithChunking(p ChunkingParams) RepositoryOption {
 	return func(o *repoOptions) { o.cfg.Chunking = p }
+}
+
+// WithChunkWorkers enables multi-stream chunking: Backup splits the input
+// stream across n chunking workers with deterministic cut-point
+// stitching, so the chunk sequence — and therefore recipes, dedup ratios,
+// and store contents — is bit-identical to serial chunking at any worker
+// count. Requires AlgoGear chunking with Min >= 64; 0 and 1 chunk
+// serially.
+func WithChunkWorkers(n int) RepositoryOption {
+	return func(o *repoOptions) { o.cfg.ChunkWorkers = n }
+}
+
+// WithGroupCommit sets the group-commit straggler window for the snapshot
+// catalog and the trace log: a commit leading an fsync waits up to window
+// for concurrent Backups to join the same fsync round. Zero (the default)
+// syncs immediately — concurrent commits still share fsyncs through
+// absorption (a commit arriving while a sync is in flight rides the next
+// round), which is always on; the window only adds bounded latency in
+// exchange for larger batches under light concurrency. A lone Backup is
+// delayed by at most the window per commit layer, never indefinitely.
+func WithGroupCommit(window time.Duration) RepositoryOption {
+	return func(o *repoOptions) { o.gcWindow = window }
 }
 
 // WithEncryption selects the chunk-encryption scheme (EncConvergent if
@@ -276,6 +303,12 @@ func WithRepositoryKey(k Key) RepositoryOption {
 func buildRepo(store *dedup.Store, catalog *dedup.Catalog, tapLog *tracelog.Log, o *repoOptions) (*Repository, error) {
 	if _, err := dedup.NewClient(store, o.cfg); err != nil {
 		return nil, err
+	}
+	if o.gcWindow > 0 {
+		catalog.SetGroupCommitWindow(o.gcWindow)
+		if tapLog != nil {
+			tapLog.SetGroupCommitWindow(o.gcWindow)
+		}
 	}
 	return &Repository{
 		store:   store,

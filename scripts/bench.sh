@@ -7,8 +7,13 @@
 # BenchmarkWorkloadGenerate) with -benchmem and writes the results as a dated
 # JSON baseline (BENCH_<date>.json) for regression tracking across PRs.
 #
-#   scripts/bench.sh              # 1s per benchmark (default)
-#   BENCHTIME=5x scripts/bench.sh # fixed iteration count
+#   scripts/bench.sh              # 10 pinned iterations per benchmark
+#   BENCHTIME=1s scripts/bench.sh # time-based iteration count
+#
+# The default is pinned (10x) rather than time-based so baselines live in
+# the same measurement regime as cmd/benchgate's fresh runs — a 1s
+# auto-tuned baseline is systematically warmer (hundreds of iterations)
+# than a pinned run and would read as a phantom regression.
 #   scripts/bench.sh --smoke      # one iteration each, no JSON (the
 #                                 # `make check` / check.sh rot gate)
 #
@@ -34,7 +39,7 @@ if [ "${1:-}" = "--smoke" ]; then
 	exit 0
 fi
 
-BENCHTIME="${BENCHTIME:-1s}"
+BENCHTIME="${BENCHTIME:-10x}"
 date="$(date -u +%Y%m%d)"
 out="BENCH_${date}.json"
 tmp="$(mktemp)"
@@ -51,9 +56,17 @@ if ! go test -run=NONE -bench "$PATTERN" -benchmem -benchtime "$BENCHTIME" \
 fi
 cat "$tmp"
 
-awk -v goversion="$(go version)" -v maxprocs="${GOMAXPROCS:-$(nproc 2>/dev/null || echo 0)}" -v date="$date" '
+# CPU model and frequency governor go into the header so cmd/benchgate can
+# refuse to treat cross-hardware timing deltas as regressions; "unknown"
+# when the platform does not expose them (containers often hide sysfs).
+cpu="$(awk -F: '/^model name/ { sub(/^[ \t]+/, "", $2); print $2; exit }' /proc/cpuinfo 2>/dev/null || true)"
+[ -n "$cpu" ] || cpu="unknown"
+governor="$(cat /sys/devices/system/cpu/cpu0/cpufreq/scaling_governor 2>/dev/null || true)"
+[ -n "$governor" ] || governor="unknown"
+
+awk -v goversion="$(go version)" -v maxprocs="${GOMAXPROCS:-$(nproc 2>/dev/null || echo 0)}" -v date="$date" -v cpu="$cpu" -v governor="$governor" '
 BEGIN {
-	printf "{\n  \"date\": \"%s\",\n  \"go\": \"%s\",\n  \"gomaxprocs\": %s,\n  \"benchmarks\": [\n", date, goversion, maxprocs
+	printf "{\n  \"date\": \"%s\",\n  \"go\": \"%s\",\n  \"cpu\": \"%s\",\n  \"governor\": \"%s\",\n  \"gomaxprocs\": %s,\n  \"benchmarks\": [\n", date, goversion, cpu, governor, maxprocs
 	first = 1
 }
 /^Benchmark/ {

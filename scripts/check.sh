@@ -7,6 +7,8 @@
 # names its stage in the last line. GOFLAGS is honored untouched: export
 # e.g. GOFLAGS=-count=1 to defeat test caching. Set CHECK_SKIP_BENCH=1 to
 # skip the bench smoke stage (CI runs it as a separate non-blocking job),
+# CHECK_SKIP_BENCHGATE=1 to skip the stable-tier performance-regression
+# gate (cmd/benchgate; CI runs it as its own blocking job),
 # CHECK_SKIP_SCENARIOS=1 to skip the workload scenario-matrix smoke,
 # CHECK_SKIP_FAULTS=1 to skip the exhaustive crash-point sweep (the
 # bounded sweep still runs inside go test -race),
@@ -65,6 +67,11 @@ fi
 if [ "${CHECK_SKIP_BENCH:-0}" != "1" ]; then
 	echo "== bench smoke (-benchtime=1x)"
 	scripts/bench.sh --smoke || fail "bench smoke"
+fi
+
+if [ "${CHECK_SKIP_BENCHGATE:-0}" != "1" ]; then
+	echo "== bench gate (stable tier vs committed BENCH_*.json baselines)"
+	go run ./cmd/benchgate || fail "bench gate (stable-tier throughput regression)"
 fi
 
 if [ "${CHECK_SKIP_SCENARIOS:-0}" != "1" ]; then
