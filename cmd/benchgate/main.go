@@ -5,7 +5,8 @@
 //
 // The stable tier is the allowlist of benchmarks measured stable enough
 // to block a PR: the chunker ingest stage, the backup pipeline, the
-// restore pipeline, and the sharded store. Everything else in the
+// multi-tenant server path (BenchmarkServerBackup's loopback client
+// sweep), the restore pipeline, and the sharded store. Everything else in the
 // baselines is reported as an informational delta but never gates —
 // attack-engine and generator timings are too sensitive to shared-runner
 // noise to block on.
@@ -60,13 +61,14 @@ import (
 var stableTier = []*regexp.Regexp{
 	regexp.MustCompile(`^BenchmarkChunker`),
 	regexp.MustCompile(`^BenchmarkBackup(Serial|Parallel)$`),
+	regexp.MustCompile(`^BenchmarkServerBackup`),
 	regexp.MustCompile(`^BenchmarkRestore(Serial|Parallel)`),
 	regexp.MustCompile(`^BenchmarkStoreShards`),
 }
 
 // benchPattern is the -bench regexp handed to go test for the fresh run:
 // the stable tier only, so the gate stays fast enough to block on.
-const benchPattern = `BenchmarkChunker|BenchmarkBackupSerial|BenchmarkBackupParallel|BenchmarkRestoreSerial|BenchmarkRestoreParallel|BenchmarkStoreShards`
+const benchPattern = `BenchmarkChunker|BenchmarkBackupSerial|BenchmarkBackupParallel|BenchmarkServerBackup|BenchmarkRestoreSerial|BenchmarkRestoreParallel|BenchmarkStoreShards`
 
 func inStableTier(name string) bool {
 	for _, re := range stableTier {

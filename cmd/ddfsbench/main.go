@@ -36,6 +36,9 @@
 //	ddfsbench -faults -rounds 8
 //	                     # crash-consistency soak: exhaustive crash-point
 //	                     # sweeps across 8 scenario seeds
+//	ddfsbench -server -clients 4 -mb 16
+//	                     # multi-tenant server load: N loopback network
+//	                     # clients against one in-process defendd
 package main
 
 import (
@@ -46,6 +49,7 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"net"
 	"os"
 	"os/signal"
 	"runtime"
@@ -78,6 +82,8 @@ func main() {
 		"benchmark the streaming attack engine's sharded parallel counting")
 	faultsMode := flag.Bool("faults", false,
 		"soak the crash-point explorer: exhaustive crash sweeps across -rounds scenario seeds")
+	serverMode := flag.Bool("server", false,
+		"benchmark the multi-tenant server: -clients loopback network clients against one shared repository")
 	rounds := flag.Int("rounds", 4, "scenario seeds to sweep in -faults mode")
 	dir := flag.String("dir", "",
 		"store directory for -restore (empty = temporary directory, removed afterwards)")
@@ -111,6 +117,12 @@ func main() {
 	}
 	if *faultsMode {
 		if err := runFaults(*rounds); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *serverMode {
+		if err := runServer(*streamMB, *workers, *clients, *dir); err != nil {
 			fatal(err)
 		}
 		return
@@ -417,6 +429,117 @@ func runFaults(rounds int) error {
 		points, elapsed.Round(time.Millisecond), float64(points)/elapsed.Seconds(), failures)
 	if failures > 0 {
 		return fmt.Errorf("%d crash point(s) violated recovery invariants", failures)
+	}
+	return nil
+}
+
+// runServer drives the multi-tenant network path end to end: one
+// in-process repository server on a loopback listener, -clients network
+// clients each dialing as its own tenant and backing up -mb MiB. Half of
+// every stream is shared across tenants and half is private, so the
+// negotiation round has real cross-tenant dedup to find; the report
+// separates wire throughput from the store's dedup ratio.
+func runServer(streamMB, workers, clients int, dir string) error {
+	if streamMB <= 0 || clients <= 0 {
+		return fmt.Errorf("stream size and client count must be positive")
+	}
+	if dir == "" {
+		tmp, err := os.MkdirTemp("", "ddfsbench-server-*")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(tmp)
+		dir = tmp
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	// Half shared across every tenant, half private per tenant: the
+	// shared half uploads once and then dedups over the wire (misses
+	// only), so the dedup ratio approaches 2 as -clients grows.
+	shared := make([]byte, (streamMB<<20)/2)
+	rng := rand.New(rand.NewSource(9000))
+	for i := range shared {
+		shared[i] = byte(rng.Intn(256))
+	}
+	streams := make([][]byte, clients)
+	for i := range streams {
+		streams[i] = make([]byte, 0, streamMB<<20)
+		streams[i] = append(streams[i], shared...)
+		private := make([]byte, (streamMB<<20)-len(shared))
+		prng := rand.New(rand.NewSource(int64(9001 + i)))
+		for j := range private {
+			private[j] = byte(prng.Intn(256))
+		}
+		streams[i] = append(streams[i], private...)
+	}
+
+	repo, err := freqdedup.CreateRepository(dir)
+	if err != nil {
+		return err
+	}
+	defer repo.Close()
+	srv, err := freqdedup.NewRepositoryServer(repo, freqdedup.ServerConfig{})
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(ln) }()
+	addr := ln.Addr().String()
+	fmt.Printf("server: %d tenant(s) x %d MiB over loopback %s, %d worker(s)/client, GOMAXPROCS=%d\n",
+		clients, streamMB, addr, workers, runtime.GOMAXPROCS(0))
+
+	errs := make(chan error, clients)
+	start := time.Now()
+	for i := 0; i < clients; i++ {
+		go func(i int) {
+			c, err := freqdedup.DialServer(addr, freqdedup.RemoteClientConfig{
+				Tenant:  fmt.Sprintf("t%d", i),
+				Workers: workers,
+			})
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			_, err = c.Backup(ctx, "bench", bytes.NewReader(streams[i]))
+			errs <- err
+		}(i)
+	}
+	for i := 0; i < clients; i++ {
+		if err := <-errs; err != nil {
+			return err
+		}
+	}
+	elapsed := time.Since(start)
+
+	st := repo.Stats()
+	logicalMB := float64(st.LogicalBytes) / (1 << 20)
+	storedMB := float64(st.PhysicalBytes) / (1 << 20)
+	dedupRatio := st.Ratio()
+	fmt.Printf("backed up %.0f MiB in %v: %.1f MB/s aggregate over the wire\n",
+		logicalMB, elapsed.Round(time.Millisecond), logicalMB/elapsed.Seconds())
+	fmt.Printf("store: %d logical chunks, %d unique, %.0f MiB stored, dedup ratio %.2fx\n",
+		st.LogicalChunks, st.UniqueChunks, storedMB, dedupRatio)
+
+	usage, err := repo.TenantStats()
+	if err != nil {
+		return err
+	}
+	for _, u := range usage {
+		fmt.Printf("tenant %-4s: %3d MiB logical, %3d MiB stored (%d exclusive / %d shared chunks)\n",
+			u.Tenant, u.LogicalBytes>>20, u.StoredBytes>>20, u.ExclusiveChunks, u.SharedChunks)
+	}
+	if err := srv.Close(); err != nil {
+		return err
+	}
+	if err := <-serveDone; err != nil {
+		return err
 	}
 	return nil
 }

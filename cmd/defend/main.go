@@ -20,6 +20,10 @@
 //	defend attack -repo /path/to/repository    # the full adversary loop:
 //	                        # replay taps, run every attack against every
 //	                        # scheme, report inference rates
+//	defend attack -repo /path/to/repository -view negotiation
+//	                        # same loop on the multi-tenant server's
+//	                        # negotiation transcript: what the wire leaks
+//	                        # before a single chunk is uploaded
 //	defend fsck -repo /path/to/repository      # salvage-open, repair, and
 //	                        # report exactly which snapshots lost what
 package main
@@ -100,22 +104,47 @@ func loadDataset(arg string) (*trace.Dataset, error) {
 // read-only: the repository may still be live, and an inspection tool
 // must neither block it nor truncate an append it has in flight.
 func repoTapDataset(dir string) (*trace.Dataset, error) {
-	log, err := tracelog.OpenReadOnly(filepath.Join(dir, tracelog.LogName))
+	return repoDataset(dir, "tap")
+}
+
+// repoDataset replays one of a repository's two adversary views. "tap"
+// is the in-process upload observer (traces.fdt). "negotiation" is the
+// wire view a multi-tenant server leaks before any upload: the chunk
+// references every session offered during its negotiation rounds
+// (negotiation.fdt), with the server-to-client miss streams (the
+// "?misses" labels) dropped — the query streams alone carry the
+// frequency and locality structure the attacks consume.
+func repoDataset(dir, view string) (*trace.Dataset, error) {
+	var logPath string
+	switch view {
+	case "tap":
+		logPath = filepath.Join(dir, tracelog.LogName)
+	case "negotiation":
+		logPath = filepath.Join(dir, freqdedup.NegotiationLogName)
+	default:
+		return nil, fmt.Errorf("unknown adversary view %q (want tap or negotiation)", view)
+	}
+	log, err := tracelog.OpenReadOnly(logPath)
 	if err != nil {
 		return nil, err
 	}
 	defer log.Close()
-	taps := log.Backups()
-	if len(taps) == 0 {
-		return nil, fmt.Errorf("repository %s has no committed backup traces (was it created with the upload observer enabled?)", dir)
-	}
-	d := &trace.Dataset{Name: "repo"}
-	for _, tap := range taps {
+	d := &trace.Dataset{Name: "repo:" + view}
+	for _, tap := range log.Backups() {
+		if view == "negotiation" && strings.HasSuffix(tap.Label, freqdedup.NegotiationMissSuffix) {
+			continue
+		}
 		b, err := tap.Materialize()
 		if err != nil {
 			return nil, err
 		}
 		d.Backups = append(d.Backups, b)
+	}
+	if len(d.Backups) == 0 {
+		if view == "negotiation" {
+			return nil, fmt.Errorf("repository %s has no committed negotiation transcripts (was it ever served over the wire?)", dir)
+		}
+		return nil, fmt.Errorf("repository %s has no committed backup traces (was it created with the upload observer enabled?)", dir)
 	}
 	return d, nil
 }
@@ -124,10 +153,13 @@ func repoTapDataset(dir string) (*trace.Dataset, error) {
 // open the trace log (no key — the adversary has none), replay the
 // recorded upload histories, simulate every defense scheme on the latest
 // backup's stream, and run every attack in both modes against each,
-// reporting inference rates.
+// reporting inference rates. -view selects which adversary the loop
+// plays: the in-process upload tap, or the wire-level negotiation
+// transcript a multi-tenant server leaks before any chunk is uploaded.
 func runAttackCmd(args []string) {
 	fs := flag.NewFlagSet("defend attack", flag.ExitOnError)
 	repoPath := fs.String("repo", "", "repository directory whose trace logs to attack (required)")
+	view := fs.String("view", "tap", "adversary view: tap (upload observer) or negotiation (server wire transcript)")
 	auxIdx := fs.Int("aux", 0, "auxiliary backup trace index")
 	targetIdx := fs.Int("target", -1, "target backup trace index (-1 = latest)")
 	leakage := fs.Float64("leakage", 0.002, "leakage rate for the known-plaintext rows")
@@ -141,7 +173,7 @@ func runAttackCmd(args []string) {
 		fs.Usage()
 		os.Exit(2)
 	}
-	d, err := repoTapDataset(*repoPath)
+	d, err := repoDataset(*repoPath, *view)
 	if err != nil {
 		fatal(err)
 	}
@@ -157,7 +189,7 @@ func runAttackCmd(args []string) {
 	aux, target := d.Backups[*auxIdx], d.Backups[*targetIdx]
 	params := attack.Params{Shards: *shards, Workers: *workers}
 
-	fmt.Printf("repository %s: %d backup traces replayed\n", *repoPath, len(d.Backups))
+	fmt.Printf("repository %s: %d backup traces replayed (%s view)\n", *repoPath, len(d.Backups), *view)
 	fmt.Printf("aux: %s (%d chunks), target: %s (%d chunks, %d unique)\n\n",
 		aux.Label, len(aux.Chunks), target.Label, len(target.Chunks), target.UniqueCount())
 

@@ -1,0 +1,130 @@
+// Command defendd serves one repository to many network tenants: the
+// multi-tenant backup daemon. It listens on the FDW1 wire protocol
+// (chunk-negotiation dedup, bounded in-flight windows, per-client rate
+// shaping) and namespaces every tenant's snapshots as tenant/name over
+// the shared chunk store. SIGINT/SIGTERM drains gracefully: in-flight
+// sessions finish, new connections are refused, and the repository is
+// closed cleanly.
+//
+//	defendd -repo /srv/backups -create              # open-access daemon
+//	defendd -repo /srv/backups -addr :7466 \
+//	        -tenants alice=s3cret,bob=hunter2       # token auth per tenant
+//	defendd -repo /srv/backups -rate 64 -window 2048 -inflight 8
+//
+// Every negotiation round is transcribed to negotiation.fdt beside the
+// repository's traces.fdt; `defend attack -repo ... -view negotiation`
+// replays that transcript as the wire adversary.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"freqdedup"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7466", "listen address")
+	repoDir := flag.String("repo", "", "repository directory to serve (required)")
+	create := flag.Bool("create", false, "create the repository if the directory is empty")
+	keyStr := flag.String("key", "", "repository key (raw bytes, zero-padded; empty = zero key)")
+	tenants := flag.String("tenants", "",
+		"comma-separated tenant=token pairs; empty = open access, any tenant name accepted")
+	rateMB := flag.Float64("rate", 0, "per-client upload rate limit in MiB/s (0 = unlimited)")
+	window := flag.Int("window", 0, "max chunk references per negotiation window (0 = default)")
+	inflight := flag.Int("inflight", 0, "max unacknowledged windows per session (0 = default)")
+	drainSecs := flag.Int("drain", 30, "seconds to wait for in-flight sessions on shutdown")
+	flag.Parse()
+
+	if *repoDir == "" {
+		fmt.Fprintln(os.Stderr, "defendd: -repo is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	auth, err := parseTenants(*tenants)
+	if err != nil {
+		fatal(err)
+	}
+
+	var key freqdedup.Key
+	copy(key[:], *keyStr)
+	open := freqdedup.OpenRepository
+	if *create {
+		open = freqdedup.CreateRepository
+	}
+	repo, err := open(*repoDir, freqdedup.WithRepositoryKey(key))
+	if err != nil {
+		fatal(err)
+	}
+	defer repo.Close()
+
+	srv, err := freqdedup.NewRepositoryServer(repo, freqdedup.ServerConfig{
+		Auth:            auth,
+		WindowChunks:    *window,
+		MaxInflight:     *inflight,
+		RateBytesPerSec: *rateMB * (1 << 20),
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "defendd: "+format+"\n", args...)
+		},
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		fmt.Fprintf(os.Stderr, "defendd: draining (up to %ds for in-flight sessions)\n", *drainSecs)
+		ctx, cancel := context.WithTimeout(context.Background(), time.Duration(*drainSecs)*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "defendd: drain: %v; closing hard\n", err)
+			srv.Close()
+		}
+	}()
+
+	mode := "open access"
+	if auth != nil {
+		mode = fmt.Sprintf("%d tenant token(s)", len(auth))
+	}
+	fmt.Printf("defendd: serving %s on %s (%s)\n", *repoDir, *addr, mode)
+	if err := srv.ListenAndServe(*addr); err != nil {
+		fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Println("defendd: stopped")
+}
+
+// parseTenants parses "alice=s3cret,bob=hunter2" into an auth map; an
+// empty string means open access (nil map).
+func parseTenants(s string) (map[string]string, error) {
+	if s == "" {
+		return nil, nil
+	}
+	auth := make(map[string]string)
+	for _, pair := range strings.Split(s, ",") {
+		tenant, token, ok := strings.Cut(pair, "=")
+		if !ok || tenant == "" || token == "" {
+			return nil, fmt.Errorf("bad -tenants entry %q (want tenant=token)", pair)
+		}
+		if _, dup := auth[tenant]; dup {
+			return nil, fmt.Errorf("duplicate tenant %q in -tenants", tenant)
+		}
+		auth[tenant] = token
+	}
+	return auth, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "defendd:", err)
+	os.Exit(1)
+}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"freqdedup/internal/container"
 	"freqdedup/internal/fphash"
@@ -275,6 +276,13 @@ func (s *Store) syncAllShards() error {
 // concurrent Syncs this is less than the call count.
 func (s *Store) SealSyncs() int64 { return s.syncGC.Syncs() }
 
+// SetSealCommitWindow sets the group-commit straggler window for seal
+// flush passes: a Sync leading a pass waits up to window for concurrent
+// Syncs to join the same pass, on top of the always-on absorption
+// coalescing. Zero (the default) flushes immediately. Set it before the
+// store sees concurrent Syncs.
+func (s *Store) SetSealCommitWindow(window time.Duration) { s.syncGC.SetWindow(window) }
+
 // Contains reports whether the store holds a chunk with the given
 // fingerprint. It is an index lookup only; no chunk data is read.
 func (s *Store) Contains(fp fphash.Fingerprint) bool {
@@ -283,6 +291,37 @@ func (s *Store) Contains(fp fphash.Fingerprint) bool {
 	_, ok := sh.index[fp]
 	sh.mu.Unlock()
 	return ok
+}
+
+// ContainsBatch is the chunk-negotiation lookup: miss[i] reports whether
+// the store is MISSING fps[i] (the caller should upload it). One shard
+// lock acquisition per run of same-shard fingerprints instead of one per
+// fingerprint, which matters at wire-protocol window sizes. The result
+// reuses miss when its capacity suffices. Like Contains it is a snapshot:
+// a concurrent Put may make a reported miss stale, which the Put path
+// resolves as an ordinary duplicate.
+func (s *Store) ContainsBatch(fps []fphash.Fingerprint, miss []bool) []bool {
+	if cap(miss) < len(fps) {
+		miss = make([]bool, len(fps))
+	}
+	miss = miss[:len(fps)]
+	var held *shard
+	for i, fp := range fps {
+		sh := s.shardFor(fp)
+		if sh != held {
+			if held != nil {
+				held.mu.Unlock()
+			}
+			sh.mu.Lock()
+			held = sh
+		}
+		_, ok := sh.index[fp]
+		miss[i] = !ok
+	}
+	if held != nil {
+		held.mu.Unlock()
+	}
+	return miss
 }
 
 // Verify reads every container — open and sealed — and checks each stored

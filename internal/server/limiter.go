@@ -1,0 +1,65 @@
+package server
+
+import (
+	"sync"
+	"time"
+)
+
+// byteLimiter is a byte-granular token bucket used for per-connection
+// rate shaping: waitN sleeps until n bytes of budget exist instead of
+// rejecting, so a limited client is slowed, not failed. It differs from
+// keymgr.TokenBucket, which gates whole requests and answers yes/no — a
+// backup stream needs smooth pacing, not admission control.
+//
+// A request larger than the burst is allowed to take the bucket negative
+// and pay the debt in sleep; the bucket never deadlocks on big windows.
+type byteLimiter struct {
+	mu     sync.Mutex
+	rate   float64 // bytes per second
+	burst  float64 // bucket capacity in bytes
+	tokens float64
+	last   time.Time
+
+	// now and sleep are injectable for tests.
+	now   func() time.Time
+	sleep func(time.Duration)
+}
+
+// newByteLimiter returns a limiter shaping to rate bytes/second with the
+// given burst capacity (rate/8, min 64 KiB, if zero). A nil limiter (rate
+// <= 0) is valid and unlimited.
+func newByteLimiter(rate float64, burst int) *byteLimiter {
+	if rate <= 0 {
+		return nil
+	}
+	b := float64(burst)
+	if b <= 0 {
+		b = rate / 8
+		if b < 64<<10 {
+			b = 64 << 10
+		}
+	}
+	l := &byteLimiter{rate: rate, burst: b, tokens: b, now: time.Now, sleep: time.Sleep}
+	l.last = l.now()
+	return l
+}
+
+// waitN blocks until n bytes of budget are available, then spends them.
+func (l *byteLimiter) waitN(n int) {
+	if l == nil || n <= 0 {
+		return
+	}
+	l.mu.Lock()
+	now := l.now()
+	l.tokens += now.Sub(l.last).Seconds() * l.rate
+	l.last = now
+	if l.tokens > l.burst {
+		l.tokens = l.burst
+	}
+	l.tokens -= float64(n)
+	debt := -l.tokens
+	l.mu.Unlock()
+	if debt > 0 {
+		l.sleep(time.Duration(debt / l.rate * float64(time.Second)))
+	}
+}

@@ -1,0 +1,88 @@
+package server
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock backs a byteLimiter with virtual time: sleeps advance the
+// clock instead of blocking, so shaping math is tested exactly.
+type fakeClock struct {
+	t     time.Time
+	slept time.Duration
+}
+
+func (c *fakeClock) now() time.Time { return c.t }
+func (c *fakeClock) sleep(d time.Duration) {
+	c.slept += d
+	c.t = c.t.Add(d)
+}
+
+func newTestLimiter(rate float64, burst int) (*byteLimiter, *fakeClock) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	l := &byteLimiter{rate: rate, burst: float64(burst), tokens: float64(burst), now: clk.now, sleep: clk.sleep}
+	l.last = clk.t
+	return l, clk
+}
+
+func TestLimiterBurstThenShapes(t *testing.T) {
+	l, clk := newTestLimiter(1000, 500) // 1000 B/s, 500 B burst
+	l.waitN(500)                        // within burst: no sleep
+	if clk.slept != 0 {
+		t.Fatalf("burst-sized request slept %v", clk.slept)
+	}
+	l.waitN(1000) // bucket empty: owes a full second
+	if clk.slept != time.Second {
+		t.Fatalf("slept %v, want 1s", clk.slept)
+	}
+}
+
+func TestLimiterRefillsWithTime(t *testing.T) {
+	l, clk := newTestLimiter(1000, 500)
+	l.waitN(500)
+	clk.t = clk.t.Add(250 * time.Millisecond) // refills 250 tokens
+	l.waitN(250)
+	if clk.slept != 0 {
+		t.Fatalf("refilled request slept %v", clk.slept)
+	}
+	if l.tokens != 0 {
+		t.Fatalf("tokens = %v, want 0", l.tokens)
+	}
+}
+
+func TestLimiterCapsAtBurst(t *testing.T) {
+	l, clk := newTestLimiter(1000, 500)
+	clk.t = clk.t.Add(time.Hour) // refill far beyond capacity
+	l.waitN(500)
+	if clk.slept != 0 {
+		t.Fatalf("slept %v after long idle", clk.slept)
+	}
+	l.waitN(100) // capacity capped at burst: this must owe sleep
+	if clk.slept != 100*time.Millisecond {
+		t.Fatalf("slept %v, want 100ms", clk.slept)
+	}
+}
+
+func TestLimiterOversizedRequestGoesNegative(t *testing.T) {
+	l, clk := newTestLimiter(1000, 100)
+	l.waitN(1100) // 11x the burst: debt paid in sleep, no deadlock
+	if clk.slept != time.Second {
+		t.Fatalf("slept %v, want 1s", clk.slept)
+	}
+}
+
+func TestLimiterNilAndZero(t *testing.T) {
+	var l *byteLimiter
+	l.waitN(1 << 20) // nil limiter is unlimited
+	if got := newByteLimiter(0, 0); got != nil {
+		t.Fatalf("rate 0 gave a limiter")
+	}
+	l2 := newByteLimiter(1<<20, 0)
+	if l2.burst != 128<<10 {
+		t.Fatalf("default burst = %v, want rate/8", l2.burst)
+	}
+	l3 := newByteLimiter(1, 0)
+	if l3.burst != 64<<10 {
+		t.Fatalf("default burst floor = %v, want 64KiB", l3.burst)
+	}
+}

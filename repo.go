@@ -167,8 +167,9 @@ func WithChunkWorkers(n int) RepositoryOption {
 }
 
 // WithGroupCommit sets the group-commit straggler window for the snapshot
-// catalog and the trace log: a commit leading an fsync waits up to window
-// for concurrent Backups to join the same fsync round. Zero (the default)
+// catalog, the trace log, and the store's container seal passes: a commit
+// leading an fsync waits up to window for concurrent Backups to join the
+// same fsync round. Zero (the default)
 // syncs immediately — concurrent commits still share fsyncs through
 // absorption (a commit arriving while a sync is in flight rides the next
 // round), which is always on; the window only adds bounded latency in
@@ -309,6 +310,10 @@ func buildRepo(store *dedup.Store, catalog *dedup.Catalog, tapLog *tracelog.Log,
 		if tapLog != nil {
 			tapLog.SetGroupCommitWindow(o.gcWindow)
 		}
+		// Container seal passes batch under the same window, so concurrent
+		// Backups — in particular concurrent server sessions — share seal
+		// fsyncs instead of each paying a whole-store flush.
+		store.SetSealCommitWindow(o.gcWindow)
 	}
 	return &Repository{
 		store:   store,

@@ -10,6 +10,8 @@
 # CHECK_SKIP_BENCHGATE=1 to skip the stable-tier performance-regression
 # gate (cmd/benchgate; CI runs it as its own blocking job),
 # CHECK_SKIP_SCENARIOS=1 to skip the workload scenario-matrix smoke,
+# CHECK_SKIP_SERVER=1 to skip the multi-tenant server smoke (loopback
+# clients through the wire protocol via ddfsbench -server),
 # CHECK_SKIP_FAULTS=1 to skip the exhaustive crash-point sweep (the
 # bounded sweep still runs inside go test -race),
 # CHECK_SKIP_STATICCHECK=1 to skip static analysis, and CHECK_SKIP_VULN=1
@@ -77,6 +79,11 @@ fi
 if [ "${CHECK_SKIP_SCENARIOS:-0}" != "1" ]; then
 	echo "== scenario matrix smoke (tiny scale, every registered workload)"
 	go run ./cmd/defend -fig scenarios -tiny || fail "scenario matrix smoke"
+fi
+
+if [ "${CHECK_SKIP_SERVER:-0}" != "1" ]; then
+	echo "== server smoke (2 loopback tenants through the wire protocol)"
+	go run ./cmd/ddfsbench -server -clients 2 -mb 2 || fail "server smoke"
 fi
 
 echo "check: OK"
