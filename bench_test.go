@@ -14,6 +14,7 @@ import (
 	"io"
 	"math/rand"
 	"net"
+	"os"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -640,6 +641,169 @@ func BenchmarkServerBackup(b *testing.B) {
 // cycles — a single-batch iteration is ~130µs and its timing is GC
 // lottery, which made the benchmark too noisy for cmd/benchgate's
 // pinned-iteration regression gate.
+// --- Persistent fingerprint index benchmarks (billion-chunk index PR):
+// --- repository open cost against chunk count for both index modes, and
+// --- single-lookup latency through the bloom/memtable/run stack.
+
+// populateRepoChunks pushes n synthetic fixed-size chunks through the
+// store's batch write path, bypassing chunking and encryption so chunk
+// COUNT — the variable the index scales in — is controlled directly.
+// Fingerprints are mixed so chunks spread across shards.
+func populateRepoChunks(b *testing.B, repo *Repository, n int) {
+	b.Helper()
+	const perBatch = 512
+	data := benchStream(64)
+	batch := make([]StoreChunk, 0, perBatch)
+	flush := func() {
+		if len(batch) == 0 {
+			return
+		}
+		if _, err := repo.store.PutBatch(batch); err != nil {
+			b.Fatal(err)
+		}
+		batch = batch[:0]
+	}
+	for i := 0; i < n; i++ {
+		fp := fphash.FromUint64(fphash.FromUint64(uint64(i) + 1).Mix(1))
+		batch = append(batch, StoreChunk{FP: fp, Data: data})
+		if len(batch) == perBatch {
+			flush()
+		}
+	}
+	flush()
+	if err := repo.store.Sync(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// benchRepositoryOpen measures a cold OpenRepository of a repository
+// holding `chunks` fingerprints. Bytes/op counts 16 bytes of index
+// metadata per chunk, so the reported MB/s is metadata throughput:
+// roughly flat across chunk counts for mode=map (every open rescans all
+// container metadata), and rising linearly for mode=fpindex (the open
+// reads run footers and filters, not the chunks).
+func benchRepositoryOpen(b *testing.B, mode IndexMode, chunks int) {
+	dir := b.TempDir()
+	opts := []RepositoryOption{WithIndex(mode)}
+	repo, err := CreateRepository(dir, opts...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	populateRepoChunks(b, repo, chunks)
+	if err := repo.Close(); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(chunks) * 16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := OpenRepository(dir, opts...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if got := r.store.UniqueChunks(); got != chunks {
+			b.Fatalf("reopened repository reports %d chunks, want %d", got, chunks)
+		}
+		b.StopTimer()
+		if i == b.N-1 {
+			// Residency of an open repository, while it is still open: for
+			// mode=map this grows with chunk count, for mode=fpindex it
+			// stays bounded by the memtable + cache + filters.
+			runtime.GC()
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			b.ReportMetric(float64(ms.HeapInuse)/(1<<20), "open_heap_MB")
+		}
+		if err := r.Close(); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+	}
+	b.StopTimer()
+	// Collapse the GC pacing target now that the repository is closed: the
+	// 1M/10M map points otherwise leave a heap goal of hundreds of MB
+	// behind, so whether they ran (-short, FPBENCH_10M) would change the
+	// GC frequency — and the measured throughput — of later benchmarks in
+	// the same process.
+	runtime.GC()
+}
+
+// BenchmarkRepositoryOpen is the tentpole's acceptance benchmark:
+// chunks=100k always runs; chunks=1M is skipped under -short; the
+// chunks=10M point needs FPBENCH_10M=1 (it writes ~1 GiB of containers
+// in setup). Compare MB/s across rows — map-mode stays flat (open time
+// grows with chunk count), fpindex-mode climbs (open time is O(metadata)).
+func BenchmarkRepositoryOpen(b *testing.B) {
+	modes := []struct {
+		name string
+		mode IndexMode
+	}{{"map", IndexMap}, {"fpindex", IndexPersistent}}
+	sizes := []struct {
+		name   string
+		chunks int
+	}{{"chunks=100k", 100_000}, {"chunks=1M", 1_000_000}, {"chunks=10M", 10_000_000}}
+	for _, m := range modes {
+		b.Run("mode="+m.name, func(b *testing.B) {
+			for _, s := range sizes {
+				b.Run(s.name, func(b *testing.B) {
+					if s.chunks > 100_000 && testing.Short() {
+						b.Skip("-short: 100k-chunk point only")
+					}
+					if s.chunks >= 10_000_000 && os.Getenv("FPBENCH_10M") == "" {
+						b.Skip("set FPBENCH_10M=1 for the 10M-chunk open benchmark")
+					}
+					benchRepositoryOpen(b, m.mode, s.chunks)
+				})
+			}
+		})
+	}
+}
+
+// BenchmarkIndexLookup measures single-fingerprint lookups through the
+// persistent index's full read stack — memtable, block cache, bloom
+// filters, run files — on a store too big for its memtable. hit probes
+// stored fingerprints (run-block reads, mostly cache-served); miss
+// probes absent ones (the bloom filters answer; disk stays cold).
+// Bytes/op is one fingerprint, so MB/s is gateable lookup throughput.
+func BenchmarkIndexLookup(b *testing.B) {
+	const n = 200_000
+	dir := b.TempDir()
+	repo, err := CreateRepository(dir, WithIndex(IndexPersistent))
+	if err != nil {
+		b.Fatal(err)
+	}
+	populateRepoChunks(b, repo, n)
+	fpAt := func(i int) fphash.Fingerprint {
+		return fphash.FromUint64(fphash.FromUint64(uint64(i) + 1).Mix(1))
+	}
+	b.Run("hit", func(b *testing.B) {
+		b.SetBytes(fphash.Size)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if !repo.store.Contains(fpAt(i % n)) {
+				b.Fatal("stored fingerprint not found")
+			}
+		}
+	})
+	b.Run("miss", func(b *testing.B) {
+		b.SetBytes(fphash.Size)
+		b.ReportAllocs()
+		// Mix is a bijective finalizer, so probing counters past n is
+		// guaranteed disjoint from the stored set.
+		for i := 0; i < b.N; i++ {
+			if repo.store.Contains(fpAt(n + 1 + i)) {
+				b.Fatal("absent fingerprint found")
+			}
+		}
+	})
+	if err := repo.Close(); err != nil {
+		b.Fatal(err)
+	}
+	// Drop the 200k-chunk working set from the GC pacing target before the
+	// next benchmark (see benchRepositoryOpen).
+	runtime.GC()
+}
+
 func BenchmarkStoreShards(b *testing.B) {
 	const (
 		chunkSize    = 8 << 10
@@ -649,6 +813,10 @@ func BenchmarkStoreShards(b *testing.B) {
 	for _, shards := range []int{1, 4, 16, 64} {
 		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
 			store := NewStoreWithShards(0, shards)
+			// Pin the GC pacing target to this benchmark's own live heap:
+			// with pinned 10x iterations, throughput otherwise swings ~3x
+			// depending on how much heap earlier benchmarks left behind.
+			runtime.GC()
 			b.SetBytes(chunkSize * perBatch * batchesPerOp)
 			b.ReportAllocs()
 			var worker atomic.Int64

@@ -6,7 +6,9 @@
 // The stable tier is the allowlist of benchmarks measured stable enough
 // to block a PR: the chunker ingest stage, the backup pipeline, the
 // multi-tenant server path (BenchmarkServerBackup's loopback client
-// sweep), the restore pipeline, and the sharded store. Everything else in the
+// sweep), the restore pipeline, the sharded store, and the persistent
+// fingerprint index (BenchmarkRepositoryOpen's open-throughput sweep and
+// BenchmarkIndexLookup's hit/miss paths). Everything else in the
 // baselines is reported as an informational delta but never gates —
 // attack-engine and generator timings are too sensitive to shared-runner
 // noise to block on.
@@ -30,11 +32,14 @@
 //   - The fresh suite runs -repeat times (pinned iteration counts, so the
 //     runtime is bounded) and each benchmark keeps its BEST run: noise on
 //     a shared runner lowers individual runs, a real regression lowers
-//     the best achievable.
+//     the best achievable. The counterpart on the baseline side is
+//     scripts/bench.sh, which records each benchmark's WORST observed
+//     MB/s across its repeats — best-of fresh against floor-of baseline
+//     gives the gate its noise margin on oscillating shared runners.
 //
-//     benchgate                    # run the stable tier (best of 2 x 10 iterations) and gate
+//     benchgate                    # run the stable tier (best of 3 x 10 iterations) and gate
 //     benchgate -benchtime 20x     # more iterations per run, steadier numbers
-//     benchgate -repeat 3          # more runs, lower flake floor
+//     benchgate -repeat 5          # more runs, lower flake floor
 //     benchgate -threshold 0.3     # tolerate 30%
 //     benchgate -input bench.txt   # gate a pre-recorded `go test -bench` output
 package main
@@ -64,11 +69,13 @@ var stableTier = []*regexp.Regexp{
 	regexp.MustCompile(`^BenchmarkServerBackup`),
 	regexp.MustCompile(`^BenchmarkRestore(Serial|Parallel)`),
 	regexp.MustCompile(`^BenchmarkStoreShards`),
+	regexp.MustCompile(`^BenchmarkRepositoryOpen`),
+	regexp.MustCompile(`^BenchmarkIndexLookup`),
 }
 
 // benchPattern is the -bench regexp handed to go test for the fresh run:
 // the stable tier only, so the gate stays fast enough to block on.
-const benchPattern = `BenchmarkChunker|BenchmarkBackupSerial|BenchmarkBackupParallel|BenchmarkServerBackup|BenchmarkRestoreSerial|BenchmarkRestoreParallel|BenchmarkStoreShards`
+const benchPattern = `BenchmarkChunker|BenchmarkBackupSerial|BenchmarkBackupParallel|BenchmarkServerBackup|BenchmarkRestoreSerial|BenchmarkRestoreParallel|BenchmarkStoreShards|BenchmarkRepositoryOpen|BenchmarkIndexLookup`
 
 func inStableTier(name string) bool {
 	for _, re := range stableTier {
@@ -227,7 +234,7 @@ func compare(baselines []*baseline, fresh map[string]float64, threshold float64)
 
 func main() {
 	benchtime := flag.String("benchtime", "10x", "go test -benchtime for each fresh run (pinned iterations keep the runtime bounded)")
-	repeat := flag.Int("repeat", 2, "fresh suite runs; each benchmark keeps its best run")
+	repeat := flag.Int("repeat", 3, "fresh suite runs; each benchmark keeps its best run")
 	threshold := flag.Float64("threshold", 0.20, "fractional MB/s loss that fails the gate")
 	input := flag.String("input", "", "pre-recorded `go test -bench` output to gate instead of running benchmarks")
 	dir := flag.String("dir", ".", "repository root holding the BENCH_*.json baselines")

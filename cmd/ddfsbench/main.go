@@ -39,6 +39,10 @@
 //	ddfsbench -server -clients 4 -mb 16
 //	                     # multi-tenant server load: N loopback network
 //	                     # clients against one in-process defendd
+//	ddfsbench -index -chunks 1000000
+//	                     # fingerprint-index comparison: cold-open latency,
+//	                     # lookup throughput, and resident heap for the
+//	                     # in-memory map vs the persistent on-disk index
 package main
 
 import (
@@ -52,15 +56,18 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"runtime"
 	"time"
 
 	"freqdedup"
 	"freqdedup/internal/attack"
 	"freqdedup/internal/chunker"
+	"freqdedup/internal/container"
 	"freqdedup/internal/dedup"
 	"freqdedup/internal/defense"
 	"freqdedup/internal/eval"
+	"freqdedup/internal/fphash"
 	"freqdedup/internal/trace"
 	"freqdedup/internal/workload"
 )
@@ -84,6 +91,9 @@ func main() {
 		"soak the crash-point explorer: exhaustive crash sweeps across -rounds scenario seeds")
 	serverMode := flag.Bool("server", false,
 		"benchmark the multi-tenant server: -clients loopback network clients against one shared repository")
+	indexMode := flag.Bool("index", false,
+		"benchmark the fingerprint index: cold-open latency, lookup throughput, and resident heap for the in-memory map vs the persistent bloom-fronted index")
+	chunks := flag.Int("chunks", 200_000, "chunk count for -index mode")
 	rounds := flag.Int("rounds", 4, "scenario seeds to sweep in -faults mode")
 	dir := flag.String("dir", "",
 		"store directory for -restore (empty = temporary directory, removed afterwards)")
@@ -123,6 +133,12 @@ func main() {
 	}
 	if *serverMode {
 		if err := runServer(*streamMB, *workers, *clients, *dir); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *indexMode {
+		if err := runIndex(*chunks, *shards, *dir); err != nil {
 			fatal(err)
 		}
 		return
@@ -540,6 +556,131 @@ func runServer(streamMB, workers, clients int, dir string) error {
 	}
 	if err := <-serveDone; err != nil {
 		return err
+	}
+	return nil
+}
+
+// runIndex compares the two fingerprint-index engines head to head on a
+// store of -chunks synthetic fixed-size chunks: cold-open latency (the
+// map rescans every container's metadata; the persistent index reads run
+// footers, bloom filters, and only the unflushed container tail), lookup
+// throughput for present and absent fingerprints, and the resident heap
+// of the open store. The persistent run also prints the lookup-path
+// decomposition counters (bloom negatives, memtable hits, cache hits,
+// disk probes).
+func runIndex(chunks, shards int, dir string) error {
+	if chunks <= 0 {
+		return fmt.Errorf("-chunks must be positive, got %d", chunks)
+	}
+	if shards < 0 || shards > 256 {
+		return fmt.Errorf("-shards must be in [1, 256] (0 selects the default), got %d", shards)
+	}
+	if shards == 0 {
+		shards = dedup.DefaultShards
+	}
+	if dir == "" {
+		tmp, err := os.MkdirTemp("", "ddfsbench-index-*")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(tmp)
+		dir = tmp
+	}
+	fmt.Printf("index: %d chunks, %d shard(s), GOMAXPROCS=%d\n", chunks, shards, runtime.GOMAXPROCS(0))
+
+	// Mix is a bijective finalizer over the counter, so fpAt(1..chunks)
+	// is the stored set and any counter past chunks is a guaranteed miss.
+	fpAt := func(i int) fphash.Fingerprint {
+		return fphash.FromUint64(fphash.FromUint64(uint64(i) + 1).Mix(1))
+	}
+	heapMB := func() float64 {
+		runtime.GC()
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		return float64(ms.HeapInuse) / (1 << 20)
+	}
+
+	for _, mode := range []string{"map", "fpindex"} {
+		sub := filepath.Join(dir, mode)
+		opts := dedup.StoreOptions{}
+		if mode == "fpindex" {
+			opts.Index = dedup.IndexPersistent
+			opts.IndexDir = filepath.Join(sub, "fpindex")
+		}
+
+		// Populate through the batch write path and flush everything.
+		backend, err := container.CreateFileBackend(filepath.Join(sub, "store"), shards, container.DefaultBytes)
+		if err != nil {
+			return err
+		}
+		store, err := dedup.NewStoreWithOptions(backend, opts)
+		if err != nil {
+			return err
+		}
+		const perBatch = 512
+		data := make([]byte, 64)
+		rand.New(rand.NewSource(1)).Read(data)
+		batch := make([]dedup.PutChunk, 0, perBatch)
+		start := time.Now()
+		for i := 0; i < chunks; i++ {
+			batch = append(batch, dedup.PutChunk{FP: fpAt(i), Data: data})
+			if len(batch) == perBatch || i == chunks-1 {
+				if _, err := store.PutBatch(batch); err != nil {
+					return err
+				}
+				batch = batch[:0]
+			}
+		}
+		if err := store.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("%-8s populate: %d chunks in %v\n", mode, chunks, time.Since(start).Round(time.Millisecond))
+
+		// Cold open.
+		base := heapMB()
+		start = time.Now()
+		backend, err = container.OpenFileBackend(filepath.Join(sub, "store"))
+		if err != nil {
+			return err
+		}
+		store, err = dedup.NewStoreWithOptions(backend, opts)
+		if err != nil {
+			return err
+		}
+		openTime := time.Since(start)
+		if got := store.UniqueChunks(); got != chunks {
+			return fmt.Errorf("%s: reopened store has %d chunks, want %d", mode, got, chunks)
+		}
+		fmt.Printf("%-8s open: %v cold (%.1f MB heap while open, %.1f before)\n",
+			mode, openTime.Round(time.Microsecond), heapMB(), base)
+
+		// Lookup throughput: probes alternating between stored and absent
+		// fingerprints, so both the positive path (memtable/cache/run) and
+		// the negative path (bloom) are on the clock.
+		probes := 2 * chunks
+		if probes > 2_000_000 {
+			probes = 2_000_000
+		}
+		start = time.Now()
+		for i := 0; i < probes/2; i++ {
+			if !store.Contains(fpAt(i % chunks)) {
+				return fmt.Errorf("%s: stored fingerprint missing", mode)
+			}
+			if store.Contains(fpAt(chunks + 1 + i)) {
+				return fmt.Errorf("%s: absent fingerprint found", mode)
+			}
+		}
+		elapsed := time.Since(start)
+		fmt.Printf("%-8s lookup: %d probes in %v: %.2f Mlookups/s (%v/probe)\n",
+			mode, probes, elapsed.Round(time.Millisecond),
+			float64(probes)/elapsed.Seconds()/1e6, (elapsed / time.Duration(probes)).Round(time.Nanosecond))
+		if st := store.Stats(); mode == "fpindex" {
+			fmt.Printf("%-8s counters: %d bloom negatives, %d memtable hits, %d cache hits, %d disk probes\n",
+				mode, st.IndexBloomNegative, st.IndexMemtableHits, st.IndexBlockCacheHits, st.IndexDiskProbes)
+		}
+		if err := store.Close(); err != nil {
+			return err
+		}
 	}
 	return nil
 }

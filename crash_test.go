@@ -68,6 +68,39 @@ func TestCrashSweepGroupCommit(t *testing.T) {
 	t.Logf("swept %d group-commit sync-point crashes across %d mutating ops", len(res.PointsTested), res.TotalOps)
 }
 
+// TestCrashSweepPersistentIndex reruns the sync-point sweep with the
+// bloom-fronted on-disk fingerprint index and a tiny memtable, so crash
+// points land inside run flushes, compactions, and the GC layout-change
+// marker protocol. The invariant set is unchanged: whatever the index
+// files say after a crash, every acknowledged snapshot must list,
+// restore byte-identically, and survive a GC — the containers are the
+// index's write-ahead log, so no index state is ever load-bearing for
+// durability.
+func TestCrashSweepPersistentIndex(t *testing.T) {
+	maxPoints := 24
+	if testing.Short() {
+		maxPoints = 8
+	}
+	res, err := ExploreCrashPoints(CrashSweepOptions{
+		Scenario: CrashScenario{
+			Seed:            5,
+			PersistentIndex: true,
+		},
+		SyncPointsOnly: true,
+		MaxPoints:      maxPoints,
+	})
+	if err != nil {
+		t.Fatalf("sweep: %v", err)
+	}
+	if res.TotalOps == 0 || len(res.SyncPoints) == 0 || len(res.PointsTested) == 0 {
+		t.Fatalf("sweep explored nothing: %+v", res)
+	}
+	for _, f := range res.Failures {
+		t.Errorf("crash at op %d/%d: %v", f.Op, res.TotalOps, f.Err)
+	}
+	t.Logf("swept %d persistent-index sync-point crashes across %d mutating ops", len(res.PointsTested), res.TotalOps)
+}
+
 // TestCrashSweepFull explores EVERY mutating operation as a crash point —
 // minutes of work, so it only runs when FAULTS_FULL is set (`make
 // faults`).
@@ -109,6 +142,30 @@ func TestCrashSweepFullGroupCommit(t *testing.T) {
 		t.Errorf("crash at op %d/%d: %v", f.Op, res.TotalOps, f.Err)
 	}
 	t.Logf("swept all %d mutating ops with group commit (%d sync points)", res.TotalOps, len(res.SyncPoints))
+}
+
+// TestCrashSweepFullPersistentIndex is the exhaustive sweep on the
+// persistent fingerprint index: every mutating op — including the fsyncs
+// inside run seals, manifest commits, compaction installs, and the GC
+// rebuild-marker protocol — is a crash point. Gated like
+// TestCrashSweepFull.
+func TestCrashSweepFullPersistentIndex(t *testing.T) {
+	if os.Getenv("FAULTS_FULL") == "" {
+		t.Skip("set FAULTS_FULL=1 (or run `make faults`) for the exhaustive crash sweep")
+	}
+	res, err := ExploreCrashPoints(CrashSweepOptions{
+		Scenario: CrashScenario{
+			Seed:            5,
+			PersistentIndex: true,
+		},
+	})
+	if err != nil {
+		t.Fatalf("sweep: %v", err)
+	}
+	for _, f := range res.Failures {
+		t.Errorf("crash at op %d/%d: %v", f.Op, res.TotalOps, f.Err)
+	}
+	t.Logf("swept all %d mutating ops on the persistent index (%d sync points)", res.TotalOps, len(res.SyncPoints))
 }
 
 // TestCrashSweepDeterministic: the same scenario seed maps to the same

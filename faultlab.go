@@ -66,6 +66,12 @@ type CrashScenario struct {
 	// ChunkWorkers enables multi-stream chunking (WithChunkWorkers);
 	// meaningful only with GearChunking.
 	ChunkWorkers int
+	// PersistentIndex runs the scenario on the bloom-fronted on-disk
+	// fingerprint index (WithIndex(IndexPersistent)) with a deliberately
+	// tiny memtable and synchronous compaction, so crash points land
+	// inside run flushes, compactions, and the GC layout-change marker
+	// protocol — not just the container and catalog paths.
+	PersistentIndex bool
 }
 
 func (sc CrashScenario) withDefaults() CrashScenario {
@@ -131,6 +137,19 @@ func (sc CrashScenario) repoOptions(m *faultio.MemFS) []RepositoryOption {
 		if sc.ChunkWorkers > 1 {
 			opts = append(opts, WithChunkWorkers(sc.ChunkWorkers))
 		}
+	}
+	if sc.PersistentIndex {
+		opts = append(opts,
+			WithIndex(IndexPersistent),
+			// An 8-entry memtable makes every backup cross many run
+			// flushes and tiered compactions; synchronous compaction keeps
+			// the op sequence deterministic for the crash clock.
+			WithIndexTuning(IndexTuning{
+				MemtableEntries: 8,
+				CacheBytes:      1 << 20,
+				ExpectedChunks:  1 << 12,
+				SyncCompaction:  true,
+			}))
 	}
 	return opts
 }

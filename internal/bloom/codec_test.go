@@ -1,0 +1,77 @@
+package bloom
+
+import (
+	"freqdedup/internal/fphash"
+
+	"errors"
+	"testing"
+)
+
+func TestCodecRoundTrip(t *testing.T) {
+	f := NewWithEstimates(1000, 0.01)
+	for i := uint64(0); i < 1000; i++ {
+		f.Add(fphash.FromUint64(i))
+	}
+	buf := f.AppendBinary(nil)
+	if len(buf) != f.MarshaledSize() {
+		t.Fatalf("MarshaledSize = %d, AppendBinary wrote %d", f.MarshaledSize(), len(buf))
+	}
+	g, n, err := Unmarshal(buf)
+	if err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	if n != len(buf) {
+		t.Fatalf("consumed %d of %d bytes", n, len(buf))
+	}
+	if g.Bits() != f.Bits() || g.K() != f.K() || g.Count() != f.Count() {
+		t.Fatalf("geometry changed: m %d->%d k %d->%d count %d->%d", f.Bits(), g.Bits(), f.K(), g.K(), f.Count(), g.Count())
+	}
+	for i := uint64(0); i < 1000; i++ {
+		if !g.Contains(fphash.FromUint64(i)) {
+			t.Fatalf("decoded filter lost fingerprint %d", i)
+		}
+	}
+}
+
+func TestCodecTrailingBytesIgnored(t *testing.T) {
+	f := NewWithEstimates(10, 0.01)
+	f.Add(fphash.FromUint64(1))
+	buf := f.AppendBinary(nil)
+	want := len(buf)
+	buf = append(buf, 0xde, 0xad, 0xbe, 0xef)
+	_, n, err := Unmarshal(buf)
+	if err != nil {
+		t.Fatalf("Unmarshal with trailing bytes: %v", err)
+	}
+	if n != want {
+		t.Fatalf("consumed %d, want %d", n, want)
+	}
+}
+
+func TestCodecCorruption(t *testing.T) {
+	f := NewWithEstimates(100, 0.01)
+	for i := uint64(0); i < 100; i++ {
+		f.Add(fphash.FromUint64(i))
+	}
+	good := f.AppendBinary(nil)
+
+	for _, tc := range []struct {
+		name   string
+		mangle func([]byte) []byte
+	}{
+		{"truncated", func(b []byte) []byte { return b[:len(b)/2] }},
+		{"empty", func(b []byte) []byte { return nil }},
+		{"bad magic", func(b []byte) []byte { b[0] ^= 0xff; return b }},
+		{"bit flip in words", func(b []byte) []byte { b[len(b)/2] ^= 0x10; return b }},
+		{"bad crc", func(b []byte) []byte { b[len(b)-1] ^= 0x01; return b }},
+		{"forged m", func(b []byte) []byte { b[4] = 0xff; b[5] = 0xff; b[6] = 0xff; return b }},
+		{"zero k", func(b []byte) []byte { b[12], b[13], b[14], b[15] = 0, 0, 0, 0; return b }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			buf := tc.mangle(append([]byte(nil), good...))
+			if _, _, err := Unmarshal(buf); !errors.Is(err, ErrCodec) {
+				t.Fatalf("Unmarshal(%s) = %v, want ErrCodec", tc.name, err)
+			}
+		})
+	}
+}

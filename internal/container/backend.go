@@ -52,6 +52,38 @@ type Backend interface {
 	Close() error
 }
 
+// SealedStater is the optional backend capability of reporting a shard's
+// sealed-container count and total data bytes without a metadata scan.
+// It is what makes a persistent-index store open in O(metadata): the
+// packer recovers its counters from here instead of re-reading every
+// record's index header. FileBackend and MemBackend implement it.
+type SealedStater interface {
+	SealedStats(shard int) (containers int, bytes int64, err error)
+}
+
+// RangeScanner is the optional backend capability of scanning a suffix of
+// a shard's sealed containers. The persistent fingerprint index uses it
+// to rescan only the containers past its durable watermark on open.
+type RangeScanner interface {
+	ScanFrom(shard, from int, withData bool, fn func(*Container) error) error
+}
+
+// ScanFrom visits the shard's sealed containers with ID >= from in ID
+// order, using the backend's RangeScanner when implemented and falling
+// back to a full Scan that skips earlier containers otherwise (wrappers
+// like fault-injection backends keep working, just without the seek).
+func ScanFrom(b Backend, shard, from int, withData bool, fn func(*Container) error) error {
+	if rs, ok := b.(RangeScanner); ok {
+		return rs.ScanFrom(shard, from, withData, fn)
+	}
+	return b.Scan(shard, withData, func(c *Container) error {
+		if c.ID < from {
+			return nil
+		}
+		return fn(c)
+	})
+}
+
 // TolerantScanner is the optional backend capability behind repair: a
 // per-slot scan that surfaces damaged containers as per-slot errors
 // instead of aborting. FileBackend implements it; for backends that do
@@ -148,6 +180,39 @@ func (b *MemBackend) Scan(shard int, withData bool, fn func(*Container) error) e
 	b.mu.RLock()
 	b.checkShard(shard)
 	cs := b.shards[shard]
+	b.mu.RUnlock()
+	for _, c := range cs {
+		if err := fn(c); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SealedStats reports the shard's sealed-container count and data bytes.
+func (b *MemBackend) SealedStats(shard int) (int, int64, error) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	b.checkShard(shard)
+	var bytes int64
+	for _, c := range b.shards[shard] {
+		bytes += int64(c.Bytes)
+	}
+	return len(b.shards[shard]), bytes, nil
+}
+
+// ScanFrom visits the shard's sealed containers with ID >= from.
+func (b *MemBackend) ScanFrom(shard, from int, withData bool, fn func(*Container) error) error {
+	b.mu.RLock()
+	b.checkShard(shard)
+	cs := b.shards[shard]
+	if from < 0 {
+		from = 0
+	}
+	if from > len(cs) {
+		from = len(cs)
+	}
+	cs = cs[from:]
 	b.mu.RUnlock()
 	for _, c := range cs {
 		if err := fn(c); err != nil {

@@ -85,6 +85,20 @@ func NewWithBackend(capacity int, b Backend, shard int, visit func(*Container) e
 		return nil, fmt.Errorf("container: shard %d out of range [0, %d)", shard, b.Shards())
 	}
 	s := &Store{capacity: capacity, backend: b, shard: shard}
+	// With no visitor to feed, a backend that can report its sealed totals
+	// directly (SealedStater) spares the whole metadata scan — the fast
+	// path behind O(metadata) repository opens with a persistent index.
+	if visit == nil {
+		if ss, ok := b.(SealedStater); ok {
+			sealed, bytes, err := ss.SealedStats(shard)
+			if err != nil {
+				return nil, err
+			}
+			s.sealed = sealed
+			s.sealedBytes = int(bytes)
+			return s, nil
+		}
+	}
 	err := b.Scan(shard, false, func(c *Container) error {
 		s.sealed++
 		s.sealedBytes += c.Bytes
@@ -173,6 +187,11 @@ func (s *Store) Container(id int) (*Container, error) {
 // container; the sharded dedup store uses it to snapshot open-container
 // entries for the restore pipeline without a backend read.
 func (s *Store) Current() *Container { return s.current }
+
+// Sealed returns the number of sealed (durable) containers — also the
+// next container ID. The persistent fingerprint index flushes against
+// this count: only postings in containers below it are written to runs.
+func (s *Store) Sealed() int { return s.sealed }
 
 // Count returns the number of containers, including a non-empty
 // in-progress one.

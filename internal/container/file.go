@@ -58,7 +58,12 @@ type shardFile struct {
 	f       vfs.File
 	offsets []int64 // byte offset of each sealed record, in ID order
 	size    int64   // current end-of-file offset
-	scratch []byte  // record serialization buffer, reused across Seals
+	// dataBytes is the running total of chunk data bytes across the
+	// shard's records, maintained from the record headers already parsed
+	// at open and on every Seal/Rewrite — what lets SealedStats answer
+	// without a scan.
+	dataBytes int64
+	scratch   []byte // record serialization buffer, reused across Seals
 
 	// salvaged marks a shard opened by OpenFileBackendSalvage whose file
 	// held structural damage: container IDs are renumbered in memory and
@@ -304,7 +309,7 @@ func openShardFile(fsys vfs.FS, name string, shard int, salvage bool) (*shardFil
 		}
 		if salvage && (!headerOK || !inSequence) {
 			// Broken chain: scan forward for the next CRC-valid record.
-			next, nid, nend, found := resyncRecord(f, pos+1, size, lastDiskID)
+			next, nid, nend, ndb, found := resyncRecord(f, pos+1, size, lastDiskID)
 			if !found {
 				// Nothing parseable remains; everything from pos on is
 				// lost. Whether that region held zero or many records is
@@ -317,6 +322,7 @@ func openShardFile(fsys vfs.FS, name string, shard int, salvage bool) (*shardFil
 			sst.ContainersLost += nid - lastDiskID - 1
 			sf.salvaged = true
 			sf.offsets = append(sf.offsets, next)
+			sf.dataBytes += ndb
 			lastDiskID = nid
 			pos = nend
 			continue
@@ -328,6 +334,7 @@ func openShardFile(fsys vfs.FS, name string, shard int, salvage bool) (*shardFil
 			sf.salvaged = true
 		}
 		sf.offsets = append(sf.offsets, pos)
+		sf.dataBytes += int64(binary.LittleEndian.Uint32(rec[12:]))
 		lastDiskID = id
 		pos = end
 	}
@@ -350,11 +357,11 @@ func openShardFile(fsys vfs.FS, name string, shard int, salvage bool) (*shardFil
 // resync point must prove itself — the chain is already broken, so a
 // merely plausible header could be chunk data that happens to contain the
 // magic). It returns the record's offset, on-disk ID, and end.
-func resyncRecord(f vfs.File, pos, size int64, lastID int) (at int64, id int, end int64, ok bool) {
+func resyncRecord(f vfs.File, pos, size int64, lastID int) (at int64, id int, end int64, dataBytes int64, ok bool) {
 	var hdr [recordHeaderLen]byte
 	for ; pos+recordHeaderLen <= size; pos++ {
 		if _, err := f.ReadAt(hdr[:], pos); err != nil {
-			return 0, 0, 0, false
+			return 0, 0, 0, 0, false
 		}
 		id, end, headerOK := parseRecordHeader(hdr[:], pos, size)
 		if !headerOK || id <= lastID {
@@ -369,9 +376,9 @@ func resyncRecord(f vfs.File, pos, size int64, lastID int) (at int64, id int, en
 		if crc != binary.LittleEndian.Uint32(body[len(body)-recordTrailerLen:]) {
 			continue
 		}
-		return pos, id, end, true
+		return pos, id, end, int64(binary.LittleEndian.Uint32(hdr[12:])), true
 	}
-	return 0, 0, 0, false
+	return 0, 0, 0, 0, false
 }
 
 // buildRecord serializes c into sf.scratch as one container record.
@@ -433,6 +440,7 @@ func (b *FileBackend) Seal(shard int, c *Container) error {
 	}
 	sf.offsets = append(sf.offsets, sf.size)
 	sf.size += int64(len(buf))
+	sf.dataBytes += int64(c.Bytes)
 	return nil
 }
 
@@ -631,6 +639,7 @@ func (b *FileBackend) Rewrite(shard int, cs []*Container) error {
 	}
 	offsets := make([]int64, 0, len(cs))
 	size := int64(fileHeaderLen)
+	var dataBytes int64
 	for i, c := range cs {
 		if c.ID != i {
 			return abort(fmt.Errorf("container: rewrite container ID %d at position %d", c.ID, i))
@@ -644,6 +653,9 @@ func (b *FileBackend) Rewrite(shard int, cs []*Container) error {
 		}
 		offsets = append(offsets, size)
 		size += int64(len(buf))
+		for _, e := range c.Entries {
+			dataBytes += int64(e.Size)
+		}
 	}
 	if err := tmp.Sync(); err != nil {
 		return abort(err)
@@ -660,8 +672,42 @@ func (b *FileBackend) Rewrite(shard int, cs []*Container) error {
 	sf.f = tmp
 	sf.offsets = offsets
 	sf.size = size
+	sf.dataBytes = dataBytes
 	sf.salvaged = false
 	_ = vfs.SyncDir(b.fsys, b.dir)
+	return nil
+}
+
+// SealedStats reports the shard's sealed-container count and total chunk
+// data bytes from the in-memory record index — no file reads, which is
+// what lets a persistent-index store recover its packer counters in
+// O(metadata) on open.
+func (b *FileBackend) SealedStats(shard int) (int, int64, error) {
+	sf := b.shards[shard]
+	sf.mu.Lock()
+	defer sf.mu.Unlock()
+	return len(sf.offsets), sf.dataBytes, nil
+}
+
+// ScanFrom visits the shard's sealed containers with ID >= from in ID
+// order, reading only from the watermark forward — the tail rescan a
+// persistent fingerprint index performs on open.
+func (b *FileBackend) ScanFrom(shard, from int, withData bool, fn func(*Container) error) error {
+	sf := b.shards[shard]
+	sf.mu.Lock()
+	defer sf.mu.Unlock()
+	if from < 0 {
+		from = 0
+	}
+	for id := from; id < len(sf.offsets); id++ {
+		c, err := sf.readRecord(shard, id, sf.offsets[id], withData)
+		if err != nil {
+			return err
+		}
+		if err := fn(c); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 

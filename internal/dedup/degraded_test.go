@@ -64,9 +64,9 @@ func degradedFixture(t *testing.T, cfg Config) (*Client, *mle.Recipe, []byte, []
 	}
 	// Corrupt the container of a chunk in the middle of the stream.
 	mid := len(recipe.Entries) / 2
-	ref, _, ok := store.locate(recipe.Entries[mid].Fingerprint)
-	if !ok {
-		t.Fatal("mid-stream chunk not located")
+	ref, _, ok, err := store.locate(recipe.Entries[mid].Fingerprint)
+	if err != nil || !ok {
+		t.Fatalf("mid-stream chunk not located (err=%v)", err)
 	}
 	cb.markBad(ref)
 
@@ -74,7 +74,7 @@ func degradedFixture(t *testing.T, cfg Config) (*Client, *mle.Recipe, []byte, []
 	var lost []LostRange
 	var off uint64
 	for _, e := range recipe.Entries {
-		if r, _, ok := store.locate(e.Fingerprint); ok && r == ref {
+		if r, _, ok, _ := store.locate(e.Fingerprint); ok && r == ref {
 			lost = append(lost, LostRange{Offset: off, Length: uint64(e.Size), Fingerprint: e.Fingerprint})
 		}
 		off += uint64(e.Size)
@@ -194,7 +194,7 @@ func TestRestoreDegradedMissingChunk(t *testing.T) {
 	fp := recipe.Entries[mid].Fingerprint
 	sh := store.shardFor(fp)
 	sh.mu.Lock()
-	delete(sh.index, fp)
+	delete(sh.index.(*mapIndex).m, fp)
 	sh.mu.Unlock()
 
 	var lost []LostRange

@@ -155,14 +155,28 @@ func (s *Store) GCContext(ctx context.Context) (GCStats, error) {
 		if err := ctx.Err(); err != nil {
 			return st, err
 		}
-		newIndex := make(map[fphash.Fingerprint]container.Location, len(sh.index))
+		// A persistent index durably marks the layout change before the
+		// rewrite: run files record pre-compaction container IDs, so a
+		// crash between the container rewrite and the index rebuild must
+		// force a full rescan on the next open.
+		if err := sh.index.beginLayoutChange(); err != nil {
+			return st, fmt.Errorf("dedup: gc shard %d: mark index: %w", i, err)
+		}
+		newIndex := make(map[fphash.Fingerprint]container.Location, sh.index.count())
 		cst, err := sh.containers.Compact(live, func(e container.Entry, loc container.Location) {
 			newIndex[e.FP] = loc
 		})
 		if err != nil {
+			// The shard's rewrite is atomic, so a failure means the old
+			// layout is intact — the index can keep serving it.
+			if aerr := sh.index.abortLayoutChange(); aerr != nil {
+				return st, fmt.Errorf("dedup: gc shard %d: %w (and unmark index: %v)", i, err, aerr)
+			}
 			return st, fmt.Errorf("dedup: gc shard %d: %w", i, err)
 		}
-		sh.index = newIndex
+		if err := sh.index.completeLayoutChange(newIndex, sh.containers.Sealed()); err != nil {
+			return st, fmt.Errorf("dedup: gc shard %d: rebuild index: %w", i, err)
+		}
 		sh.physicalBytes -= cst.BytesDropped
 		st.ChunksReclaimed += cst.EntriesDropped
 		st.BytesReclaimed += cst.BytesDropped

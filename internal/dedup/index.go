@@ -1,0 +1,119 @@
+package dedup
+
+import (
+	"freqdedup/internal/container"
+	"freqdedup/internal/fphash"
+	"freqdedup/internal/fpindex"
+)
+
+// shardIndex is the per-shard fingerprint-to-location mapping behind the
+// store's shard seam. Two implementations: mapIndex, the original
+// in-memory map rebuilt from container metadata on every open, and fpIdx,
+// the persistent bloom-fronted run index (internal/fpindex) whose open
+// cost is O(metadata written since the last flush). All methods are
+// called with the owning shard's lock held, so implementations need no
+// locking of their own beyond what fpindex does internally for its
+// background compaction.
+type shardIndex interface {
+	// lookup resolves fp. A non-nil error means the index could not
+	// answer (a corrupt run block); callers on the write path treat it
+	// as a miss, callers on the read path surface it.
+	lookup(fp fphash.Fingerprint) (container.Location, bool, error)
+	// insert records fp at loc, overwriting any previous location.
+	insert(fp fphash.Fingerprint, loc container.Location)
+	// count returns the number of fingerprints indexed.
+	count() int
+	// maybeFlush lets a persistent index spill its memtable when full;
+	// sealed is the shard's sealed-container count (only postings in
+	// containers below it may be persisted). A no-op for mapIndex.
+	maybeFlush(sealed int) error
+	// flush unconditionally persists everything persistable, advancing
+	// the index's durable watermark to sealed. A no-op for mapIndex.
+	flush(sealed int) error
+	// beginLayoutChange durably marks that container locations are about
+	// to be invalidated (GC/repair rewrite); until the matching complete
+	// or abort, a crash forces a full index rebuild on open.
+	beginLayoutChange() error
+	// abortLayoutChange clears the marker after a failed rewrite that
+	// left the old layout intact.
+	abortLayoutChange() error
+	// completeLayoutChange replaces the index's entire contents with m,
+	// the surviving fingerprints at their post-rewrite locations, and
+	// clears the layout-change marker. The index takes ownership of m.
+	completeLayoutChange(m map[fphash.Fingerprint]container.Location, sealed int) error
+	// close releases index resources (flushing nothing — callers flush
+	// explicitly first when they want durability).
+	close() error
+}
+
+// mapIndex is the compatibility-mode index: a plain map, exactly the
+// original engine's behavior bit-for-bit.
+type mapIndex struct {
+	m map[fphash.Fingerprint]container.Location
+}
+
+func newMapIndex() *mapIndex {
+	return &mapIndex{m: make(map[fphash.Fingerprint]container.Location)}
+}
+
+func (x *mapIndex) lookup(fp fphash.Fingerprint) (container.Location, bool, error) {
+	loc, ok := x.m[fp]
+	return loc, ok, nil
+}
+
+func (x *mapIndex) insert(fp fphash.Fingerprint, loc container.Location) { x.m[fp] = loc }
+
+func (x *mapIndex) count() int { return len(x.m) }
+
+func (x *mapIndex) maybeFlush(int) error { return nil }
+
+func (x *mapIndex) flush(int) error { return nil }
+
+func (x *mapIndex) beginLayoutChange() error { return nil }
+
+func (x *mapIndex) abortLayoutChange() error { return nil }
+
+func (x *mapIndex) completeLayoutChange(m map[fphash.Fingerprint]container.Location, _ int) error {
+	x.m = m
+	return nil
+}
+
+func (x *mapIndex) close() error { return nil }
+
+// fpIdx adapts one fpindex.Shard to the shardIndex seam.
+type fpIdx struct {
+	s *fpindex.Shard
+}
+
+func (x *fpIdx) lookup(fp fphash.Fingerprint) (container.Location, bool, error) {
+	return x.s.Lookup(fp)
+}
+
+func (x *fpIdx) insert(fp fphash.Fingerprint, loc container.Location) { x.s.Insert(fp, loc) }
+
+func (x *fpIdx) count() int { return x.s.Count() }
+
+func (x *fpIdx) maybeFlush(sealed int) error {
+	if !x.s.NeedsFlush() {
+		return nil
+	}
+	return x.s.Flush(sealed)
+}
+
+func (x *fpIdx) flush(sealed int) error { return x.s.Flush(sealed) }
+
+func (x *fpIdx) beginLayoutChange() error { return x.s.BeginLayoutChange() }
+
+func (x *fpIdx) abortLayoutChange() error { return x.s.AbortLayoutChange() }
+
+func (x *fpIdx) completeLayoutChange(m map[fphash.Fingerprint]container.Location, sealed int) error {
+	ps := make([]fpindex.Posting, 0, len(m))
+	for fp, loc := range m {
+		ps = append(ps, fpindex.Posting{FP: fp, Loc: loc})
+	}
+	return x.s.CompleteLayoutChange(ps, sealed)
+}
+
+// close is per-shard a no-op: run files and the compaction worker belong
+// to the store-level fpindex.Index, closed once by Store.Close.
+func (x *fpIdx) close() error { return nil }

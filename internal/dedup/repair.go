@@ -48,25 +48,34 @@ func (s *Store) Repair(ctx context.Context) (RepairStats, error) {
 		if err := ctx.Err(); err != nil {
 			return total, err
 		}
-		newIndex := make(map[fphash.Fingerprint]container.Location, len(sh.index))
+		// Same layout-change protocol as GC: repair renumbers containers,
+		// so a persistent index marks the rewrite durably first.
+		if err := sh.index.beginLayoutChange(); err != nil {
+			return total, fmt.Errorf("dedup: repair shard %d: mark index: %w", si, err)
+		}
+		oldCount := sh.index.count()
+		newIndex := make(map[fphash.Fingerprint]container.Location, oldCount)
 		var newBytes uint64
 		st, err := sh.containers.Repair(func(e container.Entry, loc container.Location) {
 			newIndex[e.FP] = loc
 			newBytes += uint64(e.Size)
 		})
 		if err != nil {
+			if aerr := sh.index.abortLayoutChange(); aerr != nil {
+				return total, fmt.Errorf("dedup: repair shard %d: %w (and unmark index: %v)", si, err, aerr)
+			}
 			return total, fmt.Errorf("dedup: repair shard %d: %w", si, err)
 		}
 		// Chunks lost = index shrinkage, not the raw entry count: a
 		// duplicate entry dropped while another copy survives loses
 		// nothing.
-		lost := 0
-		for fp := range sh.index {
-			if _, ok := newIndex[fp]; !ok {
-				lost++
-			}
+		lost := oldCount - len(newIndex)
+		if lost < 0 {
+			lost = 0
 		}
-		sh.index = newIndex
+		if err := sh.index.completeLayoutChange(newIndex, sh.containers.Sealed()); err != nil {
+			return total, fmt.Errorf("dedup: repair shard %d: rebuild index: %w", si, err)
+		}
 		// Post-repair statistics follow reopen semantics: each surviving
 		// unique chunk counts once; cross-repair logical history is gone.
 		sh.physicalBytes = newBytes

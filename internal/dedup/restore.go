@@ -162,8 +162,11 @@ func (c *Client) restoreParallel(ctx context.Context, recipe *mle.Recipe, w io.W
 	for i, e := range entries {
 		offsets[i] = off
 		off += uint64(e.Size)
-		ref, loc, ok := c.store.locate(e.Fingerprint)
-		if !ok {
+		ref, loc, ok, lerr := c.store.locate(e.Fingerprint)
+		if lerr != nil && !c.cfg.DegradedRestore {
+			return fmt.Errorf("dedup: restore: chunk %d: %w", i, lerr)
+		}
+		if !ok || lerr != nil {
 			if !c.cfg.DegradedRestore {
 				return fmt.Errorf("dedup: restore: chunk %d (%v): %w", i, e.Fingerprint, ErrNotFound)
 			}

@@ -10,8 +10,10 @@ import (
 
 	"freqdedup/internal/container"
 	"freqdedup/internal/fphash"
+	"freqdedup/internal/fpindex"
 	"freqdedup/internal/gcommit"
 	"freqdedup/internal/trace"
+	"freqdedup/internal/vfs"
 )
 
 // DefaultShards is the shard count used by NewStore. 16 stripes keep lock
@@ -36,7 +38,7 @@ var ErrNotFound = errors.New("dedup: chunk not found")
 // under concurrent writers without a global packer lock.
 type shard struct {
 	mu         sync.Mutex
-	index      map[fphash.Fingerprint]container.Location
+	index      shardIndex
 	containers *container.Store
 
 	logicalBytes  uint64
@@ -49,7 +51,10 @@ type shard struct {
 // defensive copy. On a backend write error nothing is recorded and the
 // chunk is reported as an upload failure.
 func (s *shard) put(fp fphash.Fingerprint, data []byte, owned bool) (duplicate bool, err error) {
-	if _, ok := s.index[fp]; ok {
+	// A lookup error (a corrupt index block) degrades to a miss: the
+	// chunk is stored again and the insert repoints the index at the
+	// fresh copy — correctness over dedup ratio.
+	if _, ok, lerr := s.index.lookup(fp); lerr == nil && ok {
 		s.logicalChunks++
 		s.logicalBytes += uint64(len(data))
 		return true, nil
@@ -63,7 +68,7 @@ func (s *shard) put(fp fphash.Fingerprint, data []byte, owned bool) (duplicate b
 	if err != nil {
 		return false, err
 	}
-	s.index[fp] = loc
+	s.index.insert(fp, loc)
 	s.logicalChunks++
 	s.logicalBytes += uint64(len(data))
 	s.physicalBytes += uint64(len(data))
@@ -86,6 +91,11 @@ type Store struct {
 	shards         []*shard
 	backend        container.Backend
 	containerBytes int
+
+	// fpidx is the persistent fingerprint index (nil in map mode). It
+	// owns the run files, block cache, and compaction worker shared by
+	// the per-shard fpIdx adapters.
+	fpidx *fpindex.Index
 
 	// Retention state (per-backup chunk references and per-chunk counts),
 	// guarded by retMu. It is store-level, not sharded: backups span
@@ -140,10 +150,68 @@ func NewStoreWithShards(containerBytes, shards int) *Store {
 // Dedup statistics of a reopened store count each pre-existing unique
 // chunk as stored once; cross-restart logical totals are not preserved.
 func NewStoreWithBackend(containerBytes int, backend container.Backend) (*Store, error) {
+	return NewStoreWithOptions(backend, StoreOptions{ContainerBytes: containerBytes})
+}
+
+// IndexMode selects the store's fingerprint-index implementation.
+type IndexMode int
+
+const (
+	// IndexMap keeps each shard's index as an in-memory map rebuilt from
+	// container metadata on every open — the original engine, bit-for-bit,
+	// with open cost and resident memory proportional to chunk count.
+	IndexMap IndexMode = iota
+	// IndexPersistent keeps each shard's index in bloom-fronted on-disk
+	// sorted runs (internal/fpindex): opens read run footers and filters
+	// plus the container tail past the index's durable watermark, and
+	// steady-state memory is the memtable plus filters plus a bounded
+	// block cache, independent of total chunk count.
+	IndexPersistent
+)
+
+// StoreOptions configures NewStoreWithOptions. The zero value reproduces
+// NewStoreWithBackend's behavior exactly (map index, backend-recorded
+// container capacity).
+type StoreOptions struct {
+	// ContainerBytes is the container capacity; zero uses the backend's
+	// recorded capacity when it has one, container.DefaultBytes otherwise.
+	ContainerBytes int
+	// Index selects the fingerprint-index implementation.
+	Index IndexMode
+	// IndexDir is the directory holding run files and manifests; required
+	// for IndexPersistent, ignored otherwise. It must not be the container
+	// store directory itself (the index glob would collide with shard
+	// files) — a subdirectory of it is the convention.
+	IndexDir string
+	// FS is the filesystem the persistent index writes through (vfs.OS if
+	// nil). Fault-injection harnesses pass the same faulty FS the
+	// container backend uses.
+	FS vfs.FS
+	// MemtableEntries, CacheBytes, ExpectedChunks, SyncCompaction tune
+	// the persistent index; zero values select fpindex defaults.
+	MemtableEntries int
+	CacheBytes      int64
+	ExpectedChunks  uint64
+	SyncCompaction  bool
+	// RebuildIndex discards any existing persistent index state and
+	// rebuilds from container metadata — the recovery lever after
+	// external damage, and what repository open uses after a salvage.
+	RebuildIndex bool
+}
+
+// NewStoreWithOptions is NewStoreWithBackend with an options struct; see
+// StoreOptions. With IndexPersistent the fingerprint index lives in
+// opts.IndexDir and opening does no full container scan: each shard
+// recovers its packer counters from the backend's sealed stats, loads run
+// footers and bloom filters, and rescans only the container tail past the
+// index's durable watermark (the containers sealed since the last index
+// flush — the containers themselves are the write-ahead log).
+func NewStoreWithOptions(backend container.Backend, opts StoreOptions) (*Store, error) {
 	shards := backend.Shards()
 	if shards < 1 || shards > maxShards {
 		return nil, fmt.Errorf("dedup: backend shard count %d out of range [1, 256]", shards)
 	}
+	containerBytes := opts.ContainerBytes
 	if containerBytes == 0 {
 		if cb, ok := backend.(interface{ ContainerBytes() int }); ok {
 			containerBytes = cb.ContainerBytes()
@@ -156,30 +224,131 @@ func NewStoreWithBackend(containerBytes int, backend container.Backend) (*Store,
 		backend:        backend,
 		containerBytes: containerBytes,
 	}
-	for i := range s.shards {
-		sh := &shard{
-			index: make(map[fphash.Fingerprint]container.Location),
-		}
-		// The packer's construction scan doubles as the fingerprint-index
-		// rebuild: one metadata pass per shard, no chunk data read.
-		cs, err := container.NewWithBackend(containerBytes, backend, i, func(c *container.Container) error {
-			for idx, e := range c.Entries {
-				sh.index[e.FP] = container.Location{Container: c.ID, Index: idx}
-				sh.physicalBytes += uint64(e.Size)
-				sh.logicalBytes += uint64(e.Size)
-				sh.logicalChunks++
+	switch opts.Index {
+	case IndexMap:
+		for i := range s.shards {
+			sh := &shard{}
+			idx := newMapIndex()
+			// The packer's construction scan doubles as the fingerprint-index
+			// rebuild: one metadata pass per shard, no chunk data read.
+			cs, err := container.NewWithBackend(containerBytes, backend, i, func(c *container.Container) error {
+				for j, e := range c.Entries {
+					idx.m[e.FP] = container.Location{Container: c.ID, Index: j}
+					sh.physicalBytes += uint64(e.Size)
+					sh.logicalBytes += uint64(e.Size)
+					sh.logicalChunks++
+				}
+				return nil
+			})
+			if err != nil {
+				return nil, fmt.Errorf("dedup: rebuild shard %d index: %w", i, err)
 			}
-			return nil
-		})
-		if err != nil {
-			return nil, fmt.Errorf("dedup: rebuild shard %d index: %w", i, err)
+			sh.index = idx
+			sh.containers = cs
+			s.shards[i] = sh
 		}
-		sh.containers = cs
-		s.shards[i] = sh
+	case IndexPersistent:
+		if err := s.openPersistentIndex(backend, containerBytes, opts); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("dedup: unknown index mode %d", opts.Index)
 	}
 	s.syncGC = gcommit.New(s.syncAllShards, false)
 	return s, nil
 }
+
+// openPersistentIndex builds the shards in IndexPersistent mode: open the
+// fpindex (run footers and filters only), sanity-check its watermarks
+// against the backend, and tail-rescan each shard's containers past the
+// watermark into the memtable. If any shard's watermark exceeds the
+// backend's sealed count the index belongs to a different container
+// history (a restored or rolled-back store directory), so the whole index
+// is rebuilt from container metadata instead of trusted.
+func (s *Store) openPersistentIndex(backend container.Backend, containerBytes int, opts StoreOptions) error {
+	if opts.IndexDir == "" {
+		return errors.New("dedup: IndexPersistent requires IndexDir")
+	}
+	fsys := opts.FS
+	if fsys == nil {
+		fsys = vfs.OS
+	}
+	fpOpts := fpindex.Options{
+		Shards:          backend.Shards(),
+		MemtableEntries: opts.MemtableEntries,
+		CacheBytes:      opts.CacheBytes,
+		ExpectedChunks:  opts.ExpectedChunks,
+		SyncCompaction:  opts.SyncCompaction,
+		ForceRebuild:    opts.RebuildIndex,
+	}
+	fpx, err := fpindex.Open(fsys, opts.IndexDir, fpOpts)
+	if err != nil {
+		return fmt.Errorf("dedup: open fingerprint index: %w", err)
+	}
+	for pass := 0; ; pass++ {
+		stale := false
+		for i := range s.shards {
+			sh := &shard{}
+			cs, err := container.NewWithBackend(containerBytes, backend, i, nil)
+			if err != nil {
+				fpx.Close()
+				return fmt.Errorf("dedup: open shard %d containers: %w", i, err)
+			}
+			fsh := fpx.Shard(i)
+			if fsh.Watermark() > cs.Sealed() {
+				stale = true
+				break
+			}
+			err = container.ScanFrom(backend, i, fsh.Watermark(), false, func(c *container.Container) error {
+				for j, e := range c.Entries {
+					fsh.Insert(e.FP, container.Location{Container: c.ID, Index: j})
+				}
+				return nil
+			})
+			if err != nil {
+				fpx.Close()
+				return fmt.Errorf("dedup: rescan shard %d tail: %w", i, err)
+			}
+			sh.index = &fpIdx{s: fsh}
+			sh.containers = cs
+			// Reopen semantics, like map mode: each pre-existing unique
+			// chunk counts once.
+			sh.physicalBytes = uint64(cs.Bytes())
+			sh.logicalBytes = sh.physicalBytes
+			sh.logicalChunks = fsh.Count()
+			s.shards[i] = sh
+		}
+		if !stale {
+			break
+		}
+		if err := fpx.Close(); err != nil {
+			return fmt.Errorf("dedup: close stale fingerprint index: %w", err)
+		}
+		if pass > 0 {
+			return errors.New("dedup: fingerprint index watermark ahead of container store after rebuild")
+		}
+		fpOpts.ForceRebuild = true
+		if fpx, err = fpindex.Open(fsys, opts.IndexDir, fpOpts); err != nil {
+			return fmt.Errorf("dedup: rebuild fingerprint index: %w", err)
+		}
+	}
+	s.fpidx = fpx
+	return nil
+}
+
+// IndexCounters reports the persistent index's lookup-path counters
+// (zero-valued in map mode): bloom-filter rejections, memtable hits,
+// block-cache hits, and disk probes since open.
+func (s *Store) IndexCounters() fpindex.Counters {
+	if s.fpidx == nil {
+		return fpindex.Counters{}
+	}
+	return s.fpidx.Counters()
+}
+
+// PersistentIndex reports whether the store runs the persistent
+// fingerprint index (IndexPersistent) rather than the in-memory map.
+func (s *Store) PersistentIndex() bool { return s.fpidx != nil }
 
 // Create initializes a new file-backed store directory with the given
 // container capacity (container.DefaultBytes if zero) and shard count
@@ -223,16 +392,31 @@ func Open(dir string) (*Store, error) {
 	return s, nil
 }
 
-// Close seals every shard's open container through the backend and closes
-// the backend. After a clean Close, Open restores every stored chunk.
-// The store must not be used afterwards.
+// Close seals every shard's open container through the backend, flushes
+// the persistent fingerprint index (when one is in use) so the next open
+// rescans no container tail, and closes the backend. After a clean Close,
+// Open restores every stored chunk. The store must not be used
+// afterwards.
 func (s *Store) Close() error {
 	var first error
 	for _, sh := range s.shards {
 		sh.mu.Lock()
 		_, err := sh.containers.Flush()
+		if err == nil {
+			// Flush the index only after a successful seal: the index may
+			// never claim coverage of containers that are not durable.
+			err = sh.index.flush(sh.containers.Sealed())
+		}
+		if cerr := sh.index.close(); err == nil {
+			err = cerr
+		}
 		sh.mu.Unlock()
 		if err != nil && first == nil {
+			first = err
+		}
+	}
+	if s.fpidx != nil {
+		if err := s.fpidx.Close(); err != nil && first == nil {
 			first = err
 		}
 	}
@@ -284,13 +468,16 @@ func (s *Store) SealSyncs() int64 { return s.syncGC.Syncs() }
 func (s *Store) SetSealCommitWindow(window time.Duration) { s.syncGC.SetWindow(window) }
 
 // Contains reports whether the store holds a chunk with the given
-// fingerprint. It is an index lookup only; no chunk data is read.
+// fingerprint. It is an index lookup only; with the persistent index a
+// negative answer usually costs one bloom-filter probe and no disk read.
+// An index read error reports the chunk as absent — the safe direction
+// for negotiation (the client re-uploads).
 func (s *Store) Contains(fp fphash.Fingerprint) bool {
 	sh := s.shardFor(fp)
 	sh.mu.Lock()
-	_, ok := sh.index[fp]
+	_, ok, err := sh.index.lookup(fp)
 	sh.mu.Unlock()
-	return ok
+	return ok && err == nil
 }
 
 // ContainsBatch is the chunk-negotiation lookup: miss[i] reports whether
@@ -315,8 +502,8 @@ func (s *Store) ContainsBatch(fps []fphash.Fingerprint, miss []bool) []bool {
 			sh.mu.Lock()
 			held = sh
 		}
-		_, ok := sh.index[fp]
-		miss[i] = !ok
+		_, ok, err := sh.index.lookup(fp)
+		miss[i] = !ok || err != nil
 	}
 	if held != nil {
 		held.mu.Unlock()
@@ -379,7 +566,11 @@ func (s *Store) Put(fp fphash.Fingerprint, data []byte) (duplicate bool, err err
 	sh := s.shardFor(fp)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	return sh.put(fp, data, false)
+	dup, err := sh.put(fp, data, false)
+	if err == nil {
+		err = sh.index.maybeFlush(sh.containers.Sealed())
+	}
+	return dup, err
 }
 
 // PutChunk is one chunk of a PutBatch upload.
@@ -426,7 +617,7 @@ func (s *Store) putBatch(chunks []PutChunk, owned bool) ([]bool, error) {
 				return dups, err
 			}
 		}
-		return dups, nil
+		return dups, sh.index.maybeFlush(sh.containers.Sealed())
 	}
 	// Group chunk indexes by shard, preserving batch order within each
 	// group to keep per-shard placement deterministic.
@@ -445,7 +636,13 @@ func (s *Store) putBatch(chunks []PutChunk, owned bool) ([]bool, error) {
 				return dups, err
 			}
 		}
+		// One spill check per shard per batch, not per chunk: the flush
+		// itself is amortized over a full memtable of inserts.
+		err := sh.index.maybeFlush(sh.containers.Sealed())
 		sh.mu.Unlock()
+		if err != nil {
+			return dups, err
+		}
 	}
 	return dups, nil
 }
@@ -465,7 +662,11 @@ func (s *Store) putBatch(chunks []PutChunk, owned bool) ([]bool, error) {
 func (s *Store) Get(fp fphash.Fingerprint) ([]byte, error) {
 	sh := s.shardFor(fp)
 	sh.mu.Lock()
-	loc, ok := sh.index[fp]
+	loc, ok, err := sh.index.lookup(fp)
+	if err != nil {
+		sh.mu.Unlock()
+		return nil, fmt.Errorf("dedup: index lookup %v: %w", fp, err)
+	}
 	if !ok {
 		sh.mu.Unlock()
 		return nil, ErrNotFound
@@ -500,7 +701,10 @@ func (s *Store) getSealed(sh *shard, fp fphash.Fingerprint, loc container.Locati
 	// lock for an authoritative view.
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	loc, ok := sh.index[fp]
+	loc, ok, lerr := sh.index.lookup(fp)
+	if lerr != nil {
+		return nil, fmt.Errorf("dedup: index lookup %v: %w", fp, lerr)
+	}
 	if !ok {
 		return nil, ErrNotFound
 	}
@@ -510,6 +714,11 @@ func (s *Store) getSealed(sh *shard, fp fphash.Fingerprint, loc container.Locati
 			return nil, ErrNotFound
 		}
 		return nil, err
+	}
+	if e.FP != fp {
+		// The location resolved to someone else's chunk: the index and
+		// container disagree (possible only under external damage).
+		return nil, ErrNotFound
 	}
 	return e.Data, nil
 }
@@ -522,17 +731,22 @@ type containerRef struct {
 }
 
 // locate resolves a fingerprint to its container and location. The
-// location is stable until a GC pass moves survivors.
-func (s *Store) locate(fp fphash.Fingerprint) (containerRef, container.Location, bool) {
+// location is stable until a GC pass moves survivors. A non-nil error
+// means the index could not answer (a corrupt run block); degraded
+// restore treats it as a missing chunk, strict restore surfaces it.
+func (s *Store) locate(fp fphash.Fingerprint) (containerRef, container.Location, bool, error) {
 	si := fp.Shard(len(s.shards))
 	sh := s.shards[si]
 	sh.mu.Lock()
-	loc, ok := sh.index[fp]
+	loc, ok, err := sh.index.lookup(fp)
 	sh.mu.Unlock()
-	if !ok {
-		return containerRef{}, container.Location{}, false
+	if err != nil {
+		return containerRef{}, container.Location{}, false, fmt.Errorf("dedup: index lookup %v: %w", fp, err)
 	}
-	return containerRef{shard: si, id: loc.Container}, loc, true
+	if !ok {
+		return containerRef{}, container.Location{}, false, nil
+	}
+	return containerRef{shard: si, id: loc.Container}, loc, true, nil
 }
 
 // readContainer fetches one container's entries for the restore pipeline.
@@ -569,8 +783,15 @@ func (s *Store) Stats() trace.DedupStats {
 		st.LogicalBytes += sh.logicalBytes
 		st.PhysicalBytes += sh.physicalBytes
 		st.LogicalChunks += sh.logicalChunks
-		st.UniqueChunks += len(sh.index)
+		st.UniqueChunks += sh.index.count()
 		sh.mu.Unlock()
+	}
+	if s.fpidx != nil {
+		c := s.fpidx.Counters()
+		st.IndexBloomNegative = c.BloomNegative
+		st.IndexMemtableHits = c.MemtableHits
+		st.IndexBlockCacheHits = c.BlockCacheHits
+		st.IndexDiskProbes = c.DiskProbes
 	}
 	return st
 }
@@ -580,7 +801,7 @@ func (s *Store) UniqueChunks() int {
 	var n int
 	for _, sh := range s.shards {
 		sh.mu.Lock()
-		n += len(sh.index)
+		n += sh.index.count()
 		sh.mu.Unlock()
 	}
 	return n

@@ -78,6 +78,17 @@ type DedupStats struct {
 	PhysicalBytes uint64
 	LogicalChunks int
 	UniqueChunks  int
+
+	// Fingerprint-index lookup-path counters, populated only by stores
+	// running the persistent (bloom-fronted run) index; the trace-level
+	// simulation and map-mode stores leave them zero. They decompose
+	// where index lookups were answered: a bloom rejection touches no
+	// disk, a memtable or block-cache hit touches no disk, and only
+	// DiskProbes paid a run-file block read.
+	IndexBloomNegative  uint64
+	IndexMemtableHits   uint64
+	IndexBlockCacheHits uint64
+	IndexDiskProbes     uint64
 }
 
 // Ratio returns the deduplication ratio (logical/physical bytes).

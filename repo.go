@@ -61,6 +61,16 @@ type Repository struct {
 	// mid-restore chunk relocation).
 	gcMu sync.RWMutex
 
+	// Lazy retention rebuild: OpenRepository validates the repository key
+	// against one sealed recipe and defers unsealing the rest until
+	// retention state is actually consulted (Backup registration, Delete,
+	// GC, Repair) — so a cold open does one metadata pass, not a full
+	// recipe decryption sweep. retOnce/retErr make the rebuild run once;
+	// the error is sticky because half-rebuilt reference counts must
+	// never feed a GC.
+	retOnce sync.Once
+	retErr  error
+
 	// closeMu/closed make Close idempotent and safe after partial failures.
 	closeMu sync.Mutex
 	closed  bool
@@ -118,7 +128,45 @@ type repoOptions struct {
 	fsys           vfs.FS
 	salvage        bool
 	gcWindow       time.Duration
+	indexMode      IndexMode
+	indexTuning    IndexTuning
 }
+
+// IndexTuning adjusts the persistent fingerprint index's memory knobs;
+// see WithIndexTuning. Zero fields select fpindex defaults.
+type IndexTuning struct {
+	// MemtableEntries is the per-shard memtable capacity before a flush
+	// to an on-disk sorted run.
+	MemtableEntries int
+	// CacheBytes bounds the shared hot-block cache.
+	CacheBytes int64
+	// ExpectedChunks sizes the aggregate bloom filter.
+	ExpectedChunks uint64
+	// SyncCompaction runs compactions inline instead of in the
+	// background — deterministic, so fault harnesses use it.
+	SyncCompaction bool
+}
+
+// IndexMode selects the repository's fingerprint-index implementation;
+// see WithIndex.
+type IndexMode = dedup.IndexMode
+
+const (
+	// IndexMap rebuilds an in-memory fingerprint map from container
+	// metadata on every open — the original engine. Open cost and
+	// resident memory grow with chunk count.
+	IndexMap = dedup.IndexMap
+	// IndexPersistent keeps the fingerprint index in bloom-fronted
+	// on-disk sorted runs under <path>/fpindex: opens read run footers,
+	// filters, and only the container tail written since the last index
+	// flush, and steady-state memory is bounded regardless of how many
+	// chunks the repository holds.
+	IndexPersistent = dedup.IndexPersistent
+)
+
+// IndexDirName is the subdirectory of a repository path holding the
+// persistent fingerprint index's run files and manifests.
+const IndexDirName = "fpindex"
 
 // RepositoryOption configures CreateRepository and OpenRepository.
 type RepositoryOption func(*repoOptions)
@@ -144,6 +192,25 @@ func WithContainerBytes(n int) RepositoryOption {
 // the same path and backend.
 func WithBackend(b StoreBackend) RepositoryOption {
 	return func(o *repoOptions) { o.backend = b }
+}
+
+// WithIndex selects the fingerprint-index implementation (IndexMap if
+// unset). IndexPersistent requires a file-backed repository (a non-empty
+// path); the index lives under <path>/fpindex. Like the trace log, the
+// choice is sticky: a repository that ever ran IndexPersistent keeps
+// using it after a plain OpenRepository — the existing fpindex directory
+// re-selects the mode, so an open never silently pays a full container
+// scan the previous process had already made unnecessary.
+func WithIndex(mode IndexMode) RepositoryOption {
+	return func(o *repoOptions) { o.indexMode = mode }
+}
+
+// WithIndexTuning adjusts the persistent index's memory and compaction
+// knobs (IndexPersistent only; ignored for IndexMap). Benchmarks and
+// fault harnesses shrink the memtable to force run flushes and
+// compactions; production repositories normally keep the defaults.
+func WithIndexTuning(t IndexTuning) RepositoryOption {
+	return func(o *repoOptions) { o.indexTuning = t }
 }
 
 // WithChunking sets the content-defined chunking parameters
@@ -299,6 +366,28 @@ func WithRepositoryKey(k Key) RepositoryOption {
 	return func(o *repoOptions) { o.key = k }
 }
 
+// newRepoStore builds a repository's dedup store, honoring the selected
+// index mode. rebuild forces the persistent index to discard its state
+// and rescan the containers — the salvage-open path, where containers
+// were renumbered and old run locations would be lies.
+func newRepoStore(path string, backend container.Backend, containerBytes int, o *repoOptions, rebuild bool) (*dedup.Store, error) {
+	opts := dedup.StoreOptions{ContainerBytes: containerBytes}
+	if o.indexMode == IndexPersistent {
+		if path == "" {
+			return nil, errors.New("freqdedup: IndexPersistent requires a file-backed repository path")
+		}
+		opts.Index = dedup.IndexPersistent
+		opts.IndexDir = filepath.Join(path, IndexDirName)
+		opts.FS = o.fsys
+		opts.RebuildIndex = rebuild
+		opts.MemtableEntries = o.indexTuning.MemtableEntries
+		opts.CacheBytes = o.indexTuning.CacheBytes
+		opts.ExpectedChunks = o.indexTuning.ExpectedChunks
+		opts.SyncCompaction = o.indexTuning.SyncCompaction
+	}
+	return dedup.NewStoreWithOptions(backend, opts)
+}
+
 // buildRepo assembles a Repository once the backend and catalog exist and
 // validates the client configuration by constructing a probe client.
 func buildRepo(store *dedup.Store, catalog *dedup.Catalog, tapLog *tracelog.Log, o *repoOptions) (*Repository, error) {
@@ -425,7 +514,7 @@ func CreateRepository(path string, opts ...RepositoryOption) (*Repository, error
 		}
 	}
 
-	store, err := dedup.NewStoreWithBackend(o.containerBytes, backend)
+	store, err := newRepoStore(path, backend, o.containerBytes, o, false)
 	if err != nil {
 		return failClosing(err)
 	}
@@ -501,7 +590,15 @@ func OpenRepository(path string, opts ...RepositoryOption) (*Repository, error) 
 		cleanup()
 		return nil, err
 	}
-	store, err := dedup.NewStoreWithBackend(containerBytes, backend)
+	// The persistent index is sticky, like the trace log: an existing
+	// fpindex directory re-selects the mode even without WithIndex, so a
+	// later plain open never regresses to a full container scan.
+	if o.indexMode == IndexMap {
+		if _, statErr := o.fsys.Stat(filepath.Join(path, IndexDirName)); statErr == nil {
+			o.indexMode = IndexPersistent
+		}
+	}
+	store, err := newRepoStore(path, backend, containerBytes, o, o.salvage)
 	if err != nil {
 		if tapLog != nil {
 			tapLog.Close()
@@ -518,16 +615,14 @@ func OpenRepository(path string, opts ...RepositoryOption) (*Repository, error) 
 		store.Close()
 		return nil, err
 	}
-	// Rebuild retention state: each snapshot's recipe re-registers its
-	// chunk references, so reference counts equal what a never-restarted
-	// process would hold.
-	for _, rec := range catalog.List() {
-		recipe, err := mle.OpenRecipe(rec.SealedRecipe, o.key)
-		if err != nil {
-			return fail(fmt.Errorf("freqdedup: open snapshot %q recipe (wrong repository key?): %w", rec.Name, err))
-		}
-		if err := store.RegisterBackup(rec.Name, recipe); err != nil {
-			return fail(fmt.Errorf("freqdedup: re-register snapshot %q: %w", rec.Name, err))
+	// Validate the repository key against one sealed recipe now (a wrong
+	// key must fail the open, not a later GC); the full retention rebuild
+	// — unsealing every snapshot's recipe to recover reference counts —
+	// is deferred to ensureRetention, so a cold open stays one metadata
+	// pass even with thousands of snapshots.
+	if recs := catalog.List(); len(recs) > 0 {
+		if _, oerr := mle.OpenRecipe(recs[0].SealedRecipe, o.key); oerr != nil {
+			return fail(fmt.Errorf("freqdedup: open snapshot %q recipe (wrong repository key?): %w", recs[0].Name, oerr))
 		}
 	}
 	repo, err := buildRepo(store, catalog, tapLog, o)
@@ -538,6 +633,30 @@ func OpenRepository(path string, opts ...RepositoryOption) (*Repository, error) 
 	repo.salvaged = salvaged
 	repo.catSalvaged = catSalvaged
 	return repo, nil
+}
+
+// ensureRetention completes the retention rebuild a reopened repository
+// deferred: every cataloged snapshot's recipe is unsealed and its chunk
+// references re-registered with the store, exactly once per Repository.
+// Every path that consults or mutates retention state (Backup's
+// registration, Delete, GC, Repair) calls it first, so reference counts
+// are always complete before they matter. The error is sticky: a
+// half-rebuilt count must never feed a GC sweep.
+func (r *Repository) ensureRetention() error {
+	r.retOnce.Do(func() {
+		for _, rec := range r.catalog.List() {
+			recipe, err := mle.OpenRecipe(rec.SealedRecipe, r.key)
+			if err != nil {
+				r.retErr = fmt.Errorf("freqdedup: open snapshot %q recipe (wrong repository key?): %w", rec.Name, err)
+				return
+			}
+			if err := r.store.RegisterBackup(rec.Name, recipe); err != nil {
+				r.retErr = fmt.Errorf("freqdedup: re-register snapshot %q: %w", rec.Name, err)
+				return
+			}
+		}
+	})
+	return r.retErr
 }
 
 func applyOptions(opts []RepositoryOption) *repoOptions {
@@ -564,6 +683,9 @@ func applyOptions(opts []RepositoryOption) *repoOptions {
 func (r *Repository) Backup(ctx context.Context, name string, src io.Reader) (Snapshot, error) {
 	if name == "" {
 		return Snapshot{}, errors.New("freqdedup: empty snapshot name")
+	}
+	if err := r.ensureRetention(); err != nil {
+		return Snapshot{}, err
 	}
 	if _, ok := r.catalog.Get(name); ok {
 		return Snapshot{}, fmt.Errorf("%w: %q", ErrSnapshotExists, name)
@@ -693,6 +815,9 @@ func (r *Repository) Delete(ctx context.Context, name string) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
+	if err := r.ensureRetention(); err != nil {
+		return err
+	}
 	if err := r.catalog.Delete(name); err != nil {
 		return err
 	}
@@ -711,6 +836,9 @@ func (r *Repository) Delete(ctx context.Context, name string) error {
 // stats and ctx.Err(); already-swept shards keep their compacted state
 // and a re-run completes the sweep.
 func (r *Repository) GC(ctx context.Context) (GCStats, error) {
+	if err := r.ensureRetention(); err != nil {
+		return GCStats{}, err
+	}
 	r.gcMu.Lock()
 	defer r.gcMu.Unlock()
 	return r.store.GCContext(ctx)
@@ -820,6 +948,12 @@ func (r *RepairReport) Damaged() bool {
 // shards with ctx.Err(); already-repaired shards keep their repaired
 // state and a re-run completes the job.
 func (r *Repository) Repair(ctx context.Context) (RepairReport, error) {
+	// Repair resets retention and re-registers from the catalog itself;
+	// running ensureRetention first keeps the once-state consistent so a
+	// later Backup/GC does not re-register on top of Repair's rebuild.
+	if err := r.ensureRetention(); err != nil {
+		return RepairReport{}, err
+	}
 	r.gcMu.Lock()
 	defer r.gcMu.Unlock()
 

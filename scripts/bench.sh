@@ -10,11 +10,22 @@
 #
 #   scripts/bench.sh              # 10 pinned iterations per benchmark
 #   BENCHTIME=1s scripts/bench.sh # time-based iteration count
+#   BENCH_REPEAT=5 scripts/bench.sh # more repeats for the baseline floor
 #
 # The default is pinned (10x) rather than time-based so baselines live in
 # the same measurement regime as cmd/benchgate's fresh runs — a 1s
 # auto-tuned baseline is systematically warmer (hundreds of iterations)
 # than a pinned run and would read as a phantom regression.
+#
+# Baseline runs execute the suite BENCH_REPEAT times (default 3) and keep,
+# per benchmark, the run with the LOWEST MB/s. On shared/virtualized
+# runners ambient throughput swings 2-3x within minutes; a single-sample
+# baseline recorded at a fast moment turns every later quiet-machine gate
+# run into a phantom regression. Recording the observed floor means the
+# gate alarms only when throughput drops below the worst the baseline
+# machine actually produced. Only the first repeat sets FPBENCH_10M: the
+# 10M-chunk open points exist to document the flat-open claim, and their
+# setup cost dominates the suite.
 #   scripts/bench.sh --smoke      # one iteration each, no JSON (the
 #                                 # `make check` / check.sh rot gate)
 #
@@ -24,14 +35,16 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-PATTERN='BenchmarkBackup|BenchmarkServerBackup|BenchmarkRestoreSerial|BenchmarkRestoreParallel|BenchmarkStoreShards|BenchmarkChunker|BenchmarkRabin|BenchmarkContentDefined|BenchmarkFixed|BenchmarkBasicAttackFSL|BenchmarkLocalityAttackFSL|BenchmarkAdvancedAttackFSL|BenchmarkBasicAttackStreamFSL|BenchmarkLocalityAttackStreamFSL|BenchmarkAdvancedAttackStreamFSL|BenchmarkAttackStreaming|BenchmarkTraceLogIngest|BenchmarkTraceLogReplay|BenchmarkWorkloadGenerate'
+PATTERN='BenchmarkBackup|BenchmarkServerBackup|BenchmarkRestoreSerial|BenchmarkRestoreParallel|BenchmarkStoreShards|BenchmarkRepositoryOpen|BenchmarkIndexLookup|BenchmarkChunker|BenchmarkRabin|BenchmarkContentDefined|BenchmarkFixed|BenchmarkBasicAttackFSL|BenchmarkLocalityAttackFSL|BenchmarkAdvancedAttackFSL|BenchmarkBasicAttackStreamFSL|BenchmarkLocalityAttackStreamFSL|BenchmarkAdvancedAttackStreamFSL|BenchmarkAttackStreaming|BenchmarkTraceLogIngest|BenchmarkTraceLogReplay|BenchmarkWorkloadGenerate'
 PKGS='. ./internal/chunker ./internal/rabin ./internal/attack ./internal/tracelog ./internal/workload'
 
 if [ "${1:-}" = "--smoke" ]; then
 	smokelog="$(mktemp)"
 	trap 'rm -f "$smokelog"' EXIT
+	# -short keeps the index benchmarks at their 100k-chunk point; the
+	# 1M/10M setup passes belong in baseline runs, not the rot gate.
 	# shellcheck disable=SC2086
-	if ! go test -run=NONE -bench "$PATTERN" -benchtime=1x $PKGS >"$smokelog" 2>&1; then
+	if ! go test -run=NONE -bench "$PATTERN" -benchtime=1x -short $PKGS >"$smokelog" 2>&1; then
 		cat "$smokelog"
 		echo "bench smoke: FAILED"
 		exit 1
@@ -48,14 +61,39 @@ trap 'rm -f "$tmp"' EXIT
 
 # Capture first and check the exit status — a pipeline into tee would
 # report tee's status and let a failing benchmark write a bogus baseline.
+# Baseline runs include the 10M-chunk repository-open point
+# (FPBENCH_10M=1) and, when GNU time is available, the suite's peak RSS —
+# the bounded-memory claim of the persistent index is only checkable if
+# baselines record residency next to throughput.
+rsslog="$(mktemp)"
+trap 'rm -f "$tmp" "$rsslog"' EXIT
+runner=""
+if [ -x /usr/bin/time ] && /usr/bin/time -v true 2>/dev/null; then
+	runner="/usr/bin/time -v -o $rsslog"
+fi
+BENCH_REPEAT="${BENCH_REPEAT:-3}"
 # shellcheck disable=SC2086
-if ! go test -run=NONE -bench "$PATTERN" -benchmem -benchtime "$BENCHTIME" \
+if ! FPBENCH_10M=1 $runner go test -run=NONE -bench "$PATTERN" -benchmem -benchtime "$BENCHTIME" \
 	$PKGS >"$tmp" 2>&1; then
 	cat "$tmp"
 	echo "bench: FAILED, no baseline written" >&2
 	exit 1
 fi
+i=2
+while [ "$i" -le "$BENCH_REPEAT" ]; do
+	echo "bench: floor repeat $i/$BENCH_REPEAT" >&2
+	# shellcheck disable=SC2086
+	if ! go test -run=NONE -bench "$PATTERN" -benchmem -benchtime "$BENCHTIME" \
+		$PKGS >>"$tmp" 2>&1; then
+		cat "$tmp"
+		echo "bench: FAILED, no baseline written" >&2
+		exit 1
+	fi
+	i=$((i + 1))
+done
 cat "$tmp"
+max_rss_kb="$(awk -F: '/Maximum resident set size/ { gsub(/[^0-9]/, "", $2); print $2 }' "$rsslog" 2>/dev/null || true)"
+[ -n "$max_rss_kb" ] || max_rss_kb=0
 
 # CPU model and frequency governor go into the header so cmd/benchgate can
 # refuse to treat cross-hardware timing deltas as regressions; "unknown"
@@ -65,23 +103,36 @@ cpu="$(awk -F: '/^model name/ { sub(/^[ \t]+/, "", $2); print $2; exit }' /proc/
 governor="$(cat /sys/devices/system/cpu/cpu0/cpufreq/scaling_governor 2>/dev/null || true)"
 [ -n "$governor" ] || governor="unknown"
 
-awk -v goversion="$(go version)" -v maxprocs="${GOMAXPROCS:-$(nproc 2>/dev/null || echo 0)}" -v date="$date" -v cpu="$cpu" -v governor="$governor" '
-BEGIN {
-	printf "{\n  \"date\": \"%s\",\n  \"go\": \"%s\",\n  \"cpu\": \"%s\",\n  \"governor\": \"%s\",\n  \"gomaxprocs\": %s,\n  \"benchmarks\": [\n", date, goversion, cpu, governor, maxprocs
-	first = 1
-}
+# Min-merge the repeats: per benchmark keep the run with the lowest MB/s
+# (the conservative floor the gate compares against); benchmarks that
+# report no MB/s are not gated, so their first run is kept as-is.
+awk -v goversion="$(go version)" -v maxprocs="${GOMAXPROCS:-$(nproc 2>/dev/null || echo 0)}" -v date="$date" -v cpu="$cpu" -v governor="$governor" -v maxrss="$max_rss_kb" '
 /^Benchmark/ {
 	name = $1
-	iters = $2
-	metrics = ""
+	mbs = -1
 	for (i = 3; i + 1 <= NF; i += 2) {
-		metrics = metrics sprintf("%s\"%s\": %s", (metrics == "") ? "" : ", ", $(i + 1), $i)
+		if ($(i + 1) == "MB/s") mbs = $i + 0
 	}
-	if (!first) printf ",\n"
-	first = 0
-	printf "    {\"name\": \"%s\", \"iterations\": %s, %s}", name, iters, metrics
+	if (!(name in line)) {
+		order[++count] = name
+	} else if (mbs < 0 || mbs >= floor[name]) {
+		next
+	}
+	line[name] = $0
+	floor[name] = (mbs >= 0) ? mbs : 0
 }
-END { printf "\n  ]\n}\n" }
+END {
+	printf "{\n  \"date\": \"%s\",\n  \"go\": \"%s\",\n  \"cpu\": \"%s\",\n  \"governor\": \"%s\",\n  \"gomaxprocs\": %s,\n  \"max_rss_kb\": %s,\n  \"benchmarks\": [\n", date, goversion, cpu, governor, maxprocs, maxrss
+	for (k = 1; k <= count; k++) {
+		$0 = line[order[k]]
+		metrics = ""
+		for (i = 3; i + 1 <= NF; i += 2) {
+			metrics = metrics sprintf("%s\"%s\": %s", (metrics == "") ? "" : ", ", $(i + 1), $i)
+		}
+		printf "    {\"name\": \"%s\", \"iterations\": %s, %s}%s\n", $1, $2, metrics, (k < count) ? "," : ""
+	}
+	printf "  ]\n}\n"
+}
 ' "$tmp" >"$out"
 
 echo "wrote $out"

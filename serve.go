@@ -347,6 +347,11 @@ func (s *repoSession) Commit(entries []mle.RecipeEntry) (wire.SnapshotInfo, erro
 		Chunks:       uint32(len(recipe.Entries)),
 		SealedRecipe: sealed,
 	}
+	// Complete the deferred retention rebuild before registering: this
+	// snapshot must not land in the once-guarded catalog sweep twice.
+	if err := r.ensureRetention(); err != nil {
+		return wire.SnapshotInfo{}, err
+	}
 	if err := r.catalog.Add(rec); err != nil {
 		return wire.SnapshotInfo{}, err
 	}
